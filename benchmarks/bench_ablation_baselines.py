@@ -1,0 +1,143 @@
+"""Ablation: LDPRecover vs generic consistency post-processing, plus the
+heavy-hitter repair the targeted attack is really about.
+
+Two extension exhibits beyond the paper's figures:
+
+1. **Consistency comparison** — LDPRecover / LDPRecover* against the
+   Norm / Norm-Mul / Norm-Cut / Norm-Sub family (Wang et al. NDSS'20),
+   which enforces the same public constraints but knows nothing about
+   poisoning.  Expected: LDPRecover* beats every generic method; plain
+   LDPRecover matches the best of them (its uniform malicious split is
+   designed to cancel under the shared projection).
+2. **Top-k repair** — the number of attacker-planted items in the
+   estimated top-10 before and after recovery (MGA's stated goal is to
+   "promote target items as popular items").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_trials, bench_users, show
+from repro._rng import spawn
+from repro.attacks import MGAAttack
+from repro.core.consistency import CONSISTENCY_METHODS
+from repro.core.heavyhitters import heavy_hitter_report
+from repro.core.recover import recover_frequencies
+from repro.datasets import ipums_like
+from repro.protocols import PROTOCOL_NAMES, make_protocol
+from repro.sim import mse, run_trial
+
+BETA = 0.05
+TOP_K = 10
+
+
+def consistency_rows(num_users, trials, rng=13):
+    dataset = ipums_like(num_users=num_users)
+    rows = []
+    for protocol_name in PROTOCOL_NAMES:
+        protocol = make_protocol(protocol_name, epsilon=0.5, domain_size=dataset.domain_size)
+        attack = MGAAttack(domain_size=dataset.domain_size, r=10, rng=0)
+        acc: dict[str, list[float]] = {name: [] for name in CONSISTENCY_METHODS}
+        plain: list[float] = []
+        star: list[float] = []
+        for child in spawn(rng, trials):
+            trial = run_trial(dataset, protocol, attack, beta=BETA, rng=child)
+            truth = trial.true_frequencies
+            plain.append(
+                mse(truth, recover_frequencies(trial.poisoned_frequencies, protocol).frequencies)
+            )
+            star.append(
+                mse(
+                    truth,
+                    recover_frequencies(
+                        trial.poisoned_frequencies,
+                        protocol,
+                        target_items=attack.target_items,
+                    ).frequencies,
+                )
+            )
+            for name, fn in CONSISTENCY_METHODS.items():
+                acc[name].append(mse(truth, fn(trial.poisoned_frequencies)))
+        row: dict[str, object] = {
+            "protocol": protocol_name,
+            "ldprecover": float(np.mean(plain)),
+            "ldprecover_star": float(np.mean(star)),
+        }
+        for name, values in acc.items():
+            row[name] = float(np.mean(values))
+        rows.append(row)
+    return rows
+
+
+def topk_rows(num_users, trials, rng=14):
+    dataset = ipums_like(num_users=num_users)
+    tail = np.argsort(dataset.frequencies)[:5]  # promote unpopular items
+    rows = []
+    for protocol_name in PROTOCOL_NAMES:
+        protocol = make_protocol(protocol_name, epsilon=0.5, domain_size=dataset.domain_size)
+        attack = MGAAttack(domain_size=dataset.domain_size, targets=tail)
+        planted_before: list[int] = []
+        planted_after: list[int] = []
+        precision_before: list[float] = []
+        precision_after: list[float] = []
+        for child in spawn(rng, trials):
+            trial = run_trial(dataset, protocol, attack, beta=0.1, rng=child)
+            recovery = recover_frequencies(
+                trial.poisoned_frequencies, protocol, target_items=tail
+            )
+            report = heavy_hitter_report(
+                trial.true_frequencies,
+                trial.poisoned_frequencies,
+                recovery.frequencies,
+                k=TOP_K,
+            )
+            planted_before.append(report.planted_poisoned)
+            planted_after.append(report.planted_recovered)
+            precision_before.append(report.precision_poisoned)
+            precision_after.append(report.precision_recovered)
+        rows.append(
+            {
+                "protocol": protocol_name,
+                "planted_poisoned": float(np.mean(planted_before)),
+                "planted_recovered": float(np.mean(planted_after)),
+                "topk_precision_poisoned": float(np.mean(precision_before)),
+                "topk_precision_recovered": float(np.mean(precision_after)),
+            }
+        )
+    return rows
+
+
+def test_consistency_comparison(run_once):
+    rows = run_once(lambda: consistency_rows(bench_users(60_000), bench_trials(5)))
+    show("Ablation: LDPRecover vs consistency methods (MGA, IPUMS)", rows)
+    for row in rows:
+        generics = [row[name] for name in CONSISTENCY_METHODS]
+        if row["protocol"] in ("grr", "oue"):
+            # Single-item-support crafting matches Eq. 30's model exactly:
+            # the targeted deduction beats every generic method.
+            assert row["ldprecover_star"] < min(generics), (
+                f"{row['protocol']}: LDPRecover* must beat every generic method"
+            )
+        else:
+            # OLH crafted reports support many targets at once, weakening
+            # Eq. 30's single-support assumption — the paper's own Fig. 3
+            # shows LDPRecover* ~ LDPRecover there.  Require parity.
+            assert row["ldprecover_star"] <= 3 * min(generics)
+        assert row["ldprecover"] <= 2 * min(generics)
+
+
+def test_topk_repair(run_once):
+    rows = run_once(lambda: topk_rows(bench_users(60_000), bench_trials(5)))
+    show("Extension: top-10 repair under MGA promotion (IPUMS)", rows)
+    for row in rows:
+        assert row["planted_poisoned"] >= 1, "MGA should plant items into the top-10"
+    # Top-10 membership is a hard threshold: a residual sliver of gain can
+    # keep a planted tail item above the genuine tail, so require the
+    # repair in aggregate and strictly for the single-support protocols.
+    total_before = sum(row["planted_poisoned"] for row in rows)
+    total_after = sum(row["planted_recovered"] for row in rows)
+    assert total_after < total_before
+    for row in rows:
+        if row["protocol"] in ("grr", "oue"):
+            assert row["topk_precision_recovered"] > row["topk_precision_poisoned"]

@@ -1,0 +1,95 @@
+"""Ablation: contribution of each constraint in the CI problem.
+
+DESIGN.md section 6 calls out the design choices behind LDPRecover's
+constraint-inference formulation.  This bench removes one ingredient at a
+time and measures the recovery MSE under AA poisoning:
+
+* ``full``            — LDPRecover as specified (Algorithm 1);
+* ``no-learned-sum``  — drop the Eq. 21/26 malicious estimate (f_Y = 0),
+  keeping the estimator scaling and projection;
+* ``projection-only`` — eta = 0: no estimator at all, just the simplex
+  projection (the 'consistency' baseline);
+* ``no-split``        — spread the learned sum over the whole domain
+  instead of the D1 sub-domain;
+* ``no-projection``   — the raw Eq. 27 estimate without the non-negativity
+  / sum-to-one refinement.
+
+Expected shape: ``full`` is at or near the best; ``no-projection`` is the
+worst (the refinement carries a large share of the win); the D0/D1 split
+and the learned sum each matter more for GRR than for OUE/OLH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_trials, bench_users, show
+from repro._rng import spawn
+from repro.attacks import AdaptiveAttack
+from repro.core.estimator import genuine_frequency_estimate
+from repro.core.malicious import learned_malicious_sum, uniform_malicious_estimate
+from repro.core.projection import project_onto_simplex_kkt
+from repro.core.recover import recover_frequencies
+from repro.datasets import ipums_like
+from repro.protocols import PROTOCOL_NAMES, make_protocol
+from repro.sim import mse, run_trial
+
+ETA = 0.2
+BETA = 0.05
+
+
+def _variants(poisoned: np.ndarray, protocol) -> dict[str, np.ndarray]:
+    params = protocol.params
+    full = recover_frequencies(poisoned, protocol, eta=ETA).frequencies
+    no_sum = project_onto_simplex_kkt(
+        genuine_frequency_estimate(poisoned, np.zeros_like(poisoned), ETA)
+    )
+    projection_only = project_onto_simplex_kkt(poisoned)
+    spread_everywhere = np.full_like(
+        poisoned, learned_malicious_sum(params) / poisoned.size
+    )
+    no_split = project_onto_simplex_kkt(
+        genuine_frequency_estimate(poisoned, spread_everywhere, ETA)
+    )
+    no_projection = genuine_frequency_estimate(
+        poisoned, uniform_malicious_estimate(poisoned, params), ETA
+    )
+    return {
+        "full": full,
+        "no-learned-sum": no_sum,
+        "projection-only": projection_only,
+        "no-split": no_split,
+        "no-projection": no_projection,
+    }
+
+
+def compute_rows(num_users, trials, rng=11):
+    dataset = ipums_like(num_users=num_users)
+    rows = []
+    for protocol_name in PROTOCOL_NAMES:
+        protocol = make_protocol(protocol_name, epsilon=0.5, domain_size=dataset.domain_size)
+        sums: dict[str, list[float]] = {}
+        before: list[float] = []
+        for trial_rng in spawn(rng, trials):
+            attack = AdaptiveAttack(domain_size=dataset.domain_size, rng=trial_rng)
+            trial = run_trial(dataset, protocol, attack, beta=BETA, rng=trial_rng)
+            before.append(mse(trial.true_frequencies, trial.poisoned_frequencies))
+            for name, freq in _variants(trial.poisoned_frequencies, protocol).items():
+                sums.setdefault(name, []).append(mse(trial.true_frequencies, freq))
+        row: dict[str, object] = {"protocol": protocol_name, "mse_before": float(np.mean(before))}
+        for name, values in sums.items():
+            row[name] = float(np.mean(values))
+        rows.append(row)
+    return rows
+
+
+def test_ablation_constraints(run_once):
+    rows = run_once(
+        lambda: compute_rows(bench_users(60_000), bench_trials(5))
+    )
+    show("Ablation: CI constraints (AA, IPUMS, beta=0.05)", rows)
+    for row in rows:
+        assert row["full"] < row["mse_before"], "full recovery must help"
+        # The projection carries a large share of the win: removing it is
+        # never better than keeping it.
+        assert row["full"] <= row["no-projection"] * 1.05

@@ -1,0 +1,56 @@
+"""Microbenchmarks: protocol kernel throughput.
+
+Not a paper exhibit, but the substrate the whole evaluation stands on:
+perturbation, support counting and the fast distributional path for each
+protocol, plus the recovery itself.  These use pytest-benchmark's normal
+repeated timing (the kernels are cheap and stable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recover import recover_frequencies
+from repro.datasets import ipums_like
+from repro.protocols import make_protocol
+
+N_USERS = 20_000
+DATASET = ipums_like(num_users=N_USERS)
+D = DATASET.domain_size
+
+
+@pytest.fixture(params=["grr", "oue", "olh"])
+def protocol(request):
+    return make_protocol(request.param, epsilon=0.5, domain_size=D)
+
+
+def test_perturb_throughput(benchmark, protocol):
+    items = np.random.default_rng(0).integers(0, D, size=N_USERS)
+    benchmark(lambda: protocol.perturb(items, 1))
+
+
+def test_support_counts_throughput(benchmark, protocol):
+    items = np.random.default_rng(0).integers(0, D, size=N_USERS)
+    reports = protocol.perturb(items, 1)
+    benchmark(lambda: protocol.support_counts(reports))
+
+
+def test_fast_path_throughput(benchmark, protocol):
+    counts = DATASET.counts
+    benchmark(lambda: protocol.sample_genuine_counts(counts, 1))
+
+
+def test_recovery_throughput(benchmark, protocol):
+    rng = np.random.default_rng(2)
+    poisoned = rng.normal(1.0 / D, 0.05, size=D)
+    benchmark(lambda: recover_frequencies(poisoned, protocol))
+
+
+def test_fast_path_at_paper_scale(benchmark):
+    """The headline cost claim: a full-population IPUMS trial in the fast
+    path is milliseconds, which is what makes the paper-scale sweeps
+    tractable."""
+    full = ipums_like()  # 389,894 users
+    proto = make_protocol("oue", epsilon=0.5, domain_size=full.domain_size)
+    benchmark(lambda: proto.sample_genuine_counts(full.counts, 1))

@@ -1,0 +1,77 @@
+"""Census-style audit: which protocol should a poisoning-aware server run?
+
+The paper's motivating deployment (Google/Apple-style telemetry) must pick
+an LDP protocol *and* survive poisoning.  This example audits all three
+protocols on the IPUMS-like census workload under the three attacks
+(Manip, MGA, AA), reporting poisoned vs recovered MSE per cell — a local
+reproduction of Figure 3 that a practitioner can rerun on their own
+parameters.
+
+Run with::
+
+    python examples/census_city_audit.py [--users 40000] [--trials 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.sim import evaluate_recovery, format_table
+
+
+def build_attack(kind: str, domain_size: int, seed: int):
+    if kind == "manip":
+        return repro.ManipAttack(domain_size=domain_size, rng=seed)
+    if kind == "mga":
+        return repro.MGAAttack(domain_size=domain_size, r=10, rng=seed)
+    return repro.AdaptiveAttack(domain_size=domain_size, rng=seed)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=40_000)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--beta", type=float, default=0.05)
+    args = parser.parse_args()
+
+    data = repro.ipums_like(num_users=args.users)
+    rows = []
+    for protocol_name in ("grr", "oue", "olh"):
+        protocol = repro.make_protocol(
+            protocol_name, epsilon=args.epsilon, domain_size=data.domain_size
+        )
+        for attack_kind in ("manip", "mga", "aa"):
+            attack = build_attack(attack_kind, data.domain_size, seed=7)
+            evaluation = evaluate_recovery(
+                data,
+                protocol,
+                attack,
+                beta=args.beta,
+                trials=args.trials,
+                rng=11,
+            )
+            rows.append(
+                {
+                    "protocol": protocol_name,
+                    "attack": attack_kind,
+                    "mse_poisoned": evaluation.mse_before,
+                    "mse_ldprecover": evaluation.mse_recover,
+                    "mse_ldprecover_star": evaluation.mse_recover_star,
+                    "improvement": evaluation.mse_before / evaluation.mse_recover,
+                }
+            )
+    print(f"census audit: d={data.domain_size}, n={data.num_users}, "
+          f"epsilon={args.epsilon}, beta={args.beta}")
+    print(format_table(rows))
+
+    best = max(rows, key=lambda r: r["improvement"])
+    print(
+        f"\nlargest recovery win: {best['protocol']} under {best['attack']} "
+        f"({best['improvement']:.1f}x lower MSE after LDPRecover)"
+    )
+
+
+if __name__ == "__main__":
+    main()

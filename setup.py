@@ -1,0 +1,6 @@
+"""Legacy entry point so `python setup.py develop` works where the
+PEP 660 editable build is unavailable (offline environments without the
+`wheel` package)."""
+from setuptools import setup
+
+setup()

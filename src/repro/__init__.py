@@ -1,0 +1,114 @@
+"""repro — a reproduction of *LDPRecover: Recovering Frequencies from
+Poisoning Attacks against Local Differential Privacy* (ICDE 2024).
+
+The package provides:
+
+* LDP frequency-estimation protocols (:mod:`repro.protocols`): GRR, OUE,
+  OLH, plus binary randomized response and Harmony mean estimation;
+* poisoning attacks (:mod:`repro.attacks`): Manip, MGA, the paper's
+  adaptive attack, input poisoning, multi-attacker composition;
+* the LDPRecover recovery method (:mod:`repro.core`): genuine frequency
+  estimator, malicious frequency learning, KKT simplex projection,
+  Detection and k-means baselines, Berry-Esseen error bounds;
+* simulation & evaluation (:mod:`repro.sim`): the poisoning pipeline,
+  metrics (MSE/FG), outlier-based target inference, experiment harness;
+* datasets (:mod:`repro.datasets`): deterministic surrogates of the
+  paper's IPUMS and Fire workloads plus generic generators.
+
+Quickstart::
+
+    import repro
+
+    data = repro.ipums_like(num_users=50_000)
+    protocol = repro.GRR(epsilon=0.5, domain_size=data.domain_size)
+    attack = repro.MGAAttack(domain_size=data.domain_size, r=10, rng=1)
+    trial = repro.run_trial(data, protocol, attack, beta=0.05, rng=2)
+    result = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+    print(repro.mse(trial.true_frequencies, result.frequencies))
+"""
+
+from repro.attacks import (
+    AdaptiveAttack,
+    InputPoisoningAttack,
+    ManipAttack,
+    MGAAttack,
+    MultiAttacker,
+    PoisoningAttack,
+)
+from repro.core import (
+    DEFAULT_ETA,
+    KMeansDefense,
+    LDPRecover,
+    RecoveryResult,
+    detect_and_aggregate,
+    genuine_frequency_estimate,
+    learned_malicious_sum,
+    project_onto_simplex_kkt,
+    recover_frequencies,
+    recover_with_kmeans,
+)
+from repro.datasets import Dataset, fire_like, ipums_like, uniform_dataset, zipf_dataset
+from repro.protocols import (
+    GRR,
+    OLH,
+    OUE,
+    BinaryRandomizedResponse,
+    FrequencyOracle,
+    Harmony,
+    ProtocolParams,
+    make_protocol,
+)
+from repro.sim import (
+    RecoveryEvaluation,
+    TrialResult,
+    evaluate_recovery,
+    frequency_gain,
+    mse,
+    run_trial,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # protocols
+    "FrequencyOracle",
+    "ProtocolParams",
+    "GRR",
+    "OUE",
+    "OLH",
+    "BinaryRandomizedResponse",
+    "Harmony",
+    "make_protocol",
+    # attacks
+    "PoisoningAttack",
+    "ManipAttack",
+    "MGAAttack",
+    "AdaptiveAttack",
+    "InputPoisoningAttack",
+    "MultiAttacker",
+    # core
+    "LDPRecover",
+    "RecoveryResult",
+    "recover_frequencies",
+    "genuine_frequency_estimate",
+    "learned_malicious_sum",
+    "project_onto_simplex_kkt",
+    "detect_and_aggregate",
+    "KMeansDefense",
+    "recover_with_kmeans",
+    "DEFAULT_ETA",
+    # datasets
+    "Dataset",
+    "ipums_like",
+    "fire_like",
+    "zipf_dataset",
+    "uniform_dataset",
+    # sim
+    "run_trial",
+    "TrialResult",
+    "evaluate_recovery",
+    "RecoveryEvaluation",
+    "mse",
+    "frequency_gain",
+]

@@ -1,0 +1,52 @@
+"""Random number generation helpers.
+
+The whole library accepts ``rng`` arguments that may be ``None`` (use a
+fresh non-deterministic generator), an ``int`` seed, or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
+so that every stochastic entry point is reproducible when the caller wants
+it to be.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a fresh OS-seeded generator, an integer seed, or an
+        existing generator (returned unchanged so that state is shared).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int or numpy Generator, got {type(rng)!r}")
+
+
+def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning
+    so that parallel consumers never share streams.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    parent = as_generator(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike) -> int:
+    """Draw a single 63-bit seed from ``rng`` (for child processes/logs)."""
+    return int(as_generator(rng).integers(0, 2**63 - 1, dtype=np.int64))

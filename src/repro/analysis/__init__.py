@@ -1,0 +1,45 @@
+"""Closed-form analysis: protocol variances, attack gains, recovery theory."""
+
+from repro.analysis.gain import (
+    expected_gain_from_support,
+    mga_expected_gain_grr,
+    mga_expected_gain_olh,
+    mga_expected_gain_oue,
+    users_needed_for_gain,
+)
+from repro.analysis.theory import (
+    eta_mismatch_bias,
+    expected_poisoned_frequency,
+    learned_sums_by_protocol,
+    matched_eta,
+    poisoning_bias,
+)
+from repro.analysis.variance import (
+    VarianceComparison,
+    compare_protocols,
+    generic_count_variance,
+    grr_count_variance,
+    grr_crossover_domain_size,
+    oue_count_variance,
+    olh_count_variance,
+)
+
+__all__ = [
+    "generic_count_variance",
+    "grr_count_variance",
+    "oue_count_variance",
+    "olh_count_variance",
+    "compare_protocols",
+    "VarianceComparison",
+    "grr_crossover_domain_size",
+    "expected_poisoned_frequency",
+    "poisoning_bias",
+    "eta_mismatch_bias",
+    "matched_eta",
+    "learned_sums_by_protocol",
+    "expected_gain_from_support",
+    "mga_expected_gain_grr",
+    "mga_expected_gain_oue",
+    "mga_expected_gain_olh",
+    "users_needed_for_gain",
+]

@@ -1,0 +1,108 @@
+"""Closed-form expected frequency gain of targeted poisoning.
+
+For single-item-encoding attacks the framework gives the expected
+poisoned frequency in closed form, hence the expected frequency gain of
+the target set before any recovery:
+
+    ``E[gain] = sum_t ( E[f_Z(t)] - f_X(t) )``
+              ``= beta * sum_t ( (s_t - q)/(p - q) - f_X(t) )``
+
+where ``s_t`` is the probability that one crafted report supports target
+``t``.  For MGA: ``s_t = 1/r`` under GRR (each report names one target),
+``s_t = 1`` under OUE (every crafted vector sets all target bits) and
+``s_t ~ coverage/r`` under OLH (a searched (seed, value) pair supports a
+``coverage``-sized subset of the targets).
+
+These forms back the sanity tests and let users size ``beta`` thresholds
+("how many fake users until item X enters the top 10?") analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import ProtocolParams
+
+
+def expected_gain_from_support(
+    support_probs: np.ndarray,
+    target_freqs: np.ndarray,
+    params: ProtocolParams,
+    beta: float,
+) -> float:
+    """Generic expected gain given per-target crafted support probabilities."""
+    if not 0.0 <= beta < 1.0:
+        raise InvalidParameterError(f"beta must be in [0, 1), got {beta}")
+    s = np.asarray(support_probs, dtype=np.float64)
+    f = np.asarray(target_freqs, dtype=np.float64)
+    if s.shape != f.shape or s.ndim != 1 or s.size == 0:
+        raise InvalidParameterError(
+            f"support/frequency vectors must be equal-shape non-empty 1-D, "
+            f"got {s.shape} and {f.shape}"
+        )
+    debiased = (s - params.q) / (params.p - params.q)
+    return float(beta * np.sum(debiased - f))
+
+
+def mga_expected_gain_grr(
+    target_freqs: np.ndarray, params: ProtocolParams, beta: float
+) -> float:
+    """MGA on GRR: each crafted report supports one of the r targets."""
+    f = np.asarray(target_freqs, dtype=np.float64)
+    support = np.full(f.size, 1.0 / f.size)
+    return expected_gain_from_support(support, f, params, beta)
+
+
+def mga_expected_gain_oue(
+    target_freqs: np.ndarray, params: ProtocolParams, beta: float
+) -> float:
+    """MGA on OUE: every crafted vector sets all target bits."""
+    f = np.asarray(target_freqs, dtype=np.float64)
+    support = np.ones(f.size)
+    return expected_gain_from_support(support, f, params, beta)
+
+
+def mga_expected_gain_olh(
+    target_freqs: np.ndarray,
+    params: ProtocolParams,
+    beta: float,
+    mean_coverage: float,
+) -> float:
+    """MGA on OLH: a crafted pair supports ``mean_coverage`` of r targets.
+
+    ``mean_coverage`` is the average number of targets the attacker's
+    searched (seed, value) pairs cover; per-target support probability is
+    ``mean_coverage / r``.
+    """
+    f = np.asarray(target_freqs, dtype=np.float64)
+    if not 0.0 < mean_coverage <= f.size:
+        raise InvalidParameterError(
+            f"mean_coverage must be in (0, r={f.size}], got {mean_coverage}"
+        )
+    support = np.full(f.size, mean_coverage / f.size)
+    return expected_gain_from_support(support, f, params, beta)
+
+
+def users_needed_for_gain(
+    desired_gain: float,
+    target_freqs: np.ndarray,
+    params: ProtocolParams,
+    support_probs: np.ndarray,
+    num_genuine: int,
+) -> int:
+    """Invert the gain formula: malicious users needed for a desired gain.
+
+    Solves ``gain(beta) = desired_gain`` for ``m`` given ``beta =
+    m/(n+m)``.  Returns ``-1`` when the attack cannot reach the desired
+    gain for any beta < 1 (per-user gain too small).
+    """
+    if desired_gain <= 0:
+        raise InvalidParameterError(f"desired_gain must be positive, got {desired_gain}")
+    unit = expected_gain_from_support(support_probs, target_freqs, params, beta=0.5) / 0.5
+    if unit <= 0:
+        return -1
+    beta = desired_gain / unit
+    if beta >= 1.0:
+        return -1
+    return int(np.ceil(beta * num_genuine / (1.0 - beta)))

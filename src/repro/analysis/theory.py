@@ -1,0 +1,82 @@
+"""Theoretical helpers around LDPRecover's constraints.
+
+Collects the paper's closed-form quantities that are about the *recovery*
+rather than the protocols: the learned malicious sum per protocol, the
+poisoning bias induced by an attack, and the sensitivity of the Eq. 19
+estimator to a mis-specified eta — the quantity behind the Figures 5-6
+eta sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.malicious import learned_malicious_sum
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import ProtocolParams
+
+
+def expected_poisoned_frequency(
+    true_freq: np.ndarray, attack_distribution: np.ndarray, params: ProtocolParams, beta: float
+) -> np.ndarray:
+    """Expected poisoned frequency vector under a single-item-encoding attack.
+
+    Genuine mass contributes its true frequency (unbiased aggregation);
+    each crafted report supporting exactly item ``v`` contributes a
+    debiased ``(P(v) - q)/(p - q)``.  Mixing with weight ``beta``:
+
+        ``E[f_Z(v)] = (1-beta) f_X(v) + beta (P(v) - q)/(p - q)``
+    """
+    if not 0.0 <= beta < 1.0:
+        raise InvalidParameterError(f"beta must be in [0, 1), got {beta}")
+    f = np.asarray(true_freq, dtype=np.float64)
+    attack = np.asarray(attack_distribution, dtype=np.float64)
+    if f.shape != attack.shape:
+        raise InvalidParameterError(
+            f"true/attack vectors must match, got {f.shape} vs {attack.shape}"
+        )
+    debiased_attack = (attack - params.q) / (params.p - params.q)
+    return (1.0 - beta) * f + beta * debiased_attack
+
+
+def poisoning_bias(
+    true_freq: np.ndarray, attack_distribution: np.ndarray, params: ProtocolParams, beta: float
+) -> np.ndarray:
+    """Expected per-item bias the attack adds before any recovery."""
+    expected = expected_poisoned_frequency(true_freq, attack_distribution, params, beta)
+    return expected - np.asarray(true_freq, dtype=np.float64)
+
+
+def eta_mismatch_bias(
+    true_freq: np.ndarray,
+    attack_distribution: np.ndarray,
+    params: ProtocolParams,
+    beta: float,
+    eta: float,
+) -> np.ndarray:
+    """Expected residual bias of the Eq. 19 estimator with the wrong eta.
+
+    Assumes a perfectly known malicious vector; the residual then is
+    ``(1+eta) E[f_Z] - eta E[f_Y] - f_X``.  Zero exactly when
+    ``eta = beta/(1-beta)``, which is the "recovery is best when eta
+    matches beta" observation of Section VI-D.
+    """
+    if eta < 0:
+        raise InvalidParameterError(f"eta must be >= 0, got {eta}")
+    f = np.asarray(true_freq, dtype=np.float64)
+    attack = np.asarray(attack_distribution, dtype=np.float64)
+    debiased_attack = (attack - params.q) / (params.p - params.q)
+    expected_z = (1.0 - beta) * f + beta * debiased_attack
+    return (1.0 + eta) * expected_z - eta * debiased_attack - f
+
+
+def learned_sums_by_protocol(params_list: list[ProtocolParams]) -> dict[str, float]:
+    """Eq. 21 constants for a set of protocols (handy in reports/tests)."""
+    return {params.name: learned_malicious_sum(params) for params in params_list}
+
+
+def matched_eta(beta: float) -> float:
+    """The eta that matches a malicious fraction: ``eta = beta/(1-beta)``."""
+    if not 0.0 <= beta < 1.0:
+        raise InvalidParameterError(f"beta must be in [0, 1), got {beta}")
+    return beta / (1.0 - beta)

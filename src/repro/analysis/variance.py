@@ -1,0 +1,83 @@
+"""Closed-form estimator variances and protocol comparisons.
+
+The paper quotes the count-estimator variances of the three protocols
+(Eq. 4, 7, 10).  This module exposes them per protocol plus the generic
+support-probability form used throughout Section V, and a helper that
+ranks protocols by variance for a given (epsilon, d) — useful both for
+sanity tests ("OUE/OLH beat GRR for large d") and for users choosing a
+protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import ProtocolParams
+
+
+def generic_count_variance(params: ProtocolParams, n: int, frequency: float) -> float:
+    """Variance of the count estimate from the unified support model.
+
+    ``Var[Phi(v)] = n * s(1-s) / (p-q)^2`` with
+    ``s = f*p + (1-f)*q`` — the exact finite-n variance implied by
+    Eq. 11-13, of which the paper's per-protocol formulas are special
+    cases / approximations.
+    """
+    if n <= 0:
+        raise InvalidParameterError(f"n must be positive, got {n}")
+    if not 0.0 <= frequency <= 1.0:
+        raise InvalidParameterError(f"frequency must be in [0,1], got {frequency}")
+    s = frequency * params.p + (1.0 - frequency) * params.q
+    return n * s * (1.0 - s) / (params.p - params.q) ** 2
+
+
+def grr_count_variance(epsilon: float, domain_size: int, n: int, frequency: float = 0.0) -> float:
+    """Paper Eq. (4)."""
+    e_eps = math.exp(epsilon)
+    d = domain_size
+    return n * (d - 2 + e_eps) / (e_eps - 1.0) ** 2 + n * frequency * (d - 2) / (e_eps - 1.0)
+
+
+def oue_count_variance(epsilon: float, n: int) -> float:
+    """Paper Eq. (7)."""
+    e_eps = math.exp(epsilon)
+    return n * 4.0 * e_eps / (e_eps - 1.0) ** 2
+
+
+def olh_count_variance(epsilon: float, n: int) -> float:
+    """Paper Eq. (10) — same leading form as OUE."""
+    return oue_count_variance(epsilon, n)
+
+
+@dataclass(frozen=True)
+class VarianceComparison:
+    """Variances of the three protocols for one (epsilon, d, n) setting."""
+
+    grr: float
+    oue: float
+    olh: float
+
+    def best(self) -> str:
+        """Protocol with the smallest low-frequency variance."""
+        pairs = [("grr", self.grr), ("oue", self.oue), ("olh", self.olh)]
+        return min(pairs, key=lambda kv: kv[1])[0]
+
+
+def compare_protocols(epsilon: float, domain_size: int, n: int) -> VarianceComparison:
+    """Low-frequency (f -> 0) variance comparison across protocols."""
+    return VarianceComparison(
+        grr=grr_count_variance(epsilon, domain_size, n),
+        oue=oue_count_variance(epsilon, n),
+        olh=olh_count_variance(epsilon, n),
+    )
+
+
+def grr_crossover_domain_size(epsilon: float) -> float:
+    """Domain size below which GRR beats OUE/OLH in variance.
+
+    Setting Eq. 4 (f=0) equal to Eq. 7 gives ``d = 3e^eps + 2``: GRR wins
+    for small domains, unary/hashing encodings win beyond.
+    """
+    return 3.0 * math.exp(epsilon) + 2.0

@@ -1,0 +1,32 @@
+"""Poisoning attacks against LDP frequency estimation.
+
+* :class:`~repro.attacks.manip.ManipAttack` — untargeted (Cheu et al.).
+* :class:`~repro.attacks.mga.MGAAttack` — targeted Maximal Gain Attack
+  (Cao et al.) with protocol-specific crafting.
+* :class:`~repro.attacks.adaptive.AdaptiveAttack` — the paper's AA.
+* :class:`~repro.attacks.ipa.InputPoisoningAttack` — IPA wrapper
+  (Section VII-B).
+* :class:`~repro.attacks.multi.MultiAttacker` — multi-attacker composition
+  (Section VII-C).
+"""
+
+from repro.attacks.adaptive import AdaptiveAttack
+from repro.attacks.base import ItemSamplingAttack, PoisoningAttack, resolve_target_items
+from repro.attacks.baselines import RIAAttack, RPAAttack
+from repro.attacks.ipa import InputPoisoningAttack
+from repro.attacks.manip import ManipAttack
+from repro.attacks.mga import MGAAttack
+from repro.attacks.multi import MultiAttacker
+
+__all__ = [
+    "PoisoningAttack",
+    "ItemSamplingAttack",
+    "resolve_target_items",
+    "ManipAttack",
+    "MGAAttack",
+    "AdaptiveAttack",
+    "InputPoisoningAttack",
+    "MultiAttacker",
+    "RIAAttack",
+    "RPAAttack",
+]

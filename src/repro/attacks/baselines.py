@@ -1,0 +1,91 @@
+"""Baseline poisoning attacks from Cao, Jia & Gong (USENIX Security'21).
+
+MGA is the *maximal* gain attack; the same paper defines two weaker
+baselines that LDPRecover's related work references and that are useful
+for calibrating any defense:
+
+* **RIA** (Random Item Attack): each malicious user picks a uniformly
+  random *item* and encodes it faithfully — indistinguishable from a
+  genuine user with a uniform value, hence the weakest output poisoning.
+* **RPA** (Random Perturbed-value Attack): each malicious user picks a
+  uniformly random value from the *encoded* domain — a random item for
+  GRR, a uniform random bit vector for OUE, a random (seed, value) pair
+  for OLH.  Stronger than RIA for unary encodings because a uniform bit
+  vector has ~d/2 on-bits, far above the genuine rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.attacks.base import ItemSamplingAttack, PoisoningAttack
+from repro.exceptions import AttackError
+from repro.protocols import hashing
+from repro.protocols.base import FrequencyOracle
+from repro.protocols.grr import GRR
+from repro.protocols.olh import OLH, OLHReports
+from repro.protocols.oue import OUE
+
+
+class RIAAttack(ItemSamplingAttack):
+    """Random Item Attack: faithful encodings of uniform random items."""
+
+    name = "ria"
+    targeted = False
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size < 2:
+            raise AttackError(f"domain_size must be >= 2, got {domain_size}")
+        self.domain_size = int(domain_size)
+
+    def item_distribution(self, protocol: FrequencyOracle) -> np.ndarray:
+        if protocol.domain_size != self.domain_size:
+            raise AttackError(
+                f"attack built for domain size {self.domain_size}, protocol has "
+                f"{protocol.domain_size}"
+            )
+        return np.full(self.domain_size, 1.0 / self.domain_size)
+
+
+class RPAAttack(PoisoningAttack):
+    """Random Perturbed-value Attack: uniform samples of the encoded domain."""
+
+    name = "rpa"
+    targeted = False
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size < 2:
+            raise AttackError(f"domain_size must be >= 2, got {domain_size}")
+        self.domain_size = int(domain_size)
+
+    def craft(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> Any:
+        m = self._validate_m(m)
+        if protocol.domain_size != self.domain_size:
+            raise AttackError(
+                f"attack built for domain size {self.domain_size}, protocol has "
+                f"{protocol.domain_size}"
+            )
+        gen = as_generator(rng)
+        if isinstance(protocol, OLH):
+            seeds = hashing.draw_seeds(m, gen)
+            values = gen.integers(0, protocol.g, size=m, dtype=np.int64)
+            return OLHReports(seeds=seeds, values=values)
+        if isinstance(protocol, OUE):
+            # Uniform element of {0,1}^d: each bit on with probability 1/2.
+            return gen.random((m, protocol.domain_size)) < 0.5
+        if isinstance(protocol, GRR):
+            return gen.integers(0, protocol.domain_size, size=m, dtype=np.int64)
+        raise AttackError(
+            f"RPA has no encoded-domain sampler for protocol {protocol.name!r}"
+        )
+
+    def sample_items(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> np.ndarray:
+        # The item-level shadow of RPA is uniform (used by the IPA variant).
+        m = self._validate_m(m)
+        return as_generator(rng).integers(0, self.domain_size, size=m, dtype=np.int64)
+
+    def item_distribution(self, protocol: FrequencyOracle) -> np.ndarray:
+        return np.full(self.domain_size, 1.0 / self.domain_size)

@@ -1,0 +1,50 @@
+"""Input poisoning attacks (IPA), paper Section VII-B.
+
+Under IPA the malicious users *follow the protocol*: the attacker chooses
+each malicious user's input item, but the item then goes through the
+genuine LDP perturbation before reaching the server.  The paper shows IPA
+is orders of magnitude weaker than the general (output) poisoning attack —
+Figure 8 — and that LDPRecover can still counter it when combined with the
+k-means defense (Figure 9).
+
+:class:`InputPoisoningAttack` wraps any item-level attack (Manip, MGA, AA)
+and routes its sampled items through ``protocol.perturb``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.attacks.base import PoisoningAttack
+from repro.protocols.base import FrequencyOracle
+
+
+class InputPoisoningAttack(PoisoningAttack):
+    """Wrap an item-level attack so crafted items pass through perturbation."""
+
+    name = "ipa"
+
+    def __init__(self, inner: PoisoningAttack) -> None:
+        self.inner = inner
+        self.targeted = inner.targeted
+
+    def craft(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> Any:
+        gen = as_generator(rng)
+        items = self.inner.sample_items(protocol, self._validate_m(m), gen)
+        return protocol.perturb(items, gen)
+
+    def sample_items(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> np.ndarray:
+        return self.inner.sample_items(protocol, m, rng)
+
+    def item_distribution(self, protocol: FrequencyOracle) -> Optional[np.ndarray]:
+        return self.inner.item_distribution(protocol)
+
+    @property
+    def target_items(self) -> Optional[np.ndarray]:
+        return self.inner.target_items
+
+    def describe(self) -> str:
+        return f"ipa({self.inner.describe()})"

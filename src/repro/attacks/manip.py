@@ -1,0 +1,79 @@
+"""Manip: the untargeted poisoning attack of Cheu, Smith & Ullman (S&P'21).
+
+Following the paper's experimental setup (Section VI-A3): "we first sample
+a malicious data domain H from the data domain D, and then draw uniform
+samples (malicious data) from H".  The attack degrades the overall accuracy
+of all aggregated frequencies by flooding a random sub-domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.attacks.base import ItemSamplingAttack
+from repro.exceptions import AttackError
+from repro.protocols.base import FrequencyOracle
+
+
+class ManipAttack(ItemSamplingAttack):
+    """Untargeted poisoning: uniform sampling over a random sub-domain H.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the full item domain ``D`` (must match the protocol's).
+    subdomain:
+        Explicit malicious sub-domain ``H``.  If omitted, a random subset
+        of ``round(subdomain_fraction * d)`` items is drawn using ``rng``.
+    subdomain_fraction:
+        Fraction of ``D`` used for the random ``H`` (default 0.5).
+    rng:
+        Randomness for drawing ``H`` when ``subdomain`` is omitted.
+    """
+
+    name = "manip"
+    targeted = False
+
+    def __init__(
+        self,
+        domain_size: int,
+        subdomain: Optional[Sequence[int]] = None,
+        subdomain_fraction: float = 0.5,
+        rng: RngLike = None,
+    ) -> None:
+        if domain_size < 2:
+            raise AttackError(f"domain_size must be >= 2, got {domain_size}")
+        self.domain_size = int(domain_size)
+        if subdomain is not None:
+            sub = np.unique(np.asarray(list(subdomain), dtype=np.int64))
+            if sub.size == 0:
+                raise AttackError("subdomain H must be non-empty")
+            if sub.min() < 0 or sub.max() >= self.domain_size:
+                raise AttackError(f"subdomain items must lie in [0, {self.domain_size})")
+            self.subdomain = sub
+        else:
+            if not 0.0 < subdomain_fraction <= 1.0:
+                raise AttackError(
+                    f"subdomain_fraction must be in (0, 1], got {subdomain_fraction}"
+                )
+            size = max(1, round(subdomain_fraction * self.domain_size))
+            gen = as_generator(rng)
+            self.subdomain = np.sort(
+                gen.choice(self.domain_size, size=size, replace=False).astype(np.int64)
+            )
+
+    def item_distribution(self, protocol: FrequencyOracle) -> np.ndarray:
+        if protocol.domain_size != self.domain_size:
+            raise AttackError(
+                f"attack built for domain size {self.domain_size}, protocol has "
+                f"{protocol.domain_size}"
+            )
+        probs = np.zeros(self.domain_size, dtype=np.float64)
+        probs[self.subdomain] = 1.0 / self.subdomain.size
+        return probs
+
+    def describe(self) -> str:
+        return f"manip(|H|={self.subdomain.size}/{self.domain_size})"

@@ -1,0 +1,110 @@
+"""LDPRecover core: the paper's primary contribution (Section V).
+
+* :mod:`~repro.core.framework` — the analytical framework (Lemmas 1-2,
+  Theorem 1).
+* :mod:`~repro.core.estimator` — the genuine frequency estimator (Eq. 19,
+  Theorems 2-3).
+* :mod:`~repro.core.malicious` — malicious frequency learning (Eq. 20-30).
+* :mod:`~repro.core.projection` — the KKT simplex projection (Eq. 32-35).
+* :mod:`~repro.core.recover` — Algorithm 1: LDPRecover / LDPRecover*.
+* :mod:`~repro.core.detection` — the Detection comparison baseline.
+* :mod:`~repro.core.kmeans` — k-means defense and LDPRecover-KM (§VII-B).
+* :mod:`~repro.core.errors` — Berry-Esseen bounds (Theorems 4-5).
+"""
+
+from repro.core.consistency import (
+    CONSISTENCY_METHODS,
+    base_cut,
+    norm,
+    norm_cut,
+    norm_mul,
+    norm_sub,
+)
+from repro.core.detection import DetectionResult, detect_and_aggregate
+from repro.core.heavyhitters import (
+    HeavyHitterReport,
+    heavy_hitter_report,
+    promoted_items,
+    top_k_items,
+    top_k_precision,
+    top_k_recall,
+)
+from repro.core.errors import (
+    berry_esseen_bound,
+    genuine_cdf_error_bound,
+    malicious_cdf_error_bound,
+    per_report_moments,
+)
+from repro.core.estimator import (
+    estimator_law,
+    estimator_variance,
+    genuine_frequency_estimate,
+)
+from repro.core.framework import (
+    NormalLaw,
+    genuine_frequency_law,
+    malicious_frequency_law,
+    mixture_frequency,
+    poisoned_frequency_law,
+)
+from repro.core.kmeans import KMeansDefense, KMeansDefenseResult, kmeans, recover_with_kmeans
+from repro.core.malicious import (
+    MaliciousEstimate,
+    build_malicious_estimate,
+    learned_malicious_sum,
+    partial_knowledge_malicious_estimate,
+    split_domain,
+    uniform_malicious_estimate,
+)
+from repro.core.projection import (
+    is_probability_vector,
+    project_onto_simplex_kkt,
+    project_onto_simplex_sort,
+)
+from repro.core.recover import DEFAULT_ETA, LDPRecover, RecoveryResult, recover_frequencies
+
+__all__ = [
+    "NormalLaw",
+    "mixture_frequency",
+    "genuine_frequency_law",
+    "malicious_frequency_law",
+    "poisoned_frequency_law",
+    "genuine_frequency_estimate",
+    "estimator_variance",
+    "estimator_law",
+    "learned_malicious_sum",
+    "split_domain",
+    "uniform_malicious_estimate",
+    "partial_knowledge_malicious_estimate",
+    "build_malicious_estimate",
+    "MaliciousEstimate",
+    "project_onto_simplex_kkt",
+    "project_onto_simplex_sort",
+    "is_probability_vector",
+    "recover_frequencies",
+    "LDPRecover",
+    "RecoveryResult",
+    "DEFAULT_ETA",
+    "detect_and_aggregate",
+    "DetectionResult",
+    "kmeans",
+    "KMeansDefense",
+    "KMeansDefenseResult",
+    "recover_with_kmeans",
+    "per_report_moments",
+    "berry_esseen_bound",
+    "malicious_cdf_error_bound",
+    "genuine_cdf_error_bound",
+    "norm",
+    "norm_mul",
+    "norm_cut",
+    "norm_sub",
+    "base_cut",
+    "CONSISTENCY_METHODS",
+    "top_k_items",
+    "top_k_precision",
+    "top_k_recall",
+    "promoted_items",
+    "heavy_hitter_report",
+    "HeavyHitterReport",
+]

@@ -1,0 +1,122 @@
+"""Consistency post-processing baselines (Wang et al., NDSS 2020).
+
+LDPRecover's refinement step imports the non-negativity and sum-to-one
+constraints from the *frequency estimation with consistency* line of work
+(the paper's reference [21]).  This module implements the standard family
+so LDPRecover can be compared and ablated against generic post-processing
+that knows nothing about poisoning:
+
+* :func:`norm`      — additive normalization: shift all estimates equally
+  so they sum to one (can stay negative).
+* :func:`norm_mul`  — zero the negatives, rescale the positives
+  multiplicatively to sum one.
+* :func:`norm_cut`  — zero the negatives; if the remaining total exceeds
+  one, cut the smallest positives to zero until it does not (never
+  rescales the surviving head).
+* :func:`norm_sub`  — zero the negatives and subtract a constant from the
+  positives (iterated): exactly the KKT simplex projection of
+  Algorithm 1, re-exported for the comparison API.
+* :func:`base_cut`  — zero every estimate below a significance threshold
+  (``threshold_sigmas`` standard deviations of the protocol's noise).
+
+All functions take a raw estimated frequency vector and return a new
+vector; only ``norm``, ``norm_mul`` and ``norm_sub`` guarantee the result
+sums to one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.projection import project_onto_simplex_kkt
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import ProtocolParams
+
+
+def _validate(estimates: np.ndarray) -> np.ndarray:
+    arr = np.asarray(estimates, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise InvalidParameterError(
+            f"estimates must be a non-empty 1-D vector, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("estimates contain non-finite values")
+    return arr
+
+
+def norm(estimates: np.ndarray) -> np.ndarray:
+    """Additive normalization: ``f + (1 - sum f)/d`` (keeps negatives)."""
+    arr = _validate(estimates)
+    return arr + (1.0 - arr.sum()) / arr.size
+
+
+def norm_mul(estimates: np.ndarray) -> np.ndarray:
+    """Zero negatives, multiplicatively rescale positives to sum one."""
+    arr = np.maximum(_validate(estimates), 0.0)
+    total = arr.sum()
+    if total <= 0.0:
+        # Degenerate: no positive mass anywhere; fall back to uniform.
+        return np.full(arr.size, 1.0 / arr.size)
+    return arr / total
+
+
+def norm_cut(estimates: np.ndarray) -> np.ndarray:
+    """Zero negatives; cut the smallest positives while the total exceeds 1.
+
+    The surviving estimates are never rescaled, so the output sums to at
+    most one — the variant Wang et al. recommend for long-tail domains
+    where rescaling amplifies noise on the head.
+    """
+    arr = np.maximum(_validate(estimates), 0.0)
+    if arr.sum() <= 1.0:
+        return arr
+    order = np.argsort(arr)  # ascending: cut smallest first
+    total = arr.sum()
+    result = arr.copy()
+    for idx in order:
+        if total <= 1.0:
+            break
+        total -= result[idx]
+        result[idx] = 0.0
+    return result
+
+
+def norm_sub(estimates: np.ndarray) -> np.ndarray:
+    """Norm-Sub = the exact simplex projection (Algorithm 1's refinement)."""
+    return project_onto_simplex_kkt(_validate(estimates))
+
+
+def base_cut(
+    estimates: np.ndarray,
+    params: ProtocolParams,
+    n: int,
+    threshold_sigmas: float = 3.0,
+) -> np.ndarray:
+    """Zero estimates below a noise-significance threshold.
+
+    The threshold is ``threshold_sigmas`` times the standard deviation of
+    a zero-frequency item's estimate, ``sqrt(q(1-q)/(n (p-q)^2))`` — the
+    'Base-Cut' rule for separating signal from pure noise.
+    """
+    arr = _validate(estimates)
+    if n <= 0:
+        raise InvalidParameterError(f"n must be positive, got {n}")
+    if threshold_sigmas <= 0:
+        raise InvalidParameterError(
+            f"threshold_sigmas must be positive, got {threshold_sigmas}"
+        )
+    gap = params.p - params.q
+    sigma = np.sqrt(params.q * (1.0 - params.q) / (n * gap**2))
+    result = arr.copy()
+    result[result < threshold_sigmas * sigma] = 0.0
+    return result
+
+
+#: Name -> function map for sweep/ablation harnesses (base_cut excluded:
+#: it needs protocol context).
+CONSISTENCY_METHODS = {
+    "norm": norm,
+    "norm-mul": norm_mul,
+    "norm-cut": norm_cut,
+    "norm-sub": norm_sub,
+}

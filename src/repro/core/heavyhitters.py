@@ -1,0 +1,98 @@
+"""Heavy-hitter identification on top of (recovered) frequencies.
+
+Frequency estimation is the building block for heavy-hitter queries (the
+paper's Section II framing), and heavy hitters are what targeted
+poisoning actually attacks: MGA's stated goal is to "promote [target
+items] as popular items".  This module provides the top-k layer plus the
+set metrics needed to quantify that promotion and its repair:
+
+* :func:`top_k_items` — the estimated heavy hitters of a frequency vector;
+* :func:`top_k_precision` / :func:`top_k_recall` — overlap with the true
+  heavy-hitter set;
+* :func:`promoted_items` — items an attack pushed *into* the top-k;
+* :class:`HeavyHitterReport` — before/after comparison used by the
+  benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def top_k_items(frequencies: np.ndarray, k: int) -> np.ndarray:
+    """The ``k`` items with the largest frequencies (sorted by item id).
+
+    Ties break deterministically toward the smaller item id, so results
+    are reproducible across runs and platforms.
+    """
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.ndim != 1 or freq.size == 0:
+        raise InvalidParameterError(
+            f"frequencies must be a non-empty 1-D vector, got shape {freq.shape}"
+        )
+    if not 0 < k <= freq.size:
+        raise InvalidParameterError(f"k must be in [1, {freq.size}], got {k}")
+    # argsort on (-freq, id) via stable sort of negated values.
+    order = np.argsort(-freq, kind="stable")
+    return np.sort(order[:k].astype(np.int64))
+
+
+def top_k_precision(true_freq: np.ndarray, estimated_freq: np.ndarray, k: int) -> float:
+    """|estimated top-k ∩ true top-k| / k."""
+    true_set = set(top_k_items(true_freq, k).tolist())
+    est_set = set(top_k_items(estimated_freq, k).tolist())
+    return len(true_set & est_set) / k
+
+
+def top_k_recall(true_freq: np.ndarray, estimated_freq: np.ndarray, k: int) -> float:
+    """Identical to precision for equal-size sets; kept for API clarity."""
+    return top_k_precision(true_freq, estimated_freq, k)
+
+
+def promoted_items(
+    true_freq: np.ndarray, estimated_freq: np.ndarray, k: int
+) -> np.ndarray:
+    """Items in the estimated top-k that are *not* true heavy hitters.
+
+    Under a successful MGA these are exactly the attacker's planted
+    items; after a good recovery this set should be (near) empty.
+    """
+    true_set = set(top_k_items(true_freq, k).tolist())
+    est = top_k_items(estimated_freq, k)
+    return np.array([v for v in est.tolist() if v not in true_set], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class HeavyHitterReport:
+    """Top-k quality before and after recovery."""
+
+    k: int
+    precision_poisoned: float
+    precision_recovered: float
+    planted_poisoned: int
+    planted_recovered: int
+
+    @property
+    def precision_gain(self) -> float:
+        """Recovery's improvement in top-k precision."""
+        return self.precision_recovered - self.precision_poisoned
+
+
+def heavy_hitter_report(
+    true_freq: np.ndarray,
+    poisoned_freq: np.ndarray,
+    recovered_freq: np.ndarray,
+    k: int,
+) -> HeavyHitterReport:
+    """Compare the poisoned and recovered top-k against the truth."""
+    return HeavyHitterReport(
+        k=k,
+        precision_poisoned=top_k_precision(true_freq, poisoned_freq, k),
+        precision_recovered=top_k_precision(true_freq, recovered_freq, k),
+        planted_poisoned=int(promoted_items(true_freq, poisoned_freq, k).size),
+        planted_recovered=int(promoted_items(true_freq, recovered_freq, k).size),
+    )

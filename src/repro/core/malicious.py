@@ -1,0 +1,132 @@
+"""Malicious frequency learning (paper Sections V-C and V-D).
+
+The server never sees ``f_Y`` directly.  LDPRecover learns its *summation*
+from the protocol parameters alone (Eq. 20-21) and spreads it over the
+domain, either uniformly over the "suspicious" sub-domain ``D1`` (the
+non-knowledge scenario, Eq. 26) or concentrated on the attacker-selected
+items ``T`` (the partial-knowledge scenario, Eq. 28-30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import RecoveryError
+from repro.protocols.base import ProtocolParams
+
+
+def learned_malicious_sum(params: ProtocolParams) -> float:
+    """Eq. 21: ``sum_v f_Y(v) = (1 - q*d) / (p - q)``.
+
+    Derivation (Eq. 20): crafted reports bypass perturbation but pass
+    through the aggregation debias, and the attacker-designed item
+    frequencies always sum to one, so the sum of the aggregated malicious
+    frequencies concentrates on a protocol-only constant.
+    """
+    return params.expected_malicious_sum()
+
+
+def split_domain(poisoned_freq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Partition ``D`` into ``(D0, D1)`` boolean masks (Section V-D).
+
+    ``D0 = {v : f_Z(v) <= 0}`` — items that cannot plausibly carry
+    malicious mass; ``D1`` is the rest, the potential poisoning victims.
+    """
+    poisoned = np.asarray(poisoned_freq, dtype=np.float64)
+    d0 = poisoned <= 0.0
+    return d0, ~d0
+
+
+def uniform_malicious_estimate(
+    poisoned_freq: np.ndarray, params: ProtocolParams
+) -> np.ndarray:
+    """Eq. 26: the non-knowledge malicious frequency estimate ``f'_Y``.
+
+    Zero on ``D0`` and the learned sum split uniformly over ``D1``.  When
+    every poisoned frequency is non-positive (degenerate but possible for
+    tiny populations), the sum is spread over the whole domain instead so
+    the estimator stays well-defined.
+    """
+    poisoned = np.asarray(poisoned_freq, dtype=np.float64)
+    if poisoned.shape != (params.domain_size,):
+        raise RecoveryError(
+            f"poisoned frequencies must have shape ({params.domain_size},), "
+            f"got {poisoned.shape}"
+        )
+    total = learned_malicious_sum(params)
+    _, d1 = split_domain(poisoned)
+    estimate = np.zeros_like(poisoned)
+    if d1.any():
+        estimate[d1] = total / d1.sum()
+    else:
+        estimate[:] = total / poisoned.size
+    return estimate
+
+
+def partial_knowledge_malicious_estimate(
+    params: ProtocolParams, target_items: np.ndarray
+) -> np.ndarray:
+    """Eq. 30: the partial-knowledge malicious frequency estimate ``f*_Y``.
+
+    With the attacker-selected items ``T`` known, the attacker-designed
+    distribution puts no mass outside ``T``, so (Eq. 28)
+    ``sum_{v not in T} f_Y(v) = -q*d/(p - q)`` spread uniformly over
+    ``D' = D \\ T``, and the remainder of the learned sum (Eq. 29) spread
+    uniformly over ``T``.
+    """
+    d = params.domain_size
+    targets = np.unique(np.asarray(target_items, dtype=np.int64))
+    if targets.size == 0:
+        raise RecoveryError("target item set must be non-empty for partial knowledge")
+    if targets.min() < 0 or targets.max() >= d:
+        raise RecoveryError(f"target items must lie in [0, {d})")
+    if targets.size >= d:
+        raise RecoveryError("target item set cannot cover the whole domain")
+    gap = params.p - params.q
+    non_target_sum = -params.q * d / gap  # Eq. 28
+    target_sum = learned_malicious_sum(params) - non_target_sum  # Eq. 29
+    estimate = np.full(d, non_target_sum / (d - targets.size), dtype=np.float64)
+    estimate[targets] = target_sum / targets.size
+    return estimate
+
+
+@dataclass(frozen=True)
+class MaliciousEstimate:
+    """A malicious frequency estimate plus provenance, for reporting."""
+
+    frequencies: np.ndarray
+    scenario: str  # "non-knowledge" | "partial-knowledge" | "external"
+    learned_sum: float
+
+    @property
+    def total(self) -> float:
+        return float(np.asarray(self.frequencies).sum())
+
+
+def build_malicious_estimate(
+    poisoned_freq: np.ndarray,
+    params: ProtocolParams,
+    target_items: np.ndarray | None = None,
+    external_estimate: np.ndarray | None = None,
+) -> MaliciousEstimate:
+    """Dispatch between the three sources of malicious-frequency knowledge.
+
+    ``external_estimate`` implements the paper's "recovery paradigm": any
+    attack detail expressible as an ``f_Y`` estimate (e.g. the k-means
+    cluster statistics of Section VII-B) plugs in as a new constraint.
+    """
+    learned = learned_malicious_sum(params)
+    if external_estimate is not None:
+        freq = np.asarray(external_estimate, dtype=np.float64)
+        if freq.shape != (params.domain_size,):
+            raise RecoveryError(
+                f"external estimate must have shape ({params.domain_size},), got {freq.shape}"
+            )
+        return MaliciousEstimate(frequencies=freq, scenario="external", learned_sum=learned)
+    if target_items is not None:
+        freq = partial_knowledge_malicious_estimate(params, target_items)
+        return MaliciousEstimate(frequencies=freq, scenario="partial-knowledge", learned_sum=learned)
+    freq = uniform_malicious_estimate(poisoned_freq, params)
+    return MaliciousEstimate(frequencies=freq, scenario="non-knowledge", learned_sum=learned)

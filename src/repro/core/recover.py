@@ -1,0 +1,147 @@
+"""LDPRecover and LDPRecover*: the end-to-end recovery (Algorithm 1).
+
+Given the poisoned frequency vector the server aggregated, recovery runs:
+
+1. estimate the malicious frequencies ``f_Y`` — from protocol parameters
+   only (non-knowledge, Eq. 26), from known target items
+   (partial knowledge / LDPRecover*, Eq. 30), or from an external source
+   such as the k-means defense (the "recovery paradigm" hook);
+2. apply the genuine frequency estimator
+   ``f_X_tilde = (1 + eta) f_Z - eta f_Y`` (Eq. 19/27/31);
+3. refine with the KKT projection onto the probability simplex
+   (Eq. 32-35), enforcing the public prior that frequencies are
+   non-negative and sum to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.estimator import genuine_frequency_estimate, validate_eta
+from repro.core.malicious import MaliciousEstimate, build_malicious_estimate
+from repro.core.projection import project_onto_simplex_kkt
+from repro.exceptions import RecoveryError
+from repro.protocols.base import FrequencyOracle, ProtocolParams
+
+#: The paper's default server-side ratio knob (Section VI-A4): deliberately
+#: larger than the real m/n at the default attack strength beta = 0.05.
+DEFAULT_ETA = 0.2
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Everything LDPRecover derives on the way to the recovered vector."""
+
+    #: Final recovered frequency vector (non-negative, sums to 1).
+    frequencies: np.ndarray
+    #: The Eq. 19 estimate before the simplex projection.
+    estimated_genuine: np.ndarray
+    #: The malicious frequency estimate used (with provenance).
+    malicious: MaliciousEstimate
+    #: The eta the server used.
+    eta: float
+
+    @property
+    def scenario(self) -> str:
+        """Knowledge scenario: non-knowledge / partial-knowledge / external."""
+        return self.malicious.scenario
+
+
+def _resolve_params(protocol: Union[FrequencyOracle, ProtocolParams]) -> ProtocolParams:
+    if isinstance(protocol, ProtocolParams):
+        return protocol
+    if isinstance(protocol, FrequencyOracle):
+        return protocol.params
+    raise RecoveryError(
+        f"expected a FrequencyOracle or ProtocolParams, got {type(protocol)!r}"
+    )
+
+
+def recover_frequencies(
+    poisoned_freq: np.ndarray,
+    protocol: Union[FrequencyOracle, ProtocolParams],
+    eta: float = DEFAULT_ETA,
+    target_items: Optional[Sequence[int]] = None,
+    malicious_estimate: Optional[np.ndarray] = None,
+) -> RecoveryResult:
+    """Run LDPRecover (or LDPRecover* when ``target_items`` is given).
+
+    Parameters
+    ----------
+    poisoned_freq:
+        The frequency vector aggregated from all reports (Eq. 11 applied
+        to the poisoned data ``Z``).
+    protocol:
+        The LDP protocol (or just its public parameters).
+    eta:
+        Server-chosen malicious/genuine ratio; the paper's default 0.2.
+    target_items:
+        Attacker-selected items, if known (LDPRecover*).
+    malicious_estimate:
+        A full externally learned ``f_Y`` vector (the recovery-paradigm
+        hook, e.g. from the k-means defense).  Takes precedence over
+        ``target_items``.
+
+    Returns
+    -------
+    RecoveryResult
+        Recovered frequencies plus the intermediate quantities.
+    """
+    params = _resolve_params(protocol)
+    eta = validate_eta(eta)
+    poisoned = np.asarray(poisoned_freq, dtype=np.float64)
+    if poisoned.shape != (params.domain_size,):
+        raise RecoveryError(
+            f"poisoned frequencies must have shape ({params.domain_size},), "
+            f"got {poisoned.shape}"
+        )
+    targets = None if target_items is None else np.asarray(list(target_items), dtype=np.int64)
+    malicious = build_malicious_estimate(
+        poisoned, params, target_items=targets, external_estimate=malicious_estimate
+    )
+    estimated = genuine_frequency_estimate(poisoned, malicious.frequencies, eta)
+    refined = project_onto_simplex_kkt(estimated)
+    return RecoveryResult(
+        frequencies=refined,
+        estimated_genuine=estimated,
+        malicious=malicious,
+        eta=eta,
+    )
+
+
+class LDPRecover:
+    """Object-style interface around :func:`recover_frequencies`.
+
+    Bind the protocol and ``eta`` once, then call :meth:`recover` on each
+    poisoned vector.  ``LDPRecover(protocol).recover(f_z)`` is the
+    non-knowledge method; pass ``target_items`` for LDPRecover*.
+    """
+
+    def __init__(
+        self,
+        protocol: Union[FrequencyOracle, ProtocolParams],
+        eta: float = DEFAULT_ETA,
+    ) -> None:
+        self.params = _resolve_params(protocol)
+        self.eta = validate_eta(eta)
+
+    def recover(
+        self,
+        poisoned_freq: np.ndarray,
+        target_items: Optional[Sequence[int]] = None,
+        malicious_estimate: Optional[np.ndarray] = None,
+    ) -> RecoveryResult:
+        """Recover genuine frequencies from a poisoned vector."""
+        return recover_frequencies(
+            poisoned_freq,
+            self.params,
+            eta=self.eta,
+            target_items=target_items,
+            malicious_estimate=malicious_estimate,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LDPRecover(protocol={self.params.name!r}, eta={self.eta})"

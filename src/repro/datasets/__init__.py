@@ -1,0 +1,33 @@
+"""Datasets: the histogram container and the paper's two workloads.
+
+The real IPUMS/Fire extracts are unavailable offline; :func:`ipums_like`
+and :func:`fire_like` are deterministic surrogates matching their domain
+sizes, populations and frequency profiles (DESIGN.md section 4).
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.fire import FIRE_DOMAIN_SIZE, FIRE_NUM_USERS, fire_like
+from repro.datasets.io import load_dataset_file, save_dataset
+from repro.datasets.ipums import IPUMS_DOMAIN_SIZE, IPUMS_NUM_USERS, ipums_like
+from repro.datasets.synthetic import (
+    dirichlet_dataset,
+    geometric_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "ipums_like",
+    "fire_like",
+    "IPUMS_DOMAIN_SIZE",
+    "IPUMS_NUM_USERS",
+    "FIRE_DOMAIN_SIZE",
+    "FIRE_NUM_USERS",
+    "zipf_dataset",
+    "uniform_dataset",
+    "geometric_dataset",
+    "dirichlet_dataset",
+    "save_dataset",
+    "load_dataset_file",
+]

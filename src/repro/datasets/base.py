@@ -1,0 +1,70 @@
+"""Dataset container used across the simulation and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An item-frequency dataset: a histogram over a finite domain.
+
+    Everything downstream (protocols, attacks, recovery) only consumes the
+    histogram — individual user identities never matter — so this is the
+    whole data model.
+    """
+
+    name: str
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.ndim != 1 or counts.size < 2:
+            raise InvalidParameterError(
+                f"counts must be a 1-D histogram with >= 2 bins, got shape {counts.shape}"
+            )
+        if counts.min() < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        if counts.sum() <= 0:
+            raise InvalidParameterError("dataset must contain at least one user")
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct items ``d``."""
+        return int(self.counts.size)
+
+    @property
+    def num_users(self) -> int:
+        """Number of users ``n`` (one item per user)."""
+        return int(self.counts.sum())
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """True frequency vector ``f_X`` (sums to one)."""
+        return self.counts / self.counts.sum()
+
+    def scaled(self, num_users: int) -> "Dataset":
+        """Rescale to ``num_users`` while preserving the frequency profile.
+
+        Uses largest-remainder rounding so the result sums exactly to
+        ``num_users``.  Lets tests and quick runs use the same shape at a
+        fraction of the population.
+        """
+        if num_users < 1:
+            raise InvalidParameterError(f"num_users must be >= 1, got {num_users}")
+        ideal = self.frequencies * num_users
+        floor = np.floor(ideal).astype(np.int64)
+        shortfall = num_users - int(floor.sum())
+        if shortfall:
+            remainders = ideal - floor
+            top = np.argsort(remainders)[::-1][:shortfall]
+            floor[top] += 1
+        return Dataset(name=f"{self.name}@{num_users}", counts=floor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset({self.name!r}, d={self.domain_size}, n={self.num_users})"

@@ -1,0 +1,68 @@
+"""Dataset persistence: save/load histograms as CSV or NPZ.
+
+Lets users run the pipeline on their own categorical data: export a
+histogram from any system as a two-column CSV (``item,count``) or store
+the canonical surrogates for byte-identical reuse across machines.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import InvalidParameterError
+
+
+def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a dataset to ``path`` (`.csv` two-column or `.npz`)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".npz":
+        np.savez_compressed(path, name=np.array(dataset.name), counts=dataset.counts)
+        return path
+    if path.suffix == ".csv":
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["item", "count"])
+            for item, count in enumerate(dataset.counts):
+                writer.writerow([item, int(count)])
+        return path
+    raise InvalidParameterError(f"unsupported extension {path.suffix!r} (use .csv/.npz)")
+
+
+def load_dataset_file(path: str | pathlib.Path, name: str | None = None) -> Dataset:
+    """Read a dataset from a `.csv` (``item,count``) or `.npz` file.
+
+    CSV rows may arrive in any item order; missing items get count zero.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"dataset file not found: {path}")
+    if path.suffix == ".npz":
+        with np.load(path) as payload:
+            counts = payload["counts"]
+            stored_name = str(payload["name"]) if "name" in payload else path.stem
+        return Dataset(name=name or stored_name, counts=counts)
+    if path.suffix == ".csv":
+        entries: dict[int, int] = {}
+        with path.open(newline="") as handle:
+            for record in csv.DictReader(handle):
+                try:
+                    entries[int(record["item"])] = int(record["count"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise InvalidParameterError(
+                        f"malformed CSV row {record!r}: need integer 'item' and 'count'"
+                    ) from exc
+        if not entries:
+            raise InvalidParameterError(f"no rows in {path}")
+        size = max(entries) + 1
+        counts = np.zeros(size, dtype=np.int64)
+        for item, count in entries.items():
+            if item < 0:
+                raise InvalidParameterError(f"negative item id {item} in {path}")
+            counts[item] = count
+        return Dataset(name=name or path.stem, counts=counts)
+    raise InvalidParameterError(f"unsupported extension {path.suffix!r} (use .csv/.npz)")

@@ -1,0 +1,96 @@
+"""Synthetic frequency-profile generators.
+
+Skewed (Zipf-like) profiles dominate real categorical data — cities,
+emojis, unit IDs — and the paper's two datasets are both heavy-tailed.
+These generators produce deterministic histograms from a profile + seed so
+every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.datasets.base import Dataset
+from repro.exceptions import InvalidParameterError
+
+
+def _largest_remainder(ideal: np.ndarray, total: int) -> np.ndarray:
+    """Round non-negative reals to integers summing exactly to ``total``."""
+    floor = np.floor(ideal).astype(np.int64)
+    shortfall = total - int(floor.sum())
+    if shortfall > 0:
+        top = np.argsort(ideal - floor)[::-1][:shortfall]
+        floor[top] += 1
+    elif shortfall < 0:  # numerical corner: trim the largest cells
+        top = np.argsort(floor)[::-1][: -shortfall]
+        floor[top] -= 1
+    return floor
+
+
+def zipf_dataset(
+    domain_size: int,
+    num_users: int,
+    exponent: float = 1.0,
+    name: str = "zipf",
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> Dataset:
+    """Zipf profile: item rank ``k`` gets mass proportional to ``k^-s``.
+
+    ``shuffle`` permutes which item gets which rank (so item ids do not
+    correlate with popularity, as in real categorical encodings).
+    """
+    if domain_size < 2:
+        raise InvalidParameterError(f"domain_size must be >= 2, got {domain_size}")
+    if num_users < 1:
+        raise InvalidParameterError(f"num_users must be >= 1, got {num_users}")
+    if exponent < 0:
+        raise InvalidParameterError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    probs = weights / weights.sum()
+    if shuffle:
+        as_generator(rng).shuffle(probs)
+    counts = _largest_remainder(probs * num_users, num_users)
+    return Dataset(name=name, counts=counts)
+
+
+def uniform_dataset(domain_size: int, num_users: int, name: str = "uniform") -> Dataset:
+    """Flat profile — the hardest case for poisoning detection heuristics."""
+    ideal = np.full(domain_size, num_users / domain_size)
+    return Dataset(name=name, counts=_largest_remainder(ideal, num_users))
+
+
+def geometric_dataset(
+    domain_size: int,
+    num_users: int,
+    ratio: float = 0.9,
+    name: str = "geometric",
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> Dataset:
+    """Geometric decay profile: rank ``k`` mass proportional to ``ratio^k``."""
+    if not 0.0 < ratio < 1.0:
+        raise InvalidParameterError(f"ratio must be in (0, 1), got {ratio}")
+    weights = ratio ** np.arange(domain_size, dtype=np.float64)
+    probs = weights / weights.sum()
+    if shuffle:
+        as_generator(rng).shuffle(probs)
+    counts = _largest_remainder(probs * num_users, num_users)
+    return Dataset(name=name, counts=counts)
+
+
+def dirichlet_dataset(
+    domain_size: int,
+    num_users: int,
+    concentration: float = 0.5,
+    name: str = "dirichlet",
+    rng: RngLike = None,
+) -> Dataset:
+    """Random profile drawn from a Dirichlet; small alpha = very skewed."""
+    if concentration <= 0:
+        raise InvalidParameterError(f"concentration must be positive, got {concentration}")
+    probs = as_generator(rng).dirichlet(np.full(domain_size, concentration))
+    counts = _largest_remainder(probs * num_users, num_users)
+    return Dataset(name=name, counts=counts)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its valid range (e.g. epsilon <= 0)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol was used inconsistently (wrong report shape, etc.)."""
+
+
+class AttackError(ReproError):
+    """An attack was configured inconsistently with the protocol."""
+
+
+class RecoveryError(ReproError):
+    """Frequency recovery could not be performed on the given input."""

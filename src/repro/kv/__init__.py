@@ -1,0 +1,24 @@
+"""Key-value LDP collection and poisoning recovery (paper future work).
+
+The paper's conclusion names extending LDPRecover to "poisoning attacks
+on LDP protocols for more complex tasks, such as key-value pairs
+collection" as future work.  This subpackage provides a working sketch:
+a PrivKV-style key-value protocol built from this library's own
+primitives (GRR for keys, binary RR for values), the canonical targeted
+key-value poisoning attack (fake users report a target key with the
+maximal value bit, after Wu et al. 2022), and a recovery that applies
+LDPRecover to the key frequencies and a malicious-mass deduction to the
+per-key means.
+"""
+
+from repro.kv.protocol import KeyValueProtocol, KVAggregate
+from repro.kv.attack import KVPoisoningAttack
+from repro.kv.recover import KVRecoveryResult, recover_key_value
+
+__all__ = [
+    "KeyValueProtocol",
+    "KVAggregate",
+    "KVPoisoningAttack",
+    "recover_key_value",
+    "KVRecoveryResult",
+]

@@ -1,0 +1,56 @@
+"""Targeted key-value poisoning (after Wu, Cao, Jia & Gong, 2022).
+
+The canonical attack against key-value LDP: fake users report a target
+key together with the maximal value bit, inflating both the key's
+frequency *and* its estimated mean.  Crafted reports bypass perturbation
+(the paper's general poisoning model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.attacks.base import resolve_target_items
+from repro.exceptions import AttackError
+from repro.kv.protocol import KeyValueProtocol, KVReports
+
+
+class KVPoisoningAttack:
+    """Promote target keys and drag their means toward ``target_bit``."""
+
+    name = "kv-mga"
+
+    def __init__(
+        self,
+        num_keys: int,
+        targets: Optional[Sequence[int]] = None,
+        r: Optional[int] = 3,
+        target_bit: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        if num_keys < 2:
+            raise AttackError(f"num_keys must be >= 2, got {num_keys}")
+        if target_bit not in (0, 1):
+            raise AttackError(f"target_bit must be 0 or 1, got {target_bit}")
+        self.num_keys = int(num_keys)
+        self.target_bit = int(target_bit)
+        self._targets = resolve_target_items(
+            None if targets is None else np.asarray(list(targets)), r, self.num_keys, rng
+        )
+
+    @property
+    def target_keys(self) -> np.ndarray:
+        """The attacker-selected keys."""
+        return self._targets
+
+    def craft(self, protocol: KeyValueProtocol, m: int, rng: RngLike = None) -> KVReports:
+        """Craft ``m`` malicious (key, bit) reports."""
+        if m < 0:
+            raise AttackError(f"m must be >= 0, got {m}")
+        gen = as_generator(rng)
+        keys = gen.choice(self._targets, size=m)
+        bits = np.full(m, self.target_bit, dtype=np.int64)
+        return protocol.craft_reports(keys, bits)

@@ -1,0 +1,168 @@
+"""PrivKV-style key-value frequency + mean estimation under LDP.
+
+Each user holds a pair ``(k, v)`` with ``k`` in a key domain of size
+``K`` and ``v`` in ``[-1, 1]``.  The report splits the privacy budget:
+
+* the key is perturbed with GRR over the key domain (budget ``eps_key``);
+* the value is stochastically rounded to a bit (``Pr[1] = (1+v)/2``) and
+  perturbed with binary randomized response (budget ``eps_value``).
+
+Server-side estimation:
+
+* **key frequencies** — the standard GRR debias (a plain frequency
+  oracle, so LDPRecover applies directly);
+* **per-key means** — among reports claiming key ``k``, a fraction
+  ``a_k = f_k p / (f_k p + (1-f_k) q)`` are genuine key-``k`` users and
+  the rest flipped in from the general population, so the RR-debiased
+  bit rate of the claimants satisfies
+  ``r_k = a_k b_k + (1 - a_k) b_bar`` with ``b_bar`` the global debiased
+  bit rate.  Solving for ``b_k`` and mapping ``mean = 2 b_k - 1``
+  debiases the key flips exactly in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.exceptions import InvalidParameterError, ProtocolError
+from repro.protocols.grr import GRR
+from repro.protocols.rr import BinaryRandomizedResponse
+
+
+@dataclass
+class KVReports:
+    """A batch of key-value reports: claimed keys and perturbed value bits."""
+
+    keys: np.ndarray
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        self.bits = np.asarray(self.bits, dtype=np.int64)
+        if self.keys.shape != self.bits.shape or self.keys.ndim != 1:
+            raise ProtocolError(
+                f"keys/bits must be equal-length 1-D arrays, got "
+                f"{self.keys.shape} and {self.bits.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+
+@dataclass(frozen=True)
+class KVAggregate:
+    """Server-side estimates: key frequencies and per-key means."""
+
+    frequencies: np.ndarray
+    means: np.ndarray
+    #: Raw per-key claim counts and bit sums (needed by the recovery).
+    claim_counts: np.ndarray
+    bit_sums: np.ndarray
+
+
+class KeyValueProtocol:
+    """Key-value LDP collection with a GRR/RR budget split."""
+
+    def __init__(self, eps_key: float, eps_value: float, num_keys: int) -> None:
+        if num_keys < 2:
+            raise InvalidParameterError(f"num_keys must be >= 2, got {num_keys}")
+        self.key_oracle = GRR(epsilon=eps_key, domain_size=num_keys)
+        self.value_rr = BinaryRandomizedResponse(epsilon=eps_value)
+        self.num_keys = int(num_keys)
+
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget (sequential composition of the two parts)."""
+        return self.key_oracle.epsilon + self.value_rr.epsilon
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def perturb(self, keys: np.ndarray, values: np.ndarray, rng: RngLike = None) -> KVReports:
+        """Perturb one (key, value) pair per user."""
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ProtocolError(
+                f"keys/values must be equal-length 1-D arrays, got "
+                f"{keys.shape} and {values.shape}"
+            )
+        if values.size and (values.min() < -1.0 or values.max() > 1.0):
+            raise InvalidParameterError("values must lie in [-1, 1]")
+        gen = as_generator(rng)
+        reported_keys = self.key_oracle.perturb(keys, gen)
+        true_bits = (gen.random(values.shape) < (1.0 + values) / 2.0).astype(np.int64)
+        reported_bits = self.value_rr.perturb_bits(true_bits, gen)
+        return KVReports(keys=reported_keys, bits=reported_bits)
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def aggregate(self, reports: KVReports) -> KVAggregate:
+        """Estimate key frequencies and per-key means from reports."""
+        if not isinstance(reports, KVReports):
+            raise ProtocolError(f"expected KVReports, got {type(reports)!r}")
+        n = len(reports)
+        if n == 0:
+            raise ProtocolError("cannot aggregate zero reports")
+        claim_counts = np.bincount(reports.keys, minlength=self.num_keys).astype(np.int64)
+        bit_sums = np.bincount(
+            reports.keys, weights=reports.bits, minlength=self.num_keys
+        )
+        frequencies = self.key_oracle.estimate_frequencies(claim_counts, n)
+        means = self._estimate_means(frequencies, claim_counts, bit_sums, n)
+        return KVAggregate(
+            frequencies=frequencies,
+            means=means,
+            claim_counts=claim_counts,
+            bit_sums=bit_sums,
+        )
+
+    def _estimate_means(
+        self,
+        frequencies: np.ndarray,
+        claim_counts: np.ndarray,
+        bit_sums: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Debias per-key means for both the RR bit noise and key flips."""
+        rr = self.value_rr
+        p, q = self.key_oracle.p, self.key_oracle.q
+        # Global debiased bit rate (all users, key-independent).
+        global_rate = float(bit_sums.sum()) / n
+        b_bar = (global_rate - rr.q) / (rr.p - rr.q)
+        means = np.zeros(self.num_keys, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            observed = np.where(claim_counts > 0, bit_sums / np.maximum(claim_counts, 1), 0.0)
+        debiased = (observed - rr.q) / (rr.p - rr.q)
+        freq = np.clip(frequencies, 0.0, 1.0)
+        claim_prob = freq * p + (1.0 - freq) * q
+        genuine_share = np.where(claim_prob > 0, freq * p / np.maximum(claim_prob, 1e-12), 0.0)
+        for k in range(self.num_keys):
+            if claim_counts[k] == 0 or genuine_share[k] <= 1e-9:
+                means[k] = 0.0
+                continue
+            b_k = (debiased[k] - (1.0 - genuine_share[k]) * b_bar) / genuine_share[k]
+            means[k] = float(np.clip(2.0 * b_k - 1.0, -1.0, 1.0))
+        return means
+
+    def craft_reports(self, keys: np.ndarray, bits: np.ndarray) -> KVReports:
+        """Attacker primitive: raw (key, bit) reports bypassing perturbation."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_keys):
+            raise ProtocolError(f"keys must lie in [0, {self.num_keys})")
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.size and not set(np.unique(bits)).issubset({0, 1}):
+            raise ProtocolError("bits must be 0/1")
+        return KVReports(keys=keys.copy(), bits=bits.copy())
+
+    @staticmethod
+    def concat(first: KVReports, second: KVReports) -> KVReports:
+        """Concatenate two report batches (genuine then malicious)."""
+        return KVReports(
+            keys=np.concatenate([first.keys, second.keys]),
+            bits=np.concatenate([first.bits, second.bits]),
+        )

@@ -1,0 +1,109 @@
+"""Recovering poisoned key-value estimates with LDPRecover.
+
+Key frequencies are a plain frequency-oracle aggregate, so LDPRecover
+applies verbatim (non-knowledge or partial-knowledge).  Per-key means
+need one extra step: the malicious reports contribute raw bits to the
+claimed-key bit sums, so with the server-side ``eta`` and the (known or
+inferred) target keys we deduct the expected malicious claim counts and
+bit mass before re-running the mean debias — the same
+deduct-then-refine pattern as Eq. 19, applied to the value channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.recover import DEFAULT_ETA, RecoveryResult, recover_frequencies
+from repro.exceptions import RecoveryError
+from repro.kv.protocol import KeyValueProtocol, KVAggregate
+
+
+@dataclass(frozen=True)
+class KVRecoveryResult:
+    """Recovered key frequencies and per-key means."""
+
+    frequencies: np.ndarray
+    means: np.ndarray
+    #: The underlying frequency recovery (for provenance/intermediates).
+    frequency_recovery: RecoveryResult
+
+
+def recover_key_value(
+    protocol: KeyValueProtocol,
+    aggregate: KVAggregate,
+    num_reports: int,
+    eta: float = DEFAULT_ETA,
+    target_keys: Optional[Sequence[int]] = None,
+    malicious_bit: int = 1,
+) -> KVRecoveryResult:
+    """Recover key frequencies and means from a poisoned KV aggregate.
+
+    Parameters
+    ----------
+    protocol:
+        The key-value protocol that produced ``aggregate``.
+    aggregate:
+        The poisoned server-side aggregate.
+    num_reports:
+        Total number of reports the aggregate was computed from.
+    eta:
+        Server-side malicious/genuine ratio guess (paper default 0.2).
+    target_keys:
+        Attacker-selected keys, if known (enables both LDPRecover* on the
+        frequencies and the mean-channel deduction).
+    malicious_bit:
+        The bit the attacker is assumed to push (1 = inflate means).
+    """
+    if num_reports <= 0:
+        raise RecoveryError(f"num_reports must be positive, got {num_reports}")
+    if malicious_bit not in (0, 1):
+        raise RecoveryError(f"malicious_bit must be 0 or 1, got {malicious_bit}")
+    freq_recovery = recover_frequencies(
+        aggregate.frequencies,
+        protocol.key_oracle,
+        eta=eta,
+        target_items=target_keys,
+    )
+    if target_keys is None:
+        # Without attack knowledge the mean channel cannot be corrected;
+        # re-debias the means against the recovered frequencies only.
+        means = protocol._estimate_means(
+            freq_recovery.frequencies,
+            aggregate.claim_counts,
+            aggregate.bit_sums,
+            num_reports,
+        )
+        return KVRecoveryResult(
+            frequencies=freq_recovery.frequencies,
+            means=means,
+            frequency_recovery=freq_recovery,
+        )
+
+    targets = np.unique(np.asarray(list(target_keys), dtype=np.int64))
+    if targets.size == 0 or targets.min() < 0 or targets.max() >= protocol.num_keys:
+        raise RecoveryError(f"target keys must be a non-empty subset of [0, {protocol.num_keys})")
+    # Expected malicious reports: eta/(1+eta) of all reports, spread
+    # uniformly over the target keys (the attack's sampling model).
+    m_estimate = num_reports * eta / (1.0 + eta)
+    per_key = m_estimate / targets.size
+    claim_counts = aggregate.claim_counts.astype(np.float64).copy()
+    bit_sums = aggregate.bit_sums.astype(np.float64).copy()
+    claim_counts[targets] = np.maximum(claim_counts[targets] - per_key, 0.0)
+    bit_sums[targets] = np.clip(
+        bit_sums[targets] - per_key * malicious_bit, 0.0, claim_counts[targets]
+    )
+    genuine_reports = max(1, int(round(num_reports - m_estimate)))
+    means = protocol._estimate_means(
+        freq_recovery.frequencies,
+        np.maximum(claim_counts, 0).astype(np.int64),
+        bit_sums,
+        genuine_reports,
+    )
+    return KVRecoveryResult(
+        frequencies=freq_recovery.frequencies,
+        means=means,
+        frequency_recovery=freq_recovery,
+    )

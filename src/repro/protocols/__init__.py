@@ -1,0 +1,46 @@
+"""LDP frequency-estimation protocols (the paper's substrate, Section III).
+
+Public surface:
+
+* :class:`~repro.protocols.base.FrequencyOracle` — abstract pure protocol.
+* :class:`~repro.protocols.grr.GRR`, :class:`~repro.protocols.oue.OUE`,
+  :class:`~repro.protocols.olh.OLH` — the three protocols the paper
+  evaluates.
+* :class:`~repro.protocols.rr.BinaryRandomizedResponse` and
+  :class:`~repro.protocols.harmony.Harmony` — the mean-estimation stack of
+  Section VII-A.
+* :func:`~repro.protocols.registry.make_protocol` — name-based factory.
+"""
+
+from repro.protocols.base import FrequencyOracle, ProtocolParams, counts_to_items
+from repro.protocols.blh import BLH
+from repro.protocols.grr import GRR
+from repro.protocols.harmony import Harmony
+from repro.protocols.olh import OLH, OLHReports
+from repro.protocols.oue import OUE
+from repro.protocols.registry import (
+    PROTOCOL_NAMES,
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+from repro.protocols.rr import BinaryRandomizedResponse
+from repro.protocols.sue import SUE
+
+__all__ = [
+    "FrequencyOracle",
+    "ProtocolParams",
+    "counts_to_items",
+    "GRR",
+    "OUE",
+    "OLH",
+    "SUE",
+    "BLH",
+    "OLHReports",
+    "BinaryRandomizedResponse",
+    "Harmony",
+    "make_protocol",
+    "register_protocol",
+    "available_protocols",
+    "PROTOCOL_NAMES",
+]

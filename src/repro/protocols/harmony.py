@@ -1,0 +1,87 @@
+"""Harmony-style LDP mean estimation (paper Section VII-A).
+
+Harmony (Nguyen et al. 2016) estimates the mean of values in ``[-1, 1]``:
+each user stochastically rounds her value to a bit (``+1`` with probability
+``(1+v)/2``), perturbs the bit with binary randomized response, and the
+server debiases.  Because the whole pipeline is a two-bucket frequency
+estimation, LDPRecover applies unchanged: poisoned bit frequencies are
+recovered first, then mapped back to a mean.
+
+This module provides the protocol, the canonical "report +1" poisoning
+attack against it, and the frequency<->mean conversions used by
+``examples/mean_estimation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import ProtocolParams
+from repro.protocols.rr import BinaryRandomizedResponse
+
+
+class Harmony:
+    """Mean estimation for values in [-1, 1] via discretization + binary RR."""
+
+    name = "harmony"
+
+    def __init__(self, epsilon: float) -> None:
+        self.rr = BinaryRandomizedResponse(epsilon)
+        self.epsilon = self.rr.epsilon
+
+    @property
+    def params(self) -> ProtocolParams:
+        """Parameters of the underlying two-bucket frequency oracle."""
+        return self.rr.params
+
+    def discretize(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Stochastically round values in [-1, 1] to bits in {0, 1}.
+
+        Bit 1 encodes +1 and bit 0 encodes -1; ``Pr[bit=1] = (1+v)/2`` makes
+        the rounding unbiased.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.size and (vals.min() < -1.0 or vals.max() > 1.0):
+            raise InvalidParameterError("Harmony values must lie in [-1, 1]")
+        gen = as_generator(rng)
+        return (gen.random(vals.shape) < (1.0 + vals) / 2.0).astype(np.int64)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Full user-side pipeline: discretize then randomized response."""
+        gen = as_generator(rng)
+        return self.rr.perturb_bits(self.discretize(values, gen), gen)
+
+    def aggregate_frequencies(self, reports: np.ndarray) -> np.ndarray:
+        """Debias reported bits into the two-bucket frequency vector [f0, f1]."""
+        reports = np.asarray(reports, dtype=np.int64)
+        counts = np.bincount(reports, minlength=2).astype(np.int64)
+        return self.rr.estimate_frequencies(counts, reports.size)
+
+    def estimate_mean(self, reports: np.ndarray) -> float:
+        """Unbiased mean estimate from perturbed bit reports."""
+        return self.mean_from_frequencies(self.aggregate_frequencies(reports))
+
+    @staticmethod
+    def mean_from_frequencies(frequencies: np.ndarray) -> float:
+        """Convert a two-bucket frequency vector into a mean in [-1, 1].
+
+        ``mean = f1*(+1) + f0*(-1) = f1 - f0``.  Works for recovered
+        frequency vectors too, which is how LDPRecover plugs in.
+        """
+        freq = np.asarray(frequencies, dtype=np.float64)
+        if freq.shape != (2,):
+            raise InvalidParameterError(f"expected a 2-bucket frequency vector, got {freq.shape}")
+        return float(freq[1] - freq[0])
+
+    def craft_poison_reports(self, m: int, bit: int = 1) -> np.ndarray:
+        """Attacker primitive: ``m`` reports all claiming ``bit`` directly.
+
+        Mean-inflation poisoning: malicious users skip discretization and
+        perturbation, sending the raw bit to drag the mean toward +1
+        (``bit=1``) or -1 (``bit=0``).
+        """
+        if bit not in (0, 1):
+            raise InvalidParameterError(f"bit must be 0 or 1, got {bit}")
+        return np.full(m, bit, dtype=np.int64)

@@ -1,0 +1,77 @@
+"""Keyed hash family used by Optimized Local Hashing (OLH).
+
+The paper uses xxhash; OLH only requires a family ``H`` such that for a
+random member the hash of each item is uniform over ``{0, .., g-1}`` and
+(approximately) independent across items (Section III-B of the paper).  We
+implement a splitmix64-based keyed hash, which passes both requirements for
+the domain sizes used here, needs no dependency, and vectorizes over numpy
+arrays of seeds and items.
+
+The map is ``H_seed(x) = mix64(mix64(x) XOR seed) mod g`` where ``mix64``
+is the splitmix64 finalizer.  Each user draws a fresh 64-bit ``seed``; the
+pair ``(seed, y)`` is the OLH report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+#: Upper bound (exclusive) for seeds drawn for the family.
+SEED_SPACE = 2**63 - 1
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """Apply the splitmix64 finalizer elementwise to a uint64 array."""
+    z = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def hash_items(seeds: np.ndarray, items: np.ndarray, g: int) -> np.ndarray:
+    """Hash ``items`` under per-element ``seeds`` into ``{0, .., g-1}``.
+
+    ``seeds`` and ``items`` broadcast against each other, so callers can
+    evaluate a single seed over the whole domain (``seeds`` scalar-like,
+    ``items`` 1-D), one item under many seeds, or elementwise pairs.
+
+    Parameters
+    ----------
+    seeds:
+        uint64-convertible array of hash-function keys.
+    items:
+        integer array of item identifiers (non-negative).
+    g:
+        size of the hash range; must be >= 2.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint64 array of hash values in ``[0, g)`` with the broadcast shape
+        of ``seeds`` and ``items``.
+    """
+    if g < 2:
+        raise ValueError(f"hash range g must be >= 2, got {g}")
+    s = np.asarray(seeds, dtype=np.uint64)
+    x = np.asarray(items, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        h = mix64(mix64(x) ^ s)
+    return h % np.uint64(g)
+
+
+def hash_domain(seed: int, domain_size: int, g: int) -> np.ndarray:
+    """Hash the full domain ``0..domain_size-1`` under one ``seed``."""
+    items = np.arange(domain_size, dtype=np.uint64)
+    return hash_items(np.uint64(seed), items, g)
+
+
+def draw_seeds(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` independent hash-function keys."""
+    return rng.integers(0, SEED_SPACE, size=n, dtype=np.int64).astype(np.uint64)

@@ -1,0 +1,175 @@
+"""Optimized Local Hashing (OLH), paper Section III-B.
+
+Each user draws a hash function ``H`` from a keyed family, hashes her item
+into ``{0, .., g-1}`` with ``g = ceil(e^eps + 1)`` (the paper's default) and
+perturbs the hash with GRR over the hashed domain.  The report is the pair
+``(H, y)``; its support set is ``{v : H(v) = y}``.
+
+Aggregation probabilities: ``p* = e^eps / (e^eps + g - 1)`` (the GRR keep
+probability on the hashed domain) and ``q* = 1/g`` (a fixed *other* item
+hashes to the reported value uniformly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.exceptions import InvalidParameterError, ProtocolError
+from repro.protocols import hashing
+from repro.protocols.base import FrequencyOracle
+
+
+@dataclass
+class OLHReports:
+    """A batch of OLH reports: per-user hash keys and reported hash values."""
+
+    seeds: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.seeds = np.asarray(self.seeds, dtype=np.uint64)
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.seeds.shape != self.values.shape or self.seeds.ndim != 1:
+            raise ProtocolError(
+                f"OLH seeds/values must be equal-length 1-D arrays, got "
+                f"{self.seeds.shape} and {self.values.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.seeds.size)
+
+
+class OLH(FrequencyOracle):
+    """Optimized Local Hashing frequency oracle."""
+
+    name = "olh"
+
+    #: Users per chunk when scanning the (user x domain) hash grid.
+    _CHUNK_CELLS = 4_000_000
+
+    def __init__(self, epsilon: float, domain_size: int, g: int | None = None) -> None:
+        super().__init__(epsilon, domain_size)
+        e_eps = math.exp(self.epsilon)
+        self.g = int(g) if g is not None else math.ceil(e_eps + 1.0)
+        if self.g < 2:
+            raise InvalidParameterError(f"hash range g must be >= 2, got {self.g}")
+        # Perturbation probabilities of GRR over the hashed domain.
+        self._p_perturb = e_eps / (e_eps + self.g - 1.0)
+        # Aggregation probabilities (support-based).
+        self.p = self._p_perturb
+        self.q = 1.0 / self.g
+
+    # ------------------------------------------------------------------
+    # Report-level path
+    # ------------------------------------------------------------------
+    def perturb(self, items: np.ndarray, rng: RngLike = None) -> OLHReports:
+        items = self._validate_items(items)
+        gen = as_generator(rng)
+        n = items.size
+        seeds = hashing.draw_seeds(n, gen)
+        hashed = hashing.hash_items(seeds, items.astype(np.uint64), self.g).astype(np.int64)
+        keep = gen.random(n) < self._p_perturb
+        other = gen.integers(0, self.g - 1, size=n, dtype=np.int64)
+        other += (other >= hashed).astype(np.int64)
+        return OLHReports(seeds=seeds, values=np.where(keep, hashed, other))
+
+    def _validate_olh(self, reports: OLHReports) -> OLHReports:
+        if not isinstance(reports, OLHReports):
+            raise ProtocolError(f"expected OLHReports, got {type(reports)!r}")
+        return reports
+
+    def support_counts(self, reports: OLHReports) -> np.ndarray:
+        """``C(v) = #{j : H_j(v) = y_j}``, chunked over users for memory."""
+        reports = self._validate_olh(reports)
+        d = self.domain_size
+        counts = np.zeros(d, dtype=np.int64)
+        n = len(reports)
+        if n == 0:
+            return counts
+        chunk = max(1, self._CHUNK_CELLS // d)
+        domain = np.arange(d, dtype=np.uint64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            grid = hashing.hash_items(
+                reports.seeds[start:stop, None], domain[None, :], self.g
+            )
+            matches = grid == reports.values[start:stop, None].astype(np.uint64)
+            counts += matches.sum(axis=0)
+        return counts
+
+    def craft_supporting(self, items: np.ndarray, rng: RngLike = None) -> OLHReports:
+        """Craft reports whose support contains each requested item.
+
+        The attacker picks a fresh hash key and reports the item's own hash
+        value, so the report deterministically supports the item (plus the
+        ~``d/g`` other items colliding with it, which is unavoidable in
+        OLH's encoding).
+        """
+        items = self._validate_items(items)
+        gen = as_generator(rng)
+        seeds = hashing.draw_seeds(items.size, gen)
+        values = hashing.hash_items(seeds, items.astype(np.uint64), self.g).astype(np.int64)
+        return OLHReports(seeds=seeds, values=values)
+
+    def concat_reports(self, first: OLHReports, second: OLHReports) -> OLHReports:
+        first = self._validate_olh(first)
+        second = self._validate_olh(second)
+        return OLHReports(
+            seeds=np.concatenate([first.seeds, second.seeds]),
+            values=np.concatenate([first.values, second.values]),
+        )
+
+    def num_reports(self, reports: OLHReports) -> int:
+        return len(self._validate_olh(reports))
+
+    def reports_supporting_any(self, reports: OLHReports, items: Sequence[int]) -> np.ndarray:
+        reports = self._validate_olh(reports)
+        idx = np.asarray(list(items), dtype=np.uint64)
+        if idx.size == 0 or len(reports) == 0:
+            return np.zeros(len(reports), dtype=bool)
+        grid = hashing.hash_items(reports.seeds[:, None], idx[None, :], self.g)
+        return (grid == reports.values[:, None].astype(np.uint64)).any(axis=1)
+
+    def target_support_counts(self, reports: OLHReports, items: Sequence[int]) -> np.ndarray:
+        reports = self._validate_olh(reports)
+        idx = np.asarray(list(items), dtype=np.uint64)
+        if idx.size == 0 or len(reports) == 0:
+            return np.zeros(len(reports), dtype=np.int64)
+        grid = hashing.hash_items(reports.seeds[:, None], idx[None, :], self.g)
+        return (grid == reports.values[:, None].astype(np.uint64)).sum(axis=1).astype(np.int64)
+
+    def select_reports(self, reports: OLHReports, mask: np.ndarray) -> OLHReports:
+        reports = self._validate_olh(reports)
+        mask = np.asarray(mask, dtype=bool)
+        return OLHReports(seeds=reports.seeds[mask], values=reports.values[mask])
+
+    # ------------------------------------------------------------------
+    # Distributional path
+    # ------------------------------------------------------------------
+    def sample_genuine_counts(self, true_counts: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Marginally exact aggregated counts.
+
+        For a genuine user with item ``x``: ``Pr[x in S] = p*`` and
+        ``Pr[v in S] = 1/g`` for ``v != x`` (hash uniformity), so marginally
+        ``C(v) = Binom(n_v, p*) + Binom(n - n_v, 1/g)``.  Cross-item
+        correlations induced by shared hash keys are ignored; they do not
+        affect per-item estimates or their variances.
+        """
+        counts = self._validate_true_counts(true_counts)
+        gen = as_generator(rng)
+        n = int(counts.sum())
+        own = gen.binomial(counts, self.p)
+        others = gen.binomial(n - counts, self.q)
+        return (own + others).astype(np.int64)
+
+    def theoretical_variance(self, n: int, frequency: float = 0.0) -> float:
+        """Paper Eq. (10) (approximation, frequency-independent)."""
+        if n <= 0:
+            raise ProtocolError(f"n must be positive, got {n}")
+        e_eps = math.exp(self.epsilon)
+        return n * 4.0 * e_eps / (e_eps - 1.0) ** 2

@@ -1,0 +1,55 @@
+"""Name-based protocol construction for the CLI, benches and sweeps."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import FrequencyOracle
+from repro.protocols.blh import BLH
+from repro.protocols.grr import GRR
+from repro.protocols.olh import OLH
+from repro.protocols.oue import OUE
+from repro.protocols.sue import SUE
+
+_FACTORIES: Dict[str, Callable[..., FrequencyOracle]] = {
+    "grr": GRR,
+    "oue": OUE,
+    "olh": OLH,
+    "sue": SUE,
+    "blh": BLH,
+}
+
+#: The three protocols evaluated in the paper, in its presentation order.
+PROTOCOL_NAMES = ("grr", "oue", "olh")
+
+
+def make_protocol(name: str, epsilon: float, domain_size: int, **kwargs) -> FrequencyOracle:
+    """Instantiate a frequency oracle by name (case-insensitive).
+
+    ``kwargs`` are forwarded to the constructor (e.g. ``g`` for OLH).
+    """
+    key = name.strip().lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown protocol {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    return factory(epsilon=epsilon, domain_size=domain_size, **kwargs)
+
+
+def register_protocol(name: str, factory: Callable[..., FrequencyOracle]) -> None:
+    """Register a custom protocol factory under ``name``.
+
+    Allows downstream users to plug their own pure protocol into the
+    pipeline, experiments and CLI without touching library code.
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        raise InvalidParameterError(f"protocol {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_protocols() -> tuple[str, ...]:
+    """Names accepted by :func:`make_protocol`."""
+    return tuple(sorted(_FACTORIES))

@@ -1,0 +1,56 @@
+"""Binary randomized response (Warner 1965), the d=2 special case of GRR.
+
+Kept as its own class because Harmony (paper Section VII-A) builds mean
+estimation on top of a two-bucket randomized response, and because the
+closed forms are simpler and worth exposing: ``p = e^eps/(e^eps+1)``,
+``q = 1 - p``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.protocols.grr import GRR
+
+
+class BinaryRandomizedResponse(GRR):
+    """Randomized response over the binary domain {0, 1}."""
+
+    name = "rr"
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon, domain_size=2)
+
+    def flip_probability(self) -> float:
+        """Probability that a report differs from the true bit."""
+        return self.q
+
+    def perturb_bits(self, bits: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Perturb an array of {0,1} bits (alias of :meth:`perturb`)."""
+        return self.perturb(np.asarray(bits, dtype=np.int64), rng)
+
+    def debias_mean(self, reported_bits: np.ndarray) -> float:
+        """Unbiased estimate of the mean of the true bits.
+
+        With flip probability ``q``: ``E[reported] = true*(p-q) + q``, so
+        ``mean = (mean(reported) - q) / (p - q)``.
+        """
+        reported = np.asarray(reported_bits, dtype=np.float64)
+        return float((reported.mean() - self.q) / (self.p - self.q))
+
+    @staticmethod
+    def keep_probability(epsilon: float) -> float:
+        """Closed form ``e^eps / (e^eps + 1)``."""
+        e_eps = math.exp(epsilon)
+        return e_eps / (e_eps + 1.0)
+
+
+def sample_binary_reports(
+    true_bits: np.ndarray, epsilon: float, rng: RngLike = None
+) -> np.ndarray:
+    """Convenience: perturb ``true_bits`` under epsilon-LDP binary RR."""
+    rr = BinaryRandomizedResponse(epsilon)
+    return rr.perturb_bits(true_bits, as_generator(rng))

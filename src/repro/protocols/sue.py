@@ -1,0 +1,39 @@
+"""Symmetric Unary Encoding (SUE), i.e. basic RAPPOR.
+
+The unary-encoding protocol with symmetric perturbation probabilities
+``p = e^{eps/2}/(e^{eps/2}+1)`` and ``q = 1 - p`` (each bit flips with the
+same probability).  OUE is its optimized sibling; SUE is included because
+it is the classic deployed baseline (Google's RAPPOR) and a useful
+comparison point for the variance analysis — the attack and recovery
+machinery work on it unchanged through the pure-protocol contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ProtocolError
+from repro.protocols.oue import OUE
+
+
+class SUE(OUE):
+    """Symmetric Unary Encoding (basic RAPPOR) frequency oracle.
+
+    Shares OUE's report representation (boolean (n, d) matrices) and all
+    report-level machinery; only the bit-flip probabilities differ.
+    """
+
+    name = "sue"
+
+    def __init__(self, epsilon: float, domain_size: int) -> None:
+        super().__init__(epsilon, domain_size)
+        half = math.exp(self.epsilon / 2.0)
+        self.p = half / (half + 1.0)
+        self.q = 1.0 / (half + 1.0)
+
+    def theoretical_variance(self, n: int, frequency: float = 0.0) -> float:
+        """Low-frequency variance ``n q(1-q)/(p-q)^2`` (Wang et al. 2017)."""
+        if n <= 0:
+            raise ProtocolError(f"n must be positive, got {n}")
+        gap = self.p - self.q
+        return n * self.q * (1.0 - self.q) / gap**2

@@ -1,0 +1,38 @@
+"""Simulation: the poisoning pipeline, metrics and experiment harness."""
+
+from repro.sim.experiment import (
+    RecoveryEvaluation,
+    SweepResult,
+    evaluate_recovery,
+    format_table,
+    resolve_star_targets,
+    sweep_parameter,
+)
+from repro.sim.history import History, simulate_history
+from repro.sim.metrics import frequency_gain, l1_distance, max_abs_error, mse
+from repro.sim.outliers import ZScoreOutlierDetector, top_increase_items
+from repro.sim.pipeline import TrialResult, malicious_count, run_trial
+from repro.sim.reporting import read_rows, write_csv, write_json
+
+__all__ = [
+    "run_trial",
+    "TrialResult",
+    "malicious_count",
+    "mse",
+    "l1_distance",
+    "max_abs_error",
+    "frequency_gain",
+    "top_increase_items",
+    "ZScoreOutlierDetector",
+    "evaluate_recovery",
+    "RecoveryEvaluation",
+    "sweep_parameter",
+    "SweepResult",
+    "resolve_star_targets",
+    "format_table",
+    "simulate_history",
+    "History",
+    "write_csv",
+    "write_json",
+    "read_rows",
+]

@@ -1,0 +1,247 @@
+"""Experiment harness: multi-trial recovery evaluation and sweeps.
+
+This is the layer the benchmarks and CLI sit on.  One call to
+:func:`evaluate_recovery` reproduces one cell of the paper's figures:
+it runs ``trials`` independent poisoning rounds, applies every recovery
+method under evaluation (before-recovery, LDPRecover, LDPRecover*,
+Detection) and averages the metrics — exactly the paper's protocol of
+averaging MSE/FG over 10 trials (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, spawn
+from repro.attacks.base import PoisoningAttack
+from repro.core.detection import detect_and_aggregate
+from repro.core.recover import recover_frequencies
+from repro.datasets.base import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import FrequencyOracle
+from repro.sim.metrics import frequency_gain, mse
+from repro.sim.outliers import top_increase_items
+from repro.sim.pipeline import SimulationMode, TrialResult, run_trial
+
+
+def _mean(values: list[float]) -> Optional[float]:
+    return float(np.mean(values)) if values else None
+
+
+@dataclass
+class RecoveryEvaluation:
+    """Averaged metrics of one experimental cell (one figure bar/point)."""
+
+    dataset: str
+    protocol: str
+    attack: str
+    beta: float
+    eta: float
+    trials: int
+    #: MSE vs. the true frequencies (Eq. 36), averaged over trials.
+    mse_before: float = 0.0
+    mse_recover: float = 0.0
+    mse_recover_star: Optional[float] = None
+    mse_detection: Optional[float] = None
+    #: Frequency gain of the target items (Eq. 37 convention; targeted only).
+    fg_before: Optional[float] = None
+    fg_recover: Optional[float] = None
+    fg_recover_star: Optional[float] = None
+    fg_detection: Optional[float] = None
+    #: MSE of the estimated vs. true malicious frequencies (Figure 7).
+    mse_malicious_estimate: Optional[float] = None
+    mse_malicious_estimate_star: Optional[float] = None
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table printing / CSV dumps."""
+        return {
+            "dataset": self.dataset,
+            "protocol": self.protocol,
+            "attack": self.attack,
+            "beta": self.beta,
+            "eta": self.eta,
+            "mse_before": self.mse_before,
+            "mse_recover": self.mse_recover,
+            "mse_recover_star": self.mse_recover_star,
+            "mse_detection": self.mse_detection,
+            "fg_before": self.fg_before,
+            "fg_recover": self.fg_recover,
+            "fg_recover_star": self.fg_recover_star,
+            "fg_detection": self.fg_detection,
+        }
+
+
+def resolve_star_targets(
+    attack: PoisoningAttack, trial: TrialResult, aa_top_k: int
+) -> Optional[np.ndarray]:
+    """The attacker-selected items LDPRecover* assumes (Section VI-A4).
+
+    MGA (and any targeted attack): the explicit target items.  AA: the
+    top-``aa_top_k`` items by frequency increase relative to the server's
+    historical estimate (we use the genuine aggregate as the history
+    stand-in).  Untargeted Manip: the same top-increase rule applies, since
+    the server cannot distinguish attack types a priori.
+    """
+    explicit = attack.target_items
+    if explicit is not None:
+        return explicit
+    if trial.genuine_frequencies is None:
+        return None
+    k = min(aa_top_k, trial.true_frequencies.size)
+    return top_increase_items(trial.genuine_frequencies, trial.poisoned_frequencies, k)
+
+
+def evaluate_recovery(
+    dataset: Dataset,
+    protocol: FrequencyOracle,
+    attack: Optional[PoisoningAttack],
+    beta: float = 0.05,
+    eta: float = 0.2,
+    trials: int = 10,
+    mode: SimulationMode = "fast",
+    with_star: bool = True,
+    with_detection: bool = False,
+    aa_top_k: int = 5,
+    rng: RngLike = None,
+) -> RecoveryEvaluation:
+    """Run one experimental cell and average over ``trials``.
+
+    ``with_detection`` requires ``mode="sampled"`` because the Detection
+    baseline filters individual reports.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if with_detection and mode != "sampled":
+        raise InvalidParameterError("Detection requires mode='sampled'")
+    rngs = spawn(rng, trials)
+
+    mse_before: list[float] = []
+    mse_rec: list[float] = []
+    mse_star: list[float] = []
+    mse_det: list[float] = []
+    fg_before: list[float] = []
+    fg_rec: list[float] = []
+    fg_star: list[float] = []
+    fg_det: list[float] = []
+    mal_mse: list[float] = []
+    mal_mse_star: list[float] = []
+
+    for trial_rng in rngs:
+        trial = run_trial(dataset, protocol, attack, beta=beta, mode=mode, rng=trial_rng)
+        truth = trial.true_frequencies
+        mse_before.append(mse(truth, trial.poisoned_frequencies))
+
+        recovery = recover_frequencies(trial.poisoned_frequencies, protocol, eta=eta)
+        mse_rec.append(mse(truth, recovery.frequencies))
+        if trial.malicious_frequencies is not None:
+            mal_mse.append(mse(trial.malicious_frequencies, recovery.malicious.frequencies))
+
+        star_targets = None
+        if attack is not None and with_star:
+            star_targets = resolve_star_targets(attack, trial, aa_top_k)
+        if star_targets is not None and star_targets.size:
+            star = recover_frequencies(
+                trial.poisoned_frequencies, protocol, eta=eta, target_items=star_targets
+            )
+            mse_star.append(mse(truth, star.frequencies))
+            if trial.malicious_frequencies is not None:
+                mal_mse_star.append(
+                    mse(trial.malicious_frequencies, star.malicious.frequencies)
+                )
+        else:
+            star = None
+
+        detection_freq = None
+        if with_detection and star_targets is not None and star_targets.size:
+            detection = detect_and_aggregate(protocol, trial.reports, star_targets)
+            detection_freq = detection.frequencies
+            mse_det.append(mse(truth, detection_freq))
+
+        measured_targets = attack.target_items if attack is not None else None
+        if measured_targets is not None and measured_targets.size:
+            genuine = trial.genuine_frequencies
+            fg_before.append(
+                frequency_gain(genuine, trial.poisoned_frequencies, measured_targets)
+            )
+            fg_rec.append(frequency_gain(genuine, recovery.frequencies, measured_targets))
+            if star is not None:
+                fg_star.append(frequency_gain(genuine, star.frequencies, measured_targets))
+            if detection_freq is not None:
+                fg_det.append(frequency_gain(genuine, detection_freq, measured_targets))
+
+    return RecoveryEvaluation(
+        dataset=dataset.name,
+        protocol=protocol.name,
+        attack=attack.describe() if attack is not None else "none",
+        beta=beta,
+        eta=eta,
+        trials=trials,
+        mse_before=_mean(mse_before) or 0.0,
+        mse_recover=_mean(mse_rec) or 0.0,
+        mse_recover_star=_mean(mse_star),
+        mse_detection=_mean(mse_det),
+        fg_before=_mean(fg_before),
+        fg_recover=_mean(fg_rec),
+        fg_recover_star=_mean(fg_star),
+        fg_detection=_mean(fg_det),
+        mse_malicious_estimate=_mean(mal_mse),
+        mse_malicious_estimate_star=_mean(mal_mse_star),
+    )
+
+
+@dataclass
+class SweepResult:
+    """One varied parameter value and its evaluation."""
+
+    parameter: str
+    value: float
+    evaluation: RecoveryEvaluation
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Iterable[float],
+    evaluate: Callable[[float, RngLike], RecoveryEvaluation],
+    rng: RngLike = None,
+) -> list[SweepResult]:
+    """Evaluate over a parameter grid with independent child RNGs.
+
+    ``evaluate(value, rng)`` builds and runs one cell; Figures 5-6's
+    beta/epsilon/eta sweeps are thin closures over
+    :func:`evaluate_recovery`.
+    """
+    values = list(values)
+    rngs = spawn(rng, len(values))
+    return [
+        SweepResult(parameter=parameter, value=float(v), evaluation=evaluate(v, child))
+        for v, child in zip(values, rngs)
+    ]
+
+
+def format_table(rows: Sequence[dict[str, object]], float_format: str = "{:.3e}") -> str:
+    """Render rows as an aligned text table (the benches' output format)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rendered)
+    return f"{header}\n{divider}\n{body}"

@@ -1,0 +1,440 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figure*_rows`` / ``table1_rows`` function reproduces one exhibit of
+Section VI / VII and returns a list of flat row dicts (printable with
+:func:`repro.sim.experiment.format_table`).  The benchmark suite and the
+CLI are thin wrappers over these functions; DESIGN.md section 5 maps each
+exhibit to its function and expected qualitative shape.
+
+Scale notes: the paper runs 10 trials at full population.  The defaults
+here are tuned so the full suite finishes in minutes on a laptop —
+``sampled``-mode exhibits (those needing the Detection baseline or raw
+reports) run at a scaled population, pure-aggregate exhibits run in
+``fast`` mode.  Pass ``num_users=None`` for the paper's full populations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator, spawn
+from repro.attacks import (
+    AdaptiveAttack,
+    InputPoisoningAttack,
+    ManipAttack,
+    MGAAttack,
+    MultiAttacker,
+)
+from repro.core.kmeans import KMeansDefense, recover_with_kmeans
+from repro.core.recover import recover_frequencies
+from repro.datasets import Dataset, fire_like, ipums_like
+from repro.exceptions import InvalidParameterError
+from repro.protocols import PROTOCOL_NAMES, make_protocol
+from repro.sim.experiment import evaluate_recovery
+from repro.sim.metrics import mse
+from repro.sim.pipeline import run_trial
+
+#: Paper defaults (Section VI-A): epsilon, malicious fraction, number of
+#: target items, server-side eta.
+DEFAULT_EPSILON = 0.5
+DEFAULT_BETA = 0.05
+DEFAULT_R = 10
+DEFAULT_ETA = 0.2
+
+
+def load_dataset(name: str, num_users: Optional[int]) -> Dataset:
+    """The two paper workloads by name, optionally rescaled."""
+    key = name.strip().lower()
+    if key in ("ipums", "ipums-like"):
+        return ipums_like(num_users=num_users)
+    if key in ("fire", "fire-like"):
+        return fire_like(num_users=num_users)
+    raise InvalidParameterError(f"unknown dataset {name!r}; use 'ipums' or 'fire'")
+
+
+def _make_attack(kind: str, domain_size: int, rng: RngLike) -> object:
+    gen = as_generator(rng)
+    if kind == "manip":
+        return ManipAttack(domain_size=domain_size, rng=gen)
+    if kind == "mga":
+        return MGAAttack(domain_size=domain_size, r=DEFAULT_R, rng=gen)
+    if kind == "aa":
+        return AdaptiveAttack(domain_size=domain_size, rng=gen)
+    raise InvalidParameterError(f"unknown attack {kind!r}")
+
+
+#: The (attack, protocol) cells of Figures 3-4: Manip is shown on GRR only
+#: (matching the paper's x-axis), MGA and AA on all three protocols.
+FIG3_CELLS: tuple[tuple[str, str], ...] = (
+    ("manip", "grr"),
+    ("mga", "grr"),
+    ("mga", "oue"),
+    ("mga", "olh"),
+    ("aa", "grr"),
+    ("aa", "oue"),
+    ("aa", "olh"),
+)
+
+
+def figure3_rows(
+    dataset_name: str = "ipums",
+    num_users: Optional[int] = 40_000,
+    trials: int = 5,
+    epsilon: float = DEFAULT_EPSILON,
+    beta: float = DEFAULT_BETA,
+    eta: float = DEFAULT_ETA,
+    rng: RngLike = 3,
+) -> list[dict[str, object]]:
+    """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell."""
+    dataset = load_dataset(dataset_name, num_users)
+    rows = []
+    rngs = spawn(rng, len(FIG3_CELLS))
+    for (attack_kind, protocol_name), cell_rng in zip(FIG3_CELLS, rngs):
+        gen = as_generator(cell_rng)
+        protocol = make_protocol(protocol_name, epsilon=epsilon, domain_size=dataset.domain_size)
+        attack = _make_attack(attack_kind, dataset.domain_size, gen)
+        evaluation = evaluate_recovery(
+            dataset,
+            protocol,
+            attack,
+            beta=beta,
+            eta=eta,
+            trials=trials,
+            mode="sampled",
+            with_detection=True,
+            aa_top_k=DEFAULT_R // 2,
+            rng=gen,
+        )
+        rows.append(
+            {
+                "cell": f"{attack_kind}-{protocol_name}",
+                "mse_before": evaluation.mse_before,
+                "mse_detection": evaluation.mse_detection,
+                "mse_ldprecover": evaluation.mse_recover,
+                "mse_ldprecover_star": evaluation.mse_recover_star,
+            }
+        )
+    return rows
+
+
+def figure4_rows(
+    dataset_name: str = "ipums",
+    num_users: Optional[int] = 40_000,
+    trials: int = 5,
+    epsilon: float = DEFAULT_EPSILON,
+    beta: float = DEFAULT_BETA,
+    eta: float = DEFAULT_ETA,
+    rng: RngLike = 4,
+) -> list[dict[str, object]]:
+    """Figure 4: frequency gain of MGA per protocol, before/after."""
+    dataset = load_dataset(dataset_name, num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES))
+    for protocol_name, cell_rng in zip(PROTOCOL_NAMES, rngs):
+        gen = as_generator(cell_rng)
+        protocol = make_protocol(protocol_name, epsilon=epsilon, domain_size=dataset.domain_size)
+        attack = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
+        evaluation = evaluate_recovery(
+            dataset,
+            protocol,
+            attack,
+            beta=beta,
+            eta=eta,
+            trials=trials,
+            mode="sampled",
+            with_detection=True,
+            rng=gen,
+        )
+        rows.append(
+            {
+                "cell": f"mga-{protocol_name}",
+                "fg_before": evaluation.fg_before,
+                "fg_detection": evaluation.fg_detection,
+                "fg_ldprecover": evaluation.fg_recover,
+                "fg_ldprecover_star": evaluation.fg_recover_star,
+            }
+        )
+    return rows
+
+
+#: Parameter grids of Figures 5-6 (Section VI-D).
+BETA_GRID = (0.001, 0.005, 0.01, 0.05, 0.1)
+EPSILON_GRID = (0.1, 0.2, 0.4, 0.8, 1.6)
+ETA_GRID = (0.01, 0.05, 0.1, 0.2, 0.4)
+
+
+def sweep_rows(
+    dataset_name: str,
+    parameter: str,
+    values: Iterable[float] = (),
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 5,
+) -> list[dict[str, object]]:
+    """Figures 5-6: MSE under AA while one of (beta, epsilon, eta) varies.
+
+    The remaining parameters stay at the paper defaults.  Runs in ``fast``
+    mode at full population unless ``num_users`` overrides.
+    """
+    grids = {"beta": BETA_GRID, "epsilon": EPSILON_GRID, "eta": ETA_GRID}
+    if parameter not in grids:
+        raise InvalidParameterError(
+            f"parameter must be one of {sorted(grids)}, got {parameter!r}"
+        )
+    values = tuple(values) or grids[parameter]
+    dataset = load_dataset(dataset_name, num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(values))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for value in values:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            beta = value if parameter == "beta" else DEFAULT_BETA
+            epsilon = value if parameter == "epsilon" else DEFAULT_EPSILON
+            eta = value if parameter == "eta" else DEFAULT_ETA
+            protocol = make_protocol(
+                protocol_name, epsilon=epsilon, domain_size=dataset.domain_size
+            )
+            attack = AdaptiveAttack(domain_size=dataset.domain_size, rng=gen)
+            evaluation = evaluate_recovery(
+                dataset,
+                protocol,
+                attack,
+                beta=beta,
+                eta=eta,
+                trials=trials,
+                mode="fast",
+                aa_top_k=DEFAULT_R // 2,
+                rng=gen,
+            )
+            rows.append(
+                {
+                    "cell": f"aa-{protocol_name}",
+                    parameter: value,
+                    "mse_before": evaluation.mse_before,
+                    "mse_ldprecover": evaluation.mse_recover,
+                    "mse_ldprecover_star": evaluation.mse_recover_star,
+                }
+            )
+    return rows
+
+
+FIG7_BETAS = (0.05, 0.1, 0.15, 0.2, 0.25)
+
+
+def figure7_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 7,
+) -> list[dict[str, object]]:
+    """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS)."""
+    dataset = load_dataset("ipums", num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG7_BETAS))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for beta in FIG7_BETAS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = make_protocol(
+                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            )
+            attack = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
+            evaluation = evaluate_recovery(
+                dataset,
+                protocol,
+                attack,
+                beta=beta,
+                eta=DEFAULT_ETA,
+                trials=trials,
+                mode="fast",
+                rng=gen,
+            )
+            rows.append(
+                {
+                    "cell": f"mga-{protocol_name}",
+                    "beta": beta,
+                    "malicious_mse_ldprecover": evaluation.mse_malicious_estimate,
+                    "malicious_mse_ldprecover_star": evaluation.mse_malicious_estimate_star,
+                }
+            )
+    return rows
+
+
+FIG8_BETAS = (0.05, 0.1, 0.15, 0.2, 0.25)
+
+
+def figure8_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 8,
+) -> list[dict[str, object]]:
+    """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery)."""
+    dataset = load_dataset("ipums", num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG8_BETAS))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for beta in FIG8_BETAS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = make_protocol(
+                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            )
+            mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
+            ipa = InputPoisoningAttack(mga)
+            mse_mga: list[float] = []
+            mse_ipa: list[float] = []
+            for trial_rng in spawn(gen, trials):
+                t1 = run_trial(dataset, protocol, mga, beta=beta, mode="fast", rng=trial_rng)
+                t2 = run_trial(dataset, protocol, ipa, beta=beta, mode="fast", rng=trial_rng)
+                mse_mga.append(mse(t1.true_frequencies, t1.poisoned_frequencies))
+                mse_ipa.append(mse(t2.true_frequencies, t2.poisoned_frequencies))
+            rows.append(
+                {
+                    "cell": f"{protocol_name}",
+                    "beta": beta,
+                    "mse_mga": float(np.mean(mse_mga)),
+                    "mse_mga_ipa": float(np.mean(mse_ipa)),
+                }
+            )
+    return rows
+
+
+FIG9_XIS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def figure9_rows(
+    num_users: Optional[int] = 20_000,
+    trials: int = 3,
+    beta: float = DEFAULT_BETA,
+    rng: RngLike = 9,
+) -> list[dict[str, object]]:
+    """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS)."""
+    dataset = load_dataset("ipums", num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG9_XIS))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for xi in FIG9_XIS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = make_protocol(
+                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            )
+            mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
+            attack = InputPoisoningAttack(mga)
+            before: list[float] = []
+            km_only: list[float] = []
+            km_recover: list[float] = []
+            for trial_rng in spawn(gen, trials):
+                trial = run_trial(
+                    dataset, protocol, attack, beta=beta, mode="sampled", rng=trial_rng
+                )
+                truth = trial.true_frequencies
+                before.append(mse(truth, trial.poisoned_frequencies))
+                defense = KMeansDefense(sample_rate=xi, num_subsets=10)
+                recovery, km_result = recover_with_kmeans(
+                    protocol, trial.reports, defense=defense, rng=trial_rng
+                )
+                km_only.append(mse(truth, km_result.frequencies))
+                km_recover.append(mse(truth, recovery.frequencies))
+            rows.append(
+                {
+                    "cell": f"{protocol_name}",
+                    "xi": xi,
+                    "mse_before": float(np.mean(before)),
+                    "mse_kmeans": float(np.mean(km_only)),
+                    "mse_ldprecover_km": float(np.mean(km_recover)),
+                }
+            )
+    return rows
+
+
+FIG10_BETAS = (0.05, 0.1, 0.15, 0.2, 0.25)
+FIG10_NUM_ATTACKERS = 5
+
+
+def figure10_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 10,
+) -> list[dict[str, object]]:
+    """Figure 10: LDPRecover against 5 independent adaptive attackers."""
+    dataset = load_dataset("ipums", num_users)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG10_BETAS))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for beta in FIG10_BETAS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = make_protocol(
+                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            )
+            attackers = [
+                AdaptiveAttack(domain_size=dataset.domain_size, rng=child)
+                for child in spawn(gen, FIG10_NUM_ATTACKERS)
+            ]
+            attack = MultiAttacker(attackers)
+            evaluation = evaluate_recovery(
+                dataset,
+                protocol,
+                attack,
+                beta=beta,
+                eta=DEFAULT_ETA,
+                trials=trials,
+                mode="fast",
+                with_star=False,
+                rng=gen,
+            )
+            rows.append(
+                {
+                    "cell": f"mul-aa-{protocol_name}",
+                    "beta": beta,
+                    "mse_before": evaluation.mse_before,
+                    "mse_ldprecover": evaluation.mse_recover,
+                }
+            )
+    return rows
+
+
+def table1_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 1,
+) -> list[dict[str, object]]:
+    """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0)."""
+    rows = []
+    datasets = [load_dataset("ipums", num_users), load_dataset("fire", num_users)]
+    rngs = spawn(rng, len(datasets) * len(PROTOCOL_NAMES))
+    idx = 0
+    for dataset in datasets:
+        for protocol_name in PROTOCOL_NAMES:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = make_protocol(
+                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            )
+            before: list[float] = []
+            after: list[float] = []
+            for trial_rng in spawn(gen, trials):
+                trial = run_trial(dataset, protocol, None, beta=0.0, mode="fast", rng=trial_rng)
+                truth = trial.true_frequencies
+                before.append(mse(truth, trial.poisoned_frequencies))
+                recovery = recover_frequencies(
+                    trial.poisoned_frequencies, protocol, eta=DEFAULT_ETA
+                )
+                after.append(mse(truth, recovery.frequencies))
+            rows.append(
+                {
+                    "dataset": dataset.name,
+                    "protocol": protocol_name,
+                    "mse_before_recovery": float(np.mean(before)),
+                    "mse_after_recovery": float(np.mean(after)),
+                }
+            )
+    return rows

@@ -1,0 +1,67 @@
+"""Evaluation metrics (paper Section VI-B).
+
+* :func:`mse` — Eq. 36, the per-item mean squared error between the true
+  frequencies and an aggregated (poisoned or recovered) vector.
+* :func:`frequency_gain` — Eq. 37.  Note on sign: as printed the equation
+  is ``sum_t (f_X(t) - f*_Z(t))``, which is negative for a successful
+  attack, yet Figure 4 plots positive before-recovery gains.  We follow
+  the figure (and Cao et al.'s original definition):
+  ``FG = sum_t (f_after(t) - f_genuine(t))`` — positive when the targets
+  were promoted, about zero after a good recovery, negative when recovery
+  over-corrects (the paper's "FG < 0" observation for LDPRecover*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise InvalidParameterError(
+            f"metric inputs must be equal-shape 1-D vectors, got {x.shape} and {y.shape}"
+        )
+    return x, y
+
+
+def mse(true_freq: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean squared error over all items (Eq. 36)."""
+    x, y = _pair(true_freq, estimate)
+    return float(np.mean((x - y) ** 2))
+
+
+def l1_distance(true_freq: np.ndarray, estimate: np.ndarray) -> float:
+    """Total variation style L1 distance (Manip's objective)."""
+    x, y = _pair(true_freq, estimate)
+    return float(np.abs(x - y).sum())
+
+
+def max_abs_error(true_freq: np.ndarray, estimate: np.ndarray) -> float:
+    """Worst-case per-item error."""
+    x, y = _pair(true_freq, estimate)
+    return float(np.abs(x - y).max())
+
+
+def frequency_gain(
+    genuine_freq: np.ndarray,
+    after_freq: np.ndarray,
+    target_items: Sequence[int],
+) -> float:
+    """Frequency gain of the target items (Eq. 37; sign per Figure 4).
+
+    ``genuine_freq`` is the frequency vector aggregated from genuine users
+    only; ``after_freq`` is the poisoned or recovered vector.
+    """
+    x, y = _pair(genuine_freq, after_freq)
+    targets = np.unique(np.asarray(list(target_items), dtype=np.int64))
+    if targets.size == 0:
+        raise InvalidParameterError("frequency gain needs a non-empty target set")
+    if targets.min() < 0 or targets.max() >= x.size:
+        raise InvalidParameterError(f"target items must lie in [0, {x.size})")
+    return float((y[targets] - x[targets]).sum())

@@ -1,0 +1,89 @@
+"""Target-item inference for the partial-knowledge scenario (LDPRecover*).
+
+Section V-D motivates partial knowledge with outlier detection over
+historical frequency data: targeted attacks inflate target items enough to
+make them statistical anomalies.  Section VI-A4 uses two concrete rules:
+
+* MGA — the target items are "explicitly identified" (the server's
+  detector found them); we expose the detector itself so examples can show
+  the full loop.
+* AA — "the items that exhibit the top-r/2 frequency increase following
+  the attack".
+
+This module provides both: a z-score detector over historical epochs and
+the top-k-increase rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def top_increase_items(
+    reference_freq: np.ndarray, current_freq: np.ndarray, k: int
+) -> np.ndarray:
+    """The ``k`` items with the largest frequency increase (the AA rule).
+
+    ``reference_freq`` is the server's historical (pre-attack) estimate,
+    ``current_freq`` the freshly aggregated (possibly poisoned) vector.
+    """
+    ref = np.asarray(reference_freq, dtype=np.float64)
+    cur = np.asarray(current_freq, dtype=np.float64)
+    if ref.shape != cur.shape or ref.ndim != 1:
+        raise InvalidParameterError(
+            f"frequency vectors must be equal-shape 1-D, got {ref.shape} and {cur.shape}"
+        )
+    if not 0 < k <= ref.size:
+        raise InvalidParameterError(f"k must be in [1, {ref.size}], got {k}")
+    increase = cur - ref
+    return np.sort(np.argsort(increase)[::-1][:k].astype(np.int64))
+
+
+class ZScoreOutlierDetector:
+    """Flag items whose current frequency deviates from their history.
+
+    The stand-in for the paper's time-series outlier detectors [11-13]:
+    fit per-item mean/std over historical epochs of frequency estimates,
+    predict the current frequency as the historical mean, and flag items
+    whose positive deviation exceeds ``threshold`` standard deviations.
+    """
+
+    def __init__(self, threshold: float = 3.0, min_std: float = 1e-6) -> None:
+        if threshold <= 0:
+            raise InvalidParameterError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self.min_std = float(min_std)
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, history: np.ndarray) -> "ZScoreOutlierDetector":
+        """Fit on a (num_epochs, d) matrix of historical frequency vectors."""
+        hist = np.asarray(history, dtype=np.float64)
+        if hist.ndim != 2 or hist.shape[0] < 2:
+            raise InvalidParameterError(
+                f"history must be a (>=2 epochs, d) matrix, got shape {hist.shape}"
+            )
+        self._mean = hist.mean(axis=0)
+        self._std = np.maximum(hist.std(axis=0, ddof=1), self.min_std)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mean is not None
+
+    def scores(self, current_freq: np.ndarray) -> np.ndarray:
+        """Per-item positive z-scores of the current vector vs. history."""
+        if self._mean is None or self._std is None:
+            raise InvalidParameterError("detector must be fitted before scoring")
+        cur = np.asarray(current_freq, dtype=np.float64)
+        if cur.shape != self._mean.shape:
+            raise InvalidParameterError(
+                f"current vector shape {cur.shape} != history shape {self._mean.shape}"
+            )
+        return (cur - self._mean) / self._std
+
+    def detect(self, current_freq: np.ndarray) -> np.ndarray:
+        """Items whose z-score exceeds the threshold (sorted)."""
+        return np.sort(np.flatnonzero(self.scores(current_freq) > self.threshold).astype(np.int64))

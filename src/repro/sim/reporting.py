@@ -1,0 +1,78 @@
+"""Result export: row tables to CSV / JSON files.
+
+The experiment harness and figure functions all speak "rows" — lists of
+flat dicts.  This module persists them so CLI runs can feed plotting
+scripts or regression dashboards without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Sequence
+
+from repro.exceptions import InvalidParameterError
+
+RowList = Sequence[dict[str, object]]
+
+
+def _validate_rows(rows: RowList) -> list[dict[str, object]]:
+    rows = list(rows)
+    if not rows:
+        raise InvalidParameterError("cannot export an empty row list")
+    columns = list(rows[0].keys())
+    for i, row in enumerate(rows):
+        if list(row.keys()) != columns:
+            raise InvalidParameterError(
+                f"row {i} columns {list(row.keys())} differ from header {columns}"
+            )
+    return rows
+
+
+def write_csv(rows: RowList, path: str | pathlib.Path) -> pathlib.Path:
+    """Write rows as a CSV file with a header row.  Returns the path."""
+    rows = _validate_rows(rows)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(rows: RowList, path: str | pathlib.Path) -> pathlib.Path:
+    """Write rows as a JSON array of objects.  Returns the path."""
+    rows = _validate_rows(rows)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(rows, handle, indent=2, default=float)
+        handle.write("\n")
+    return path
+
+
+def read_rows(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Load rows back from a CSV or JSON file (by extension).
+
+    CSV values come back as strings with best-effort float conversion —
+    good enough for plotting and regression comparison.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".json":
+        with path.open() as handle:
+            return json.load(handle)
+    if path.suffix == ".csv":
+        with path.open(newline="") as handle:
+            rows = []
+            for record in csv.DictReader(handle):
+                parsed: dict[str, object] = {}
+                for key, value in record.items():
+                    try:
+                        parsed[key] = float(value)
+                    except (TypeError, ValueError):
+                        parsed[key] = value
+                rows.append(parsed)
+            return rows
+    raise InvalidParameterError(f"unsupported extension {path.suffix!r} (use .csv/.json)")

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Small-but-nontrivial populations keep statistical assertions meaningful
+while the suite stays fast.  Every fixture is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, zipf_dataset
+from repro.protocols import GRR, OLH, OUE
+
+EPSILON = 0.5
+SMALL_DOMAIN = 16
+SMALL_USERS = 6_000
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_dataset() -> Dataset:
+    return zipf_dataset(
+        domain_size=SMALL_DOMAIN, num_users=SMALL_USERS, exponent=1.0, rng=7
+    )
+
+
+@pytest.fixture()
+def grr() -> GRR:
+    return GRR(epsilon=EPSILON, domain_size=SMALL_DOMAIN)
+
+
+@pytest.fixture()
+def oue() -> OUE:
+    return OUE(epsilon=EPSILON, domain_size=SMALL_DOMAIN)
+
+
+@pytest.fixture()
+def olh() -> OLH:
+    return OLH(epsilon=EPSILON, domain_size=SMALL_DOMAIN)
+
+
+@pytest.fixture(params=["grr", "oue", "olh"])
+def protocol(request, grr, oue, olh):
+    """Parametrized fixture iterating over all three protocols."""
+    return {"grr": grr, "oue": oue, "olh": olh}[request.param]

@@ -1,0 +1,190 @@
+"""Tests for the closed-form analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_protocols,
+    eta_mismatch_bias,
+    expected_poisoned_frequency,
+    generic_count_variance,
+    grr_count_variance,
+    grr_crossover_domain_size,
+    learned_sums_by_protocol,
+    matched_eta,
+    oue_count_variance,
+    olh_count_variance,
+    poisoning_bias,
+)
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR, OLH, OUE
+
+
+class TestVarianceFormulas:
+    def test_grr_matches_protocol_method(self):
+        proto = GRR(epsilon=0.5, domain_size=50)
+        assert grr_count_variance(0.5, 50, 1000, 0.2) == pytest.approx(
+            proto.theoretical_variance(1000, 0.2)
+        )
+
+    def test_oue_matches_protocol_method(self):
+        proto = OUE(epsilon=0.5, domain_size=50)
+        assert oue_count_variance(0.5, 1000) == pytest.approx(
+            proto.theoretical_variance(1000)
+        )
+
+    def test_olh_equals_oue_leading_term(self):
+        assert olh_count_variance(0.5, 1000) == oue_count_variance(0.5, 1000)
+
+    def test_generic_variance_positive(self):
+        params = GRR(epsilon=0.5, domain_size=10).params
+        assert generic_count_variance(params, 100, 0.3) > 0
+
+    def test_generic_variance_validation(self):
+        params = GRR(epsilon=0.5, domain_size=10).params
+        with pytest.raises(InvalidParameterError):
+            generic_count_variance(params, 0, 0.3)
+        with pytest.raises(InvalidParameterError):
+            generic_count_variance(params, 10, 1.5)
+
+    def test_generic_matches_empirical_oue(self):
+        # The unified support model gives the exact finite-n variance.
+        proto = OUE(epsilon=1.0, domain_size=8)
+        n, f = 3000, 0.5
+        counts = np.zeros(8, dtype=np.int64)
+        counts[0] = int(f * n)
+        counts[1] = n - counts[0]
+        estimates = [
+            proto.estimate_counts(proto.sample_genuine_counts(counts, s), n)[0]
+            for s in range(400)
+        ]
+        theory = generic_count_variance(proto.params, n, f)
+        assert np.var(estimates) == pytest.approx(theory, rel=0.3)
+
+
+class TestComparison:
+    def test_small_domain_grr_wins(self):
+        comparison = compare_protocols(epsilon=1.0, domain_size=3, n=1000)
+        assert comparison.best() == "grr"
+
+    def test_large_domain_grr_loses(self):
+        comparison = compare_protocols(epsilon=0.5, domain_size=500, n=1000)
+        assert comparison.best() in ("oue", "olh")
+
+    def test_crossover_formula(self):
+        import math
+
+        eps = 0.8
+        crossover = grr_crossover_domain_size(eps)
+        assert crossover == pytest.approx(3 * math.exp(eps) + 2)
+        below = compare_protocols(eps, int(crossover) - 2, 1000)
+        above = compare_protocols(eps, int(crossover) + 3, 1000)
+        assert below.grr < below.oue
+        assert above.grr > above.oue
+
+
+class TestPoisoningTheory:
+    def _setup(self):
+        params = GRR(epsilon=0.5, domain_size=8).params
+        truth = np.array([0.3, 0.2, 0.2, 0.1, 0.1, 0.05, 0.03, 0.02])
+        attack = np.zeros(8)
+        attack[0] = 1.0
+        return params, truth, attack
+
+    def test_expected_poisoned_mixture(self):
+        params, truth, attack = self._setup()
+        expected = expected_poisoned_frequency(truth, attack, params, beta=0.0)
+        np.testing.assert_allclose(expected, truth)
+
+    def test_poisoning_bias_zero_without_attackers(self):
+        params, truth, attack = self._setup()
+        np.testing.assert_allclose(
+            poisoning_bias(truth, attack, params, beta=0.0), 0.0, atol=1e-12
+        )
+
+    def test_bias_direction(self):
+        params, truth, attack = self._setup()
+        bias = poisoning_bias(truth, attack, params, beta=0.1)
+        assert bias[0] > 0  # promoted item gains
+        assert np.all(bias[1:] < 0)  # others lose
+
+    def test_bias_matches_empirical(self):
+        from repro.attacks import AdaptiveAttack
+        from repro.datasets import Dataset
+        from repro.sim import run_trial
+
+        params_proto = GRR(epsilon=0.5, domain_size=8)
+        truth_counts = np.array([3000, 2000, 2000, 1000, 1000, 500, 300, 200])
+        data = Dataset(name="t", counts=truth_counts)
+        attack_probs = np.zeros(8)
+        attack_probs[0] = 1.0
+        attack = AdaptiveAttack(domain_size=8, probabilities=attack_probs)
+        beta = 0.1
+        trials = [
+            run_trial(data, params_proto, attack, beta=beta, rng=s).poisoned_frequencies
+            for s in range(60)
+        ]
+        empirical = np.mean(trials, axis=0)
+        expected = expected_poisoned_frequency(
+            data.frequencies, attack_probs, params_proto.params, beta
+        )
+        np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+    def test_shape_mismatch(self):
+        params, truth, _ = self._setup()
+        with pytest.raises(InvalidParameterError):
+            expected_poisoned_frequency(truth, np.zeros(5), params, 0.1)
+
+    def test_beta_validation(self):
+        params, truth, attack = self._setup()
+        with pytest.raises(InvalidParameterError):
+            expected_poisoned_frequency(truth, attack, params, 1.0)
+
+
+class TestEtaMismatch:
+    def test_zero_at_matched_eta(self):
+        params = GRR(epsilon=0.5, domain_size=8).params
+        truth = np.full(8, 1 / 8)
+        attack = np.zeros(8)
+        attack[2] = 1.0
+        beta = 0.05
+        residual = eta_mismatch_bias(truth, attack, params, beta, matched_eta(beta))
+        np.testing.assert_allclose(residual, 0.0, atol=1e-12)
+
+    def test_grows_with_mismatch(self):
+        params = GRR(epsilon=0.5, domain_size=8).params
+        truth = np.full(8, 1 / 8)
+        attack = np.zeros(8)
+        attack[2] = 1.0
+        beta = 0.05
+        small = np.abs(eta_mismatch_bias(truth, attack, params, beta, 0.06)).max()
+        large = np.abs(eta_mismatch_bias(truth, attack, params, beta, 0.4)).max()
+        assert large > small
+
+    def test_matched_eta_formula(self):
+        assert matched_eta(0.05) == pytest.approx(0.05 / 0.95)
+        assert matched_eta(0.0) == 0.0
+
+    def test_matched_eta_validation(self):
+        with pytest.raises(InvalidParameterError):
+            matched_eta(1.0)
+
+    def test_negative_eta_rejected(self):
+        params = GRR(epsilon=0.5, domain_size=8).params
+        with pytest.raises(InvalidParameterError):
+            eta_mismatch_bias(np.full(8, 1 / 8), np.full(8, 1 / 8), params, 0.05, -0.1)
+
+
+class TestLearnedSums:
+    def test_by_protocol(self):
+        protos = [
+            GRR(epsilon=0.5, domain_size=102).params,
+            OUE(epsilon=0.5, domain_size=102).params,
+            OLH(epsilon=0.5, domain_size=102).params,
+        ]
+        sums = learned_sums_by_protocol(protos)
+        assert sums["grr"] == pytest.approx(1.0)
+        assert sums["oue"] < 0
+        assert "olh" in sums

@@ -1,0 +1,131 @@
+"""Tests for the closed-form MGA frequency-gain analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.gain import (
+    expected_gain_from_support,
+    mga_expected_gain_grr,
+    mga_expected_gain_olh,
+    mga_expected_gain_oue,
+    users_needed_for_gain,
+)
+from repro.attacks import MGAAttack
+from repro.datasets import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR, OUE
+from repro.sim import frequency_gain, run_trial
+
+D = 30
+DATASET = zipf_dataset(domain_size=D, num_users=60_000, exponent=1.0, rng=9)
+
+
+class TestClosedForms:
+    def test_gain_zero_without_attackers(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        f = np.array([0.01, 0.02])
+        assert expected_gain_from_support(np.array([0.5, 0.5]), f, params, 0.0) == 0.0
+
+    def test_gain_monotone_in_beta(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        f = np.array([0.01, 0.02])
+        s = np.array([0.5, 0.5])
+        g1 = expected_gain_from_support(s, f, params, 0.05)
+        g2 = expected_gain_from_support(s, f, params, 0.10)
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_validation(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        with pytest.raises(InvalidParameterError):
+            expected_gain_from_support(np.array([0.5]), np.array([0.1, 0.2]), params, 0.05)
+        with pytest.raises(InvalidParameterError):
+            expected_gain_from_support(np.array([0.5]), np.array([0.1]), params, 1.0)
+
+    def test_oue_gain_scales_with_r_grr_gain_does_not(self):
+        # MGA-OUE supports all r targets per report, so the total gain is
+        # ~linear in r; MGA-GRR splits one supported item over r targets,
+        # so the total gain barely moves with r.
+        grr_params = GRR(epsilon=0.5, domain_size=D).params
+        oue_params = OUE(epsilon=0.5, domain_size=D).params
+        oue_small = mga_expected_gain_oue(np.full(2, 0.01), oue_params, 0.05)
+        oue_large = mga_expected_gain_oue(np.full(10, 0.01), oue_params, 0.05)
+        assert oue_large > 4 * oue_small
+        grr_small = mga_expected_gain_grr(np.full(2, 0.01), grr_params, 0.05)
+        grr_large = mga_expected_gain_grr(np.full(10, 0.01), grr_params, 0.05)
+        assert grr_large < 1.5 * grr_small
+
+    def test_olh_coverage_validation(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        with pytest.raises(InvalidParameterError):
+            mga_expected_gain_olh(np.full(5, 0.01), params, 0.05, mean_coverage=0.0)
+
+    def test_olh_gain_between_grr_and_oue_shapes(self):
+        params = OUE(epsilon=0.5, domain_size=D).params
+        f = np.full(5, 0.01)
+        partial = mga_expected_gain_olh(f, params, 0.05, mean_coverage=3.0)
+        full = mga_expected_gain_olh(f, params, 0.05, mean_coverage=5.0)
+        assert full > partial
+
+
+class TestEmpiricalMatch:
+    def test_grr_gain_matches_simulation(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = MGAAttack(domain_size=D, r=5, rng=1)
+        beta = 0.05
+        targets = attack.target_items
+        predicted = mga_expected_gain_grr(
+            DATASET.frequencies[targets], proto.params, beta
+        )
+        gains = []
+        for seed in range(20):
+            trial = run_trial(DATASET, proto, attack, beta=beta, rng=seed)
+            gains.append(
+                frequency_gain(
+                    trial.genuine_frequencies, trial.poisoned_frequencies, targets
+                )
+            )
+        assert np.mean(gains) == pytest.approx(predicted, rel=0.15)
+
+    def test_oue_gain_matches_simulation(self):
+        proto = OUE(epsilon=0.5, domain_size=D)
+        attack = MGAAttack(domain_size=D, r=5, rng=2)
+        beta = 0.05
+        targets = attack.target_items
+        predicted = mga_expected_gain_oue(
+            DATASET.frequencies[targets], proto.params, beta
+        )
+        gains = []
+        for seed in range(20):
+            trial = run_trial(DATASET, proto, attack, beta=beta, rng=seed)
+            gains.append(
+                frequency_gain(
+                    trial.genuine_frequencies, trial.poisoned_frequencies, targets
+                )
+            )
+        assert np.mean(gains) == pytest.approx(predicted, rel=0.15)
+
+
+class TestUsersNeeded:
+    def test_inversion_consistency(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        f = np.full(5, 0.01)
+        support = np.full(5, 1 / 5)
+        n = 100_000
+        m = users_needed_for_gain(0.1, f, params, support, n)
+        assert m > 0
+        beta = m / (n + m)
+        realized = expected_gain_from_support(support, f, params, beta)
+        assert realized == pytest.approx(0.1, rel=0.01)
+
+    def test_unreachable_gain(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        f = np.full(5, 0.01)
+        support = np.full(5, 1 / 5)
+        assert users_needed_for_gain(1000.0, f, params, support, 100) == -1
+
+    def test_validation(self):
+        params = GRR(epsilon=0.5, domain_size=D).params
+        with pytest.raises(InvalidParameterError):
+            users_needed_for_gain(0.0, np.full(2, 0.1), params, np.full(2, 0.5), 10)

@@ -1,0 +1,112 @@
+"""Tests for the RIA / RPA baseline attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import MGAAttack, RIAAttack, RPAAttack
+from repro.exceptions import AttackError
+from repro.protocols import GRR, OLH, OUE
+from repro.protocols.sue import SUE
+
+D = 20
+
+
+class TestRIA:
+    def test_uniform_distribution(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = RIAAttack(domain_size=D)
+        probs = attack.item_distribution(proto)
+        np.testing.assert_allclose(probs, 1.0 / D)
+
+    def test_domain_validation(self):
+        with pytest.raises(AttackError):
+            RIAAttack(domain_size=1)
+
+    def test_domain_mismatch(self):
+        attack = RIAAttack(domain_size=D)
+        with pytest.raises(AttackError):
+            attack.item_distribution(GRR(epsilon=0.5, domain_size=D + 1))
+
+    def test_craft_counts(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        reports = RIAAttack(domain_size=D).craft(proto, 500, rng=0)
+        assert proto.num_reports(reports) == 500
+
+    def test_weaker_than_mga(self):
+        # RIA's uniform sampling cannot concentrate gain like MGA.
+        proto = GRR(epsilon=0.5, domain_size=D)
+        targets = [0, 1]
+        mga = MGAAttack(domain_size=D, targets=targets)
+        ria = RIAAttack(domain_size=D)
+        mga_reports = mga.craft(proto, 5000, rng=1)
+        ria_reports = ria.craft(proto, 5000, rng=1)
+        mga_freq = proto.aggregate(mga_reports)[targets].sum()
+        ria_freq = proto.aggregate(ria_reports)[targets].sum()
+        assert mga_freq > ria_freq * 2
+
+
+class TestRPA:
+    def test_grr_reports_are_uniform_items(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        reports = RPAAttack(domain_size=D).craft(proto, 50_000, rng=0)
+        counts = np.bincount(reports, minlength=D)
+        np.testing.assert_allclose(counts / 50_000, 1.0 / D, atol=0.01)
+
+    def test_oue_reports_half_on(self):
+        proto = OUE(epsilon=0.5, domain_size=D)
+        bits = RPAAttack(domain_size=D).craft(proto, 20_000, rng=0)
+        assert float(bits.mean()) == pytest.approx(0.5, abs=0.01)
+
+    def test_olh_reports_valid(self):
+        proto = OLH(epsilon=0.5, domain_size=D)
+        reports = RPAAttack(domain_size=D).craft(proto, 1000, rng=0)
+        assert proto.num_reports(reports) == 1000
+        assert reports.values.max() < proto.g
+
+    def test_sue_subclass_of_oue_supported(self):
+        proto = SUE(epsilon=0.5, domain_size=D)
+        bits = RPAAttack(domain_size=D).craft(proto, 100, rng=0)
+        assert bits.shape == (100, D)
+
+    def test_unknown_protocol_rejected(self):
+        class Fake:
+            name = "fake"
+            domain_size = D
+
+        with pytest.raises(AttackError):
+            RPAAttack(domain_size=D).craft(Fake(), 10)  # type: ignore[arg-type]
+
+    def test_item_shadow_uniform(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = RPAAttack(domain_size=D)
+        items = attack.sample_items(proto, 10_000, rng=1)
+        counts = np.bincount(items, minlength=D)
+        np.testing.assert_allclose(counts / 10_000, 1.0 / D, atol=0.02)
+
+    def test_rpa_distorts_oue_more_than_ria(self):
+        # A uniform random bit vector has ~d/2 on-bits, way above genuine
+        # rates: stronger untargeted distortion than faithful encodings.
+        proto = OUE(epsilon=0.5, domain_size=D)
+        rpa_freq = proto.aggregate(RPAAttack(domain_size=D).craft(proto, 5000, rng=2))
+        ria_freq = proto.aggregate(RIAAttack(domain_size=D).craft(proto, 5000, rng=2))
+        # RIA keeps per-item debiased frequencies near uniform (sum ~1);
+        # RPA pushes every item's estimate far above.
+        assert rpa_freq.sum() > ria_freq.sum() + 1
+
+    def test_recovery_counters_rpa(self):
+        from repro.core.recover import recover_frequencies
+        from repro.datasets import zipf_dataset
+        from repro.sim import mse, run_trial
+
+        data = zipf_dataset(domain_size=D, num_users=30_000, rng=1)
+        proto = OUE(epsilon=0.5, domain_size=D)
+        attack = RPAAttack(domain_size=D)
+        before, after = [], []
+        for seed in range(4):
+            trial = run_trial(data, proto, attack, beta=0.05, rng=seed)
+            result = recover_frequencies(trial.poisoned_frequencies, proto)
+            before.append(mse(trial.true_frequencies, trial.poisoned_frequencies))
+            after.append(mse(trial.true_frequencies, result.frequencies))
+        assert np.mean(after) < np.mean(before)

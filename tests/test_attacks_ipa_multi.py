@@ -1,0 +1,143 @@
+"""Tests for input poisoning (IPA) and multi-attacker composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AdaptiveAttack,
+    InputPoisoningAttack,
+    ManipAttack,
+    MGAAttack,
+    MultiAttacker,
+)
+from repro.exceptions import AttackError
+from repro.protocols import GRR, OUE
+
+D = 25
+
+
+class TestIPA:
+    def test_wraps_item_distribution(self):
+        inner = MGAAttack(domain_size=D, targets=[1, 2], rng=0)
+        ipa = InputPoisoningAttack(inner)
+        proto = GRR(epsilon=0.5, domain_size=D)
+        np.testing.assert_array_equal(
+            ipa.item_distribution(proto), inner.item_distribution(proto)
+        )
+        np.testing.assert_array_equal(ipa.target_items, [1, 2])
+        assert ipa.targeted is True
+
+    def test_reports_are_perturbed(self):
+        # Under IPA with GRR, reports leak off the targets with probability
+        # 1 - p (perturbation noise); direct crafting never does.
+        proto = GRR(epsilon=0.5, domain_size=D)
+        inner = MGAAttack(domain_size=D, targets=[0], rng=0)
+        ipa = InputPoisoningAttack(inner)
+        reports = ipa.craft(proto, 20_000, rng=1)
+        on_target_rate = float(np.mean(reports == 0))
+        assert on_target_rate == pytest.approx(proto.p, abs=0.01)
+
+    def test_direct_vs_ipa_strength(self):
+        # IPA shifts the aggregate far less than direct crafting (Fig. 8).
+        proto = GRR(epsilon=0.5, domain_size=D)
+        inner = MGAAttack(domain_size=D, targets=[0], rng=0)
+        direct = inner.craft(proto, 10_000, rng=1)
+        via_ipa = InputPoisoningAttack(inner).craft(proto, 10_000, rng=1)
+        direct_freq = proto.aggregate(direct)[0]
+        ipa_freq = proto.aggregate(via_ipa)[0]
+        assert direct_freq > ipa_freq * 2
+
+    def test_ipa_oue_vectors(self):
+        proto = OUE(epsilon=0.5, domain_size=D)
+        inner = MGAAttack(domain_size=D, targets=[3], rng=0)
+        reports = InputPoisoningAttack(inner).craft(proto, 100, rng=1)
+        assert reports.shape == (100, D)
+
+    def test_describe(self):
+        ipa = InputPoisoningAttack(MGAAttack(domain_size=D, r=2, rng=0))
+        assert ipa.describe().startswith("ipa(")
+
+
+class TestMultiAttacker:
+    def _attacks(self):
+        return [
+            AdaptiveAttack(domain_size=D, rng=i) for i in range(3)
+        ]
+
+    def test_equal_split(self):
+        multi = MultiAttacker(self._attacks())
+        np.testing.assert_array_equal(multi.split_users(9), [3, 3, 3])
+
+    def test_split_sums_to_m(self):
+        multi = MultiAttacker(self._attacks(), weights=[0.2, 0.5, 0.3])
+        for m in (0, 1, 7, 100, 12345):
+            assert multi.split_users(m).sum() == m
+
+    def test_weights_validation(self):
+        with pytest.raises(AttackError):
+            MultiAttacker(self._attacks(), weights=[1.0])
+        with pytest.raises(AttackError):
+            MultiAttacker(self._attacks(), weights=[-1, 1, 1])
+        with pytest.raises(AttackError):
+            MultiAttacker([])
+
+    def test_craft_total_reports(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        multi = MultiAttacker(self._attacks())
+        reports = multi.craft(proto, 100, rng=0)
+        assert proto.num_reports(reports) == 100
+
+    def test_mixture_distribution(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        p1 = np.zeros(D)
+        p1[0] = 1.0
+        p2 = np.zeros(D)
+        p2[1] = 1.0
+        multi = MultiAttacker(
+            [
+                AdaptiveAttack(domain_size=D, probabilities=p1),
+                AdaptiveAttack(domain_size=D, probabilities=p2),
+            ],
+            weights=[0.75, 0.25],
+        )
+        mix = multi.item_distribution(proto)
+        assert mix[0] == pytest.approx(0.75)
+        assert mix[1] == pytest.approx(0.25)
+
+    def test_target_union(self):
+        multi = MultiAttacker(
+            [
+                MGAAttack(domain_size=D, targets=[1, 2]),
+                MGAAttack(domain_size=D, targets=[2, 3]),
+                AdaptiveAttack(domain_size=D, rng=0),
+            ]
+        )
+        np.testing.assert_array_equal(multi.target_items, [1, 2, 3])
+        assert multi.targeted is True
+
+    def test_no_targets_when_all_untargeted(self):
+        multi = MultiAttacker(self._attacks())
+        assert multi.target_items is None
+        assert multi.targeted is False
+
+    def test_sample_items_counts(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        multi = MultiAttacker(self._attacks())
+        items = multi.sample_items(proto, 99, rng=1)
+        assert items.shape == (99,)
+
+    def test_item_distribution_none_when_inner_lacks_one(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+
+        class Opaque(MGAAttack):
+            def item_distribution(self, protocol):
+                return None
+
+        multi = MultiAttacker([Opaque(domain_size=D, r=2, rng=0)])
+        assert multi.item_distribution(proto) is None
+
+    def test_describe_lists_components(self):
+        multi = MultiAttacker([ManipAttack(domain_size=D, rng=0)])
+        assert multi.describe().startswith("multi[")

@@ -1,0 +1,127 @@
+"""Tests for the Manip and adaptive (AA) attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import AdaptiveAttack, ManipAttack
+from repro.exceptions import AttackError
+from repro.protocols import GRR
+
+
+@pytest.fixture()
+def proto() -> GRR:
+    return GRR(epsilon=0.5, domain_size=20)
+
+
+class TestManip:
+    def test_random_subdomain_size(self):
+        attack = ManipAttack(domain_size=20, subdomain_fraction=0.5, rng=0)
+        assert attack.subdomain.size == 10
+
+    def test_explicit_subdomain(self):
+        attack = ManipAttack(domain_size=20, subdomain=[3, 5, 5, 7])
+        np.testing.assert_array_equal(attack.subdomain, [3, 5, 7])
+
+    def test_invalid_subdomain_item(self):
+        with pytest.raises(AttackError):
+            ManipAttack(domain_size=20, subdomain=[25])
+
+    def test_empty_subdomain(self):
+        with pytest.raises(AttackError):
+            ManipAttack(domain_size=20, subdomain=[])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(AttackError):
+            ManipAttack(domain_size=20, subdomain_fraction=0.0)
+
+    def test_distribution_uniform_on_h(self, proto):
+        attack = ManipAttack(domain_size=20, subdomain=[1, 2, 3, 4])
+        probs = attack.item_distribution(proto)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.25)
+        assert probs[0] == 0.0
+
+    def test_samples_stay_in_h(self, proto):
+        attack = ManipAttack(domain_size=20, subdomain=[0, 19])
+        items = attack.sample_items(proto, 1000, rng=1)
+        assert set(np.unique(items)).issubset({0, 19})
+
+    def test_craft_reports_for_grr(self, proto):
+        attack = ManipAttack(domain_size=20, subdomain=[5])
+        reports = attack.craft(proto, 50, rng=2)
+        assert np.all(reports == 5)
+
+    def test_domain_mismatch_raises(self):
+        attack = ManipAttack(domain_size=10, rng=0)
+        with pytest.raises(AttackError):
+            attack.item_distribution(GRR(epsilon=0.5, domain_size=11))
+
+    def test_describe(self):
+        attack = ManipAttack(domain_size=20, subdomain=[1, 2])
+        assert "manip" in attack.describe()
+        assert attack.targeted is False
+
+    def test_deterministic_subdomain(self):
+        a = ManipAttack(domain_size=50, rng=9).subdomain
+        b = ManipAttack(domain_size=50, rng=9).subdomain
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAdaptiveAttack:
+    def test_random_distribution_is_probability(self, proto):
+        attack = AdaptiveAttack(domain_size=20, rng=0)
+        probs = attack.item_distribution(proto)
+        assert probs.shape == (20,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    def test_explicit_distribution_normalized(self, proto):
+        raw = np.zeros(20)
+        raw[3] = 2.0
+        raw[4] = 2.0
+        attack = AdaptiveAttack(domain_size=20, probabilities=raw)
+        probs = attack.item_distribution(proto)
+        assert probs[3] == pytest.approx(0.5)
+
+    def test_negative_probabilities_rejected(self):
+        raw = np.full(20, 0.05)
+        raw[0] = -0.1
+        with pytest.raises(AttackError):
+            AdaptiveAttack(domain_size=20, probabilities=raw)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(AttackError):
+            AdaptiveAttack(domain_size=20, probabilities=np.full(19, 1 / 19))
+
+    def test_invalid_concentration(self):
+        with pytest.raises(AttackError):
+            AdaptiveAttack(domain_size=20, concentration=0.0)
+
+    def test_sampling_follows_distribution(self, proto):
+        probs = np.zeros(20)
+        probs[7] = 0.8
+        probs[8] = 0.2
+        attack = AdaptiveAttack(domain_size=20, probabilities=probs)
+        items = attack.sample_items(proto, 50_000, rng=1)
+        assert float(np.mean(items == 7)) == pytest.approx(0.8, abs=0.01)
+
+    def test_top_items(self):
+        probs = np.zeros(20)
+        probs[[2, 9, 15]] = [0.5, 0.3, 0.2]
+        attack = AdaptiveAttack(domain_size=20, probabilities=probs)
+        np.testing.assert_array_equal(attack.top_items(2), [2, 9])
+
+    def test_top_items_invalid_k(self):
+        attack = AdaptiveAttack(domain_size=20, rng=0)
+        with pytest.raises(AttackError):
+            attack.top_items(0)
+
+    def test_deterministic_given_seed(self):
+        a = AdaptiveAttack(domain_size=20, rng=5).probabilities
+        b = AdaptiveAttack(domain_size=20, rng=5).probabilities
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_target_items(self):
+        assert AdaptiveAttack(domain_size=20, rng=0).target_items is None

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--figure", "fig3"])
+        assert args.dataset == "ipums"
+        assert args.trials == 5
+        assert args.seed == 0
+
+    def test_invalid_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--figure", "fig99"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.protocol == "grr"
+        assert args.beta == 0.05
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table1" in out
+
+    def test_run_table1(self, capsys):
+        code = main(
+            ["run", "--figure", "table1", "--trials", "1", "--num-users", "5000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mse_before_recovery" in out
+        assert "grr" in out
+
+    def test_run_fig4_small(self, capsys):
+        code = main(
+            ["run", "--figure", "fig4", "--trials", "1", "--num-users", "5000"]
+        )
+        assert code == 0
+        assert "fg_before" in capsys.readouterr().out
+
+    def test_run_sweep_parameter(self, capsys):
+        code = main(
+            [
+                "run",
+                "--figure",
+                "fig5",
+                "--parameter",
+                "eta",
+                "--trials",
+                "1",
+                "--num-users",
+                "5000",
+            ]
+        )
+        assert code == 0
+        assert "eta" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--num-users", "5000", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MSE after LDPRecover" in out
+        assert "frequency gain" in out

@@ -1,0 +1,189 @@
+"""Tests for the consistency post-processing baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.consistency import (
+    CONSISTENCY_METHODS,
+    base_cut,
+    norm,
+    norm_cut,
+    norm_mul,
+    norm_sub,
+)
+from repro.core.projection import is_probability_vector, project_onto_simplex_kkt
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestNorm:
+    def test_sums_to_one(self):
+        assert norm(np.array([0.1, 0.2, 0.3])).sum() == pytest.approx(1.0)
+
+    def test_preserves_differences(self):
+        vec = np.array([0.5, -0.2, 0.1])
+        result = norm(vec)
+        np.testing.assert_allclose(np.diff(result), np.diff(vec))
+
+    def test_can_stay_negative(self):
+        result = norm(np.array([2.0, -3.0]))
+        assert result.min() < 0
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_sums_to_one(self, vec):
+        assert norm(vec).sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestNormMul:
+    def test_probability_output(self):
+        result = norm_mul(np.array([0.4, -0.1, 0.8]))
+        assert is_probability_vector(result, atol=1e-9)
+
+    def test_preserves_ratios_of_positives(self):
+        result = norm_mul(np.array([0.2, 0.4, -1.0]))
+        assert result[1] == pytest.approx(2 * result[0])
+
+    def test_degenerate_all_negative_uniform(self):
+        result = norm_mul(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(result, 0.5)
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_probability_vector(self, vec):
+        assert is_probability_vector(norm_mul(vec), atol=1e-8)
+
+
+class TestNormCut:
+    def test_no_rescaling_when_under_one(self):
+        vec = np.array([0.2, -0.5, 0.3])
+        np.testing.assert_allclose(norm_cut(vec), [0.2, 0.0, 0.3])
+
+    def test_cuts_smallest_when_over_one(self):
+        vec = np.array([0.9, 0.5, 0.05])
+        result = norm_cut(vec)
+        assert result[2] == 0.0  # smallest cut first
+        assert result.sum() <= 1.0 + 1e-12
+
+    def test_head_never_rescaled(self):
+        vec = np.array([0.9, 0.5, 0.05])
+        assert norm_cut(vec)[0] == pytest.approx(0.9)
+
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_property_nonnegative_and_bounded(self, vec):
+        result = norm_cut(vec)
+        assert np.all(result >= 0)
+        # After cutting, the total never exceeds one by more than the
+        # largest single element boundary case.
+        assert result.sum() <= max(1.0, vec.max() if vec.size else 0) + 1e-9
+
+
+class TestNormSub:
+    @given(vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_equals_kkt_projection(self, vec):
+        np.testing.assert_allclose(
+            norm_sub(vec), project_onto_simplex_kkt(vec), atol=1e-9
+        )
+
+
+class TestBaseCut:
+    def test_zeros_noise_level_items(self):
+        params = GRR(epsilon=0.5, domain_size=10).params
+        n = 10_000
+        vec = np.full(10, 1e-6)
+        vec[0] = 0.9
+        result = base_cut(vec, params, n)
+        assert result[0] == pytest.approx(0.9)
+        np.testing.assert_allclose(result[1:], 0.0)
+
+    def test_threshold_scales_with_n(self):
+        params = GRR(epsilon=0.5, domain_size=10).params
+        vec = np.full(10, 0.02)
+        few = base_cut(vec, params, n=1_000)
+        many = base_cut(vec, params, n=10_000_000)
+        # With more users the noise floor drops and small values survive.
+        assert many.sum() >= few.sum()
+
+    def test_validation(self):
+        params = GRR(epsilon=0.5, domain_size=10).params
+        with pytest.raises(InvalidParameterError):
+            base_cut(np.zeros(10), params, n=0)
+        with pytest.raises(InvalidParameterError):
+            base_cut(np.zeros(10), params, n=10, threshold_sigmas=0)
+
+
+class TestMethodMap:
+    def test_registry_contents(self):
+        assert set(CONSISTENCY_METHODS) == {"norm", "norm-mul", "norm-cut", "norm-sub"}
+
+    def test_all_methods_run(self):
+        vec = np.array([0.5, -0.2, 0.4, 0.1])
+        for fn in CONSISTENCY_METHODS.values():
+            out = fn(vec)
+            assert out.shape == vec.shape
+
+    def test_input_validation_shared(self):
+        for fn in CONSISTENCY_METHODS.values():
+            with pytest.raises(InvalidParameterError):
+                fn(np.array([np.nan, 0.5]))
+            with pytest.raises(InvalidParameterError):
+                fn(np.array([]))
+
+
+class TestAgainstPoisoning:
+    def test_ldprecover_star_beats_generic_consistency_under_mga(self):
+        """Generic post-processing knows nothing about poisoning.  Plain
+        LDPRecover roughly matches the best generic method (its uniform
+        malicious split largely cancels under projection — by design),
+        while LDPRecover*'s targeted deduction beats every generic method.
+        """
+        from repro.attacks import MGAAttack
+        from repro.core.recover import recover_frequencies
+        from repro.datasets import zipf_dataset
+        from repro.sim import mse, run_trial
+
+        D = 24
+        data = zipf_dataset(domain_size=D, num_users=40_000, rng=5)
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = MGAAttack(domain_size=D, r=4, rng=0)
+        plain, star = [], []
+        generic = {name: [] for name in CONSISTENCY_METHODS}
+        for seed in range(5):
+            trial = run_trial(data, proto, attack, beta=0.05, rng=seed)
+            truth = trial.true_frequencies
+            plain.append(
+                mse(
+                    truth,
+                    recover_frequencies(trial.poisoned_frequencies, proto).frequencies,
+                )
+            )
+            star.append(
+                mse(
+                    truth,
+                    recover_frequencies(
+                        trial.poisoned_frequencies,
+                        proto,
+                        target_items=attack.target_items,
+                    ).frequencies,
+                )
+            )
+            for name, fn in CONSISTENCY_METHODS.items():
+                generic[name].append(mse(truth, fn(trial.poisoned_frequencies)))
+        best_generic = min(np.mean(v) for v in generic.values())
+        assert np.mean(star) < best_generic, "LDPRecover* must beat every generic"
+        assert np.mean(plain) <= 2 * best_generic, "plain LDPRecover stays competitive"
+        # And the whole family beats doing nothing about negatives (norm).
+        assert np.mean(plain) < np.mean(generic["norm"])

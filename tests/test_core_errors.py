@@ -1,0 +1,114 @@
+"""Tests for the Berry-Esseen approximation error bounds (Thms 4-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.errors import (
+    BERRY_ESSEEN_C,
+    BERRY_ESSEEN_SHIFT,
+    berry_esseen_bound,
+    genuine_cdf_error_bound,
+    malicious_cdf_error_bound,
+    per_report_moments,
+)
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR
+
+
+@pytest.fixture()
+def params():
+    return GRR(epsilon=0.5, domain_size=16).params
+
+
+class TestPerReportMoments:
+    def test_mean_formula(self, params):
+        s = 0.3
+        moments = per_report_moments(s, params.p, params.q)
+        assert moments.mean == pytest.approx((s - params.q) / (params.p - params.q))
+
+    def test_degenerate_zero_variance(self, params):
+        # s = 0: the estimate is the constant -q/(p-q).
+        moments = per_report_moments(0.0, params.p, params.q)
+        assert moments.variance == pytest.approx(0.0, abs=1e-18)
+        assert moments.third_absolute == pytest.approx(0.0, abs=1e-18)
+
+    def test_third_moment_positive(self, params):
+        moments = per_report_moments(0.5, params.p, params.q)
+        assert moments.third_absolute > 0
+
+    def test_invalid_support_prob(self, params):
+        with pytest.raises(InvalidParameterError):
+            per_report_moments(-0.1, params.p, params.q)
+
+    def test_moments_match_monte_carlo(self, params):
+        s = 0.4
+        rng = np.random.default_rng(0)
+        supported = rng.random(2_000_000) < s
+        gap = params.p - params.q
+        values = np.where(supported, (1 - params.q) / gap, -params.q / gap)
+        moments = per_report_moments(s, params.p, params.q)
+        # Tolerances sized to ~4x the Monte-Carlo standard error.
+        assert values.mean() == pytest.approx(moments.mean, abs=0.05)
+        assert values.var() == pytest.approx(moments.variance, rel=0.02)
+        third = np.mean(np.abs(values - values.mean()) ** 3)
+        assert third == pytest.approx(moments.third_absolute, rel=0.02)
+
+
+class TestBounds:
+    def test_theorem4_shape(self, params):
+        bound = malicious_cdf_error_bound(0.3, params, m=100)
+        assert bound > 0
+
+    def test_rate_is_inverse_sqrt(self, params):
+        b1 = malicious_cdf_error_bound(0.3, params, m=100)
+        b2 = malicious_cdf_error_bound(0.3, params, m=10_000)
+        assert b2 == pytest.approx(b1 / 10)
+
+    def test_theorem5_rate(self, params):
+        b1 = genuine_cdf_error_bound(0.2, params, n=400)
+        b2 = genuine_cdf_error_bound(0.2, params, n=40_000)
+        assert b2 == pytest.approx(b1 / 10)
+
+    def test_degenerate_gives_infinity(self, params):
+        assert malicious_cdf_error_bound(0.0, params, m=100) == float("inf")
+
+    def test_invalid_num_reports(self, params):
+        moments = per_report_moments(0.5, params.p, params.q)
+        with pytest.raises(InvalidParameterError):
+            berry_esseen_bound(moments, 0)
+
+    def test_constants_match_paper(self):
+        assert BERRY_ESSEEN_C == pytest.approx(0.33554)
+        assert BERRY_ESSEEN_SHIFT == pytest.approx(0.415)
+
+    def test_bound_dominates_empirical_cdf_distance(self, params):
+        """The whole point of Theorems 4-5: the true CDF of the aggregated
+        malicious frequency stays within the bound of the normal CDF."""
+        s, m = 0.3, 200
+        gap = params.p - params.q
+        rng = np.random.default_rng(1)
+        trials = 4000
+        supported = rng.random((trials, m)) < s
+        per_report = np.where(supported, (1 - params.q) / gap, -params.q / gap)
+        estimates = per_report.mean(axis=1)  # the aggregated frequency f_Y(v)
+        moments = per_report_moments(s, params.p, params.q)
+        mu = moments.mean
+        sigma = moments.std / np.sqrt(m)
+        # Empirical sup-distance between the sample CDF and N(mu, sigma^2).
+        xs = np.sort(estimates)
+        empirical = np.arange(1, trials + 1) / trials
+        normal = stats.norm.cdf(xs, loc=mu, scale=sigma)
+        distance = float(np.max(np.abs(empirical - normal)))
+        bound = malicious_cdf_error_bound(s, params, m)
+        # Allow Monte-Carlo slack (DKW fluctuation ~ sqrt(ln/2/trials)).
+        slack = np.sqrt(np.log(2 / 0.01) / (2 * trials))
+        assert distance <= bound + slack
+
+    def test_bound_decreases_in_support_prob_symmetry(self, params):
+        # The bound is driven by skewness: symmetric (s=0.5) beats extreme s.
+        mid = malicious_cdf_error_bound(0.5, params, m=100)
+        edge = malicious_cdf_error_bound(0.01, params, m=100)
+        assert mid < edge

@@ -1,0 +1,111 @@
+"""Tests for heavy-hitter identification on recovered frequencies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heavyhitters import (
+    HeavyHitterReport,
+    heavy_hitter_report,
+    promoted_items,
+    top_k_items,
+    top_k_precision,
+    top_k_recall,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestTopK:
+    def test_basic(self):
+        freq = np.array([0.1, 0.5, 0.05, 0.35])
+        np.testing.assert_array_equal(top_k_items(freq, 2), [1, 3])
+
+    def test_sorted_by_item_id(self):
+        freq = np.array([0.4, 0.1, 0.5])
+        result = top_k_items(freq, 2)
+        assert np.all(np.diff(result) > 0)
+
+    def test_deterministic_tie_break(self):
+        freq = np.array([0.25, 0.25, 0.25, 0.25])
+        np.testing.assert_array_equal(top_k_items(freq, 2), [0, 1])
+
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_items(np.array([0.5, 0.5]), 0)
+        with pytest.raises(InvalidParameterError):
+            top_k_items(np.array([0.5, 0.5]), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_items(np.array([]), 1)
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        freq = np.array([0.5, 0.3, 0.1, 0.1])
+        assert top_k_precision(freq, freq, 2) == 1.0
+        assert top_k_recall(freq, freq, 2) == 1.0
+
+    def test_half_overlap(self):
+        truth = np.array([0.5, 0.3, 0.1, 0.1])
+        est = np.array([0.5, 0.0, 0.4, 0.1])
+        assert top_k_precision(truth, est, 2) == 0.5
+
+    def test_no_overlap(self):
+        truth = np.array([0.5, 0.5, 0.0, 0.0])
+        est = np.array([0.0, 0.0, 0.5, 0.5])
+        assert top_k_precision(truth, est, 2) == 0.0
+
+
+class TestPromotedItems:
+    def test_identifies_planted(self):
+        truth = np.array([0.5, 0.3, 0.15, 0.05])
+        poisoned = np.array([0.4, 0.1, 0.1, 0.4])  # item 3 planted into top-2
+        np.testing.assert_array_equal(promoted_items(truth, poisoned, 2), [3])
+
+    def test_empty_when_clean(self):
+        truth = np.array([0.5, 0.3, 0.15, 0.05])
+        assert promoted_items(truth, truth, 2).size == 0
+
+
+class TestReport:
+    def test_fields_and_gain(self):
+        truth = np.array([0.5, 0.3, 0.15, 0.05])
+        poisoned = np.array([0.3, 0.1, 0.1, 0.5])
+        recovered = np.array([0.45, 0.3, 0.2, 0.05])
+        report = heavy_hitter_report(truth, poisoned, recovered, k=2)
+        assert isinstance(report, HeavyHitterReport)
+        assert report.precision_poisoned == 0.5
+        assert report.precision_recovered == 1.0
+        assert report.planted_poisoned == 1
+        assert report.planted_recovered == 0
+        assert report.precision_gain == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_mga_pollutes_top_k_and_recovery_repairs_it(self):
+        """The attack's actual goal: planting items in the popular list."""
+        import repro
+
+        data = repro.ipums_like(num_users=60_000)
+        protocol = repro.GRR(epsilon=0.5, domain_size=data.domain_size)
+        # Target unpopular items so promotion is visible in the top-10.
+        tail_items = np.argsort(data.frequencies)[:5]
+        attack = repro.MGAAttack(domain_size=data.domain_size, targets=tail_items)
+        polluted, repaired = [], []
+        for seed in range(4):
+            trial = repro.run_trial(data, protocol, attack, beta=0.1, rng=seed)
+            recovery = repro.recover_frequencies(
+                trial.poisoned_frequencies, protocol, target_items=tail_items
+            )
+            report = heavy_hitter_report(
+                trial.true_frequencies,
+                trial.poisoned_frequencies,
+                recovery.frequencies,
+                k=10,
+            )
+            polluted.append(report.planted_poisoned)
+            repaired.append(report.planted_recovered)
+        assert np.mean(polluted) >= 2, "MGA should plant items into the top-10"
+        assert np.mean(repaired) < np.mean(polluted), "recovery should evict them"

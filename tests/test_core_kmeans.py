@@ -1,0 +1,117 @@
+"""Tests for the k-means defense and LDPRecover-KM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import InputPoisoningAttack, MGAAttack
+from repro.core.kmeans import KMeansDefense, kmeans, recover_with_kmeans
+from repro.core.projection import is_probability_vector
+from repro.datasets import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR
+from repro.sim import mse, run_trial
+
+D = 16
+DATASET = zipf_dataset(domain_size=D, num_users=15_000, exponent=1.0, rng=4)
+
+
+class TestKMeans:
+    def test_two_well_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.1, size=(30, 3))
+        b = rng.normal(5.0, 0.1, size=(30, 3))
+        points = np.vstack([a, b])
+        labels, centroids = kmeans(points, k=2, rng=1)
+        # Members of the same ground-truth cluster share a label.
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+
+    def test_centroid_positions(self):
+        points = np.array([[0.0], [0.2], [10.0], [10.2]])
+        labels, centroids = kmeans(points, k=2, rng=0)
+        assert sorted(np.round(centroids.ravel(), 1)) == [0.1, 10.1]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(40, 4))
+        l1, c1 = kmeans(points, k=2, rng=9)
+        l2, c2 = kmeans(points, k=2, rng=9)
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_allclose(c1, c2)
+
+    def test_too_few_points(self):
+        with pytest.raises(InvalidParameterError):
+            kmeans(np.zeros((1, 2)), k=2)
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        labels, centroids = kmeans(points, k=2, rng=0)
+        assert labels.shape == (10,)
+
+
+class TestKMeansDefense:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KMeansDefense(sample_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            KMeansDefense(sample_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            KMeansDefense(num_subsets=1)
+
+    def test_run_produces_probabilityish_output(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        trial = run_trial(DATASET, proto, attack, beta=0.05, mode="sampled", rng=1)
+        defense = KMeansDefense(sample_rate=0.3, num_subsets=8)
+        result = defense.run(proto, trial.reports, rng=2)
+        assert result.frequencies.shape == (D,)
+        assert result.labels.shape == (8,)
+        assert result.genuine_cluster in (0, 1)
+        assert result.eta_estimate >= 0
+
+    def test_genuine_cluster_is_majority(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        trial = run_trial(DATASET, proto, attack, beta=0.05, mode="sampled", rng=1)
+        defense = KMeansDefense(sample_rate=0.2, num_subsets=10)
+        result = defense.run(proto, trial.reports, rng=3)
+        counts = np.bincount(result.labels, minlength=2)
+        assert counts[result.genuine_cluster] == counts.max()
+
+
+class TestRecoverWithKMeans:
+    def test_returns_probability_vector(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        trial = run_trial(DATASET, proto, attack, beta=0.05, mode="sampled", rng=1)
+        recovery, km = recover_with_kmeans(proto, trial.reports, rng=2)
+        assert is_probability_vector(recovery.frequencies, atol=1e-8)
+
+    def test_improves_over_poisoned_under_ipa(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        before, after = [], []
+        for seed in range(4):
+            trial = run_trial(DATASET, proto, attack, beta=0.1, mode="sampled", rng=seed)
+            recovery, _ = recover_with_kmeans(proto, trial.reports, rng=seed)
+            before.append(mse(trial.true_frequencies, trial.poisoned_frequencies))
+            after.append(mse(trial.true_frequencies, recovery.frequencies))
+        assert np.mean(after) < np.mean(before)
+
+    def test_eta_override(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        trial = run_trial(DATASET, proto, attack, beta=0.05, mode="sampled", rng=1)
+        recovery, _ = recover_with_kmeans(proto, trial.reports, eta=0.07, rng=2)
+        assert recovery.eta == pytest.approx(0.07)
+
+    def test_external_scenario_recorded(self):
+        proto = GRR(epsilon=0.5, domain_size=D)
+        attack = InputPoisoningAttack(MGAAttack(domain_size=D, r=3, rng=0))
+        trial = run_trial(DATASET, proto, attack, beta=0.05, mode="sampled", rng=1)
+        recovery, km = recover_with_kmeans(proto, trial.reports, rng=2)
+        if km.malicious_frequencies is not None:
+            assert recovery.scenario == "external"

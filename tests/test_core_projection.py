@@ -1,0 +1,157 @@
+"""Tests for the KKT simplex projection, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.projection import (
+    is_probability_vector,
+    project_onto_simplex_kkt,
+    project_onto_simplex_sort,
+)
+from repro.exceptions import RecoveryError
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestKKTProjection:
+    def test_already_on_simplex_unchanged(self):
+        vec = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_onto_simplex_kkt(vec), vec, atol=1e-12)
+
+    def test_uniform_shift_removed(self):
+        # A constant added to a simplex vector projects back to it — the
+        # property that makes LDPRecover robust to a misestimated learned
+        # sum (DESIGN.md section 3).
+        vec = np.array([0.1, 0.2, 0.3, 0.4])
+        shifted = vec + 0.7
+        np.testing.assert_allclose(project_onto_simplex_kkt(shifted), vec, atol=1e-12)
+
+    def test_negative_entries_zeroed(self):
+        result = project_onto_simplex_kkt(np.array([1.5, -0.5, -0.5]))
+        np.testing.assert_allclose(result, [1.0, 0.0, 0.0])
+
+    def test_single_element(self):
+        np.testing.assert_allclose(project_onto_simplex_kkt(np.array([-3.0])), [1.0])
+
+    def test_all_negative_input(self):
+        result = project_onto_simplex_kkt(np.array([-5.0, -1.0, -2.0]))
+        assert is_probability_vector(result)
+        # Mass concentrates on the least-negative coordinate.
+        assert result[1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecoveryError):
+            project_onto_simplex_kkt(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(RecoveryError):
+            project_onto_simplex_kkt(np.array([0.5, np.nan]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(RecoveryError):
+            project_onto_simplex_kkt(np.zeros((2, 2)))
+
+    def test_max_iterations_too_small_raises(self):
+        with pytest.raises(RecoveryError):
+            project_onto_simplex_kkt(np.array([-5.0, -1.0, -2.0]), max_iterations=1)
+
+    def test_default_cap_always_converges(self):
+        # d iterations always suffice: each removes >= 1 coordinate.
+        vec = -np.arange(50, dtype=np.float64)
+        result = project_onto_simplex_kkt(vec)
+        assert is_probability_vector(result)
+
+
+class TestSortProjection:
+    def test_matches_kkt_on_examples(self):
+        for vec in (
+            np.array([0.5, 0.5]),
+            np.array([2.0, -1.0, 0.3]),
+            np.array([-1.0, -2.0, -3.0]),
+            np.linspace(-1, 1, 17),
+        ):
+            np.testing.assert_allclose(
+                project_onto_simplex_sort(vec),
+                project_onto_simplex_kkt(vec),
+                atol=1e-10,
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecoveryError):
+            project_onto_simplex_sort(np.array([]))
+
+
+class TestIsProbabilityVector:
+    def test_accepts_simplex(self):
+        assert is_probability_vector(np.array([0.4, 0.6]))
+
+    def test_rejects_negative(self):
+        assert not is_probability_vector(np.array([-0.1, 1.1]))
+
+    def test_rejects_bad_sum(self):
+        assert not is_probability_vector(np.array([0.4, 0.4]))
+
+    def test_tolerance(self):
+        assert is_probability_vector(np.array([0.5, 0.5 + 1e-12]))
+
+
+class TestProjectionProperties:
+    """Property-based invariants of the exact simplex projection."""
+
+    @given(finite_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_output_is_probability_vector(self, vec):
+        result = project_onto_simplex_kkt(vec)
+        assert is_probability_vector(result, atol=1e-8)
+
+    @given(finite_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_kkt_equals_sort_reference(self, vec):
+        kkt = project_onto_simplex_kkt(vec)
+        sort = project_onto_simplex_sort(vec)
+        np.testing.assert_allclose(kkt, sort, atol=1e-8)
+
+    @given(finite_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, vec):
+        once = project_onto_simplex_kkt(vec)
+        twice = project_onto_simplex_kkt(once)
+        np.testing.assert_allclose(once, twice, atol=1e-8)
+
+    @given(finite_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_projection_is_closest_point(self, vec):
+        # No random simplex perturbation of the output should be closer.
+        result = project_onto_simplex_kkt(vec)
+        base_dist = float(np.sum((result - vec) ** 2))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            other = rng.dirichlet(np.ones(vec.size))
+            other_dist = float(np.sum((other - vec) ** 2))
+            assert base_dist <= other_dist + 1e-8
+
+    @given(finite_vectors, st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_invariance(self, vec, shift):
+        # Projection onto the simplex is invariant to uniform shifts.
+        a = project_onto_simplex_kkt(vec)
+        b = project_onto_simplex_kkt(vec + shift)
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+    @given(finite_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_order_preservation(self, vec):
+        # The projection never swaps the order of two coordinates.
+        result = project_onto_simplex_kkt(vec)
+        idx = np.argsort(vec, kind="stable")
+        sorted_result = result[idx]
+        assert np.all(np.diff(sorted_result) >= -1e-9)

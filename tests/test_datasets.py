@@ -1,0 +1,142 @@
+"""Tests for the dataset container and the IPUMS/Fire surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    FIRE_DOMAIN_SIZE,
+    FIRE_NUM_USERS,
+    IPUMS_DOMAIN_SIZE,
+    IPUMS_NUM_USERS,
+    dirichlet_dataset,
+    fire_like,
+    geometric_dataset,
+    ipums_like,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestDataset:
+    def test_properties(self):
+        data = Dataset(name="toy", counts=np.array([3, 0, 7]))
+        assert data.domain_size == 3
+        assert data.num_users == 10
+        np.testing.assert_allclose(data.frequencies, [0.3, 0.0, 0.7])
+
+    def test_frequencies_sum_to_one(self):
+        data = zipf_dataset(domain_size=50, num_users=999, rng=0)
+        assert data.frequencies.sum() == pytest.approx(1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="bad", counts=np.array([1, -1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="bad", counts=np.array([0, 0]))
+
+    def test_single_bin_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="bad", counts=np.array([5]))
+
+    def test_scaled_preserves_total_and_profile(self):
+        data = zipf_dataset(domain_size=30, num_users=100_000, rng=1)
+        scaled = data.scaled(1_234)
+        assert scaled.num_users == 1_234
+        assert scaled.domain_size == 30
+        # Profile approximately preserved.
+        np.testing.assert_allclose(
+            scaled.frequencies, data.frequencies, atol=1.0 / 1_234
+        )
+
+    def test_scaled_invalid(self):
+        data = uniform_dataset(domain_size=4, num_users=100)
+        with pytest.raises(InvalidParameterError):
+            data.scaled(0)
+
+
+class TestGenerators:
+    def test_zipf_skew(self):
+        data = zipf_dataset(domain_size=100, num_users=100_000, exponent=1.2, shuffle=False)
+        freqs = data.frequencies
+        assert freqs[0] > freqs[50] > freqs[99]
+
+    def test_zipf_exponent_zero_is_uniform(self):
+        data = zipf_dataset(domain_size=10, num_users=1000, exponent=0.0, shuffle=False)
+        np.testing.assert_allclose(data.frequencies, 0.1, atol=1e-3)
+
+    def test_zipf_shuffle_determinism(self):
+        a = zipf_dataset(domain_size=20, num_users=500, rng=5)
+        b = zipf_dataset(domain_size=20, num_users=500, rng=5)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_zipf_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_dataset(domain_size=1, num_users=10)
+        with pytest.raises(InvalidParameterError):
+            zipf_dataset(domain_size=5, num_users=0)
+        with pytest.raises(InvalidParameterError):
+            zipf_dataset(domain_size=5, num_users=10, exponent=-1)
+
+    def test_uniform_counts_balanced(self):
+        data = uniform_dataset(domain_size=7, num_users=100)
+        assert data.num_users == 100
+        assert data.counts.max() - data.counts.min() <= 1
+
+    def test_geometric_profile(self):
+        data = geometric_dataset(domain_size=20, num_users=10_000, ratio=0.7, shuffle=False)
+        assert data.counts[0] > data.counts[10]
+
+    def test_geometric_ratio_validation(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_dataset(domain_size=5, num_users=10, ratio=1.0)
+
+    def test_dirichlet_deterministic(self):
+        a = dirichlet_dataset(domain_size=15, num_users=1000, rng=2)
+        b = dirichlet_dataset(domain_size=15, num_users=1000, rng=2)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_dirichlet_concentration_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dirichlet_dataset(domain_size=5, num_users=10, concentration=0)
+
+
+class TestSurrogates:
+    def test_ipums_paper_shape(self):
+        data = ipums_like()
+        assert data.domain_size == IPUMS_DOMAIN_SIZE == 102
+        assert data.num_users == IPUMS_NUM_USERS == 389_894
+
+    def test_ipums_deterministic(self):
+        np.testing.assert_array_equal(ipums_like().counts, ipums_like().counts)
+
+    def test_ipums_scaled(self):
+        data = ipums_like(num_users=10_000)
+        assert data.num_users == 10_000
+        assert data.domain_size == 102
+
+    def test_ipums_heavy_tail(self):
+        freqs = np.sort(ipums_like().frequencies)[::-1]
+        # Zipf-ish head: the top item carries much more than the median.
+        assert freqs[0] > 10 * freqs[51]
+
+    def test_fire_paper_shape(self):
+        data = fire_like()
+        assert data.domain_size == FIRE_DOMAIN_SIZE == 490
+        assert data.num_users == FIRE_NUM_USERS == 667_574
+
+    def test_fire_deterministic(self):
+        np.testing.assert_array_equal(fire_like().counts, fire_like().counts)
+
+    def test_fire_no_idle_units(self):
+        # The blend guarantees every unit has some calls.
+        assert fire_like().counts.min() > 0
+
+    def test_fire_scaled(self):
+        data = fire_like(num_users=5_000)
+        assert data.num_users == 5_000

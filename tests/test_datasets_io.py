@@ -1,0 +1,86 @@
+"""Tests for dataset persistence (CSV / NPZ round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, load_dataset_file, save_dataset, zipf_dataset
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def dataset():
+    return zipf_dataset(domain_size=12, num_users=500, rng=0, name="toy")
+
+
+class TestNPZ:
+    def test_round_trip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "d.npz")
+        loaded = load_dataset_file(path)
+        np.testing.assert_array_equal(loaded.counts, dataset.counts)
+        assert loaded.name == "toy"
+
+    def test_name_override(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "d.npz")
+        assert load_dataset_file(path, name="renamed").name == "renamed"
+
+
+class TestCSV:
+    def test_round_trip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "d.csv")
+        loaded = load_dataset_file(path)
+        np.testing.assert_array_equal(loaded.counts, dataset.counts)
+
+    def test_sparse_rows_fill_zeros(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        path.write_text("item,count\n5,10\n2,3\n")
+        loaded = load_dataset_file(path)
+        assert loaded.domain_size == 6
+        assert loaded.counts[5] == 10
+        assert loaded.counts[2] == 3
+        assert loaded.counts[0] == 0
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("item,count\nx,10\n")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_file(path)
+
+    def test_negative_item_rejected(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("item,count\n-1,10\n5,2\n")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_file(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("item,count\n")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_file(path)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_dataset_file(tmp_path / "nope.csv")
+
+    def test_bad_extension_save(self, dataset, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            save_dataset(dataset, tmp_path / "d.parquet")
+
+    def test_bad_extension_load(self, tmp_path):
+        (tmp_path / "d.parquet").write_text("x")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_file(tmp_path / "d.parquet")
+
+
+class TestPipelineFromFile:
+    def test_loaded_dataset_runs_pipeline(self, dataset, tmp_path):
+        import repro
+
+        path = save_dataset(dataset, tmp_path / "d.npz")
+        loaded = load_dataset_file(path)
+        proto = repro.GRR(epsilon=1.0, domain_size=loaded.domain_size)
+        trial = repro.run_trial(loaded, proto, None, rng=0)
+        assert trial.poisoned_frequencies.shape == (loaded.domain_size,)

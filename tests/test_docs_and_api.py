@@ -1,0 +1,107 @@
+"""Meta-tests: documentation coverage and API hygiene.
+
+A production library promises doc comments on every public item and a
+coherent export surface; these tests enforce both mechanically.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports documented at their definition site
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+class TestDocstrings:
+    def test_package_docstring(self):
+        assert repro.__doc__ and "LDPRecover" in repro.__doc__
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_members_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = [
+            name for name, obj in _public_members(module) if not inspect.getdoc(obj)
+        ]
+        assert not undocumented, f"{module_name}: undocumented {undocumented}"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_methods_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        missing: list[str] = []
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for meth_name, meth in vars(cls).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not inspect.getdoc(
+                    getattr(cls, meth_name)
+                ):
+                    missing.append(f"{cls_name}.{meth_name}")
+        assert not missing, f"{module_name}: undocumented methods {missing}"
+
+
+class TestExports:
+    def test_all_lists_resolve(self):
+        for module_name in MODULES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_top_level_all_sorted_groups(self):
+        # Every name in repro.__all__ must be importable from repro.
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_no_private_leaks_in_all(self):
+        for module_name in MODULES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert not name.startswith("_"), f"{module_name} exports private {name}"
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name, obj in vars(exceptions).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                if obj is not exceptions.ReproError:
+                    if obj.__module__ == "repro.exceptions":
+                        assert issubclass(obj, exceptions.ReproError), name
+
+    def test_invalid_parameter_is_value_error(self):
+        from repro.exceptions import InvalidParameterError
+
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_catchall_works(self):
+        from repro.exceptions import ReproError
+        from repro.protocols import GRR
+
+        with pytest.raises(ReproError):
+            GRR(epsilon=-1, domain_size=10)

@@ -1,0 +1,179 @@
+"""Edge cases and failure injection across the stack.
+
+Production concerns: degenerate domains, extreme privacy budgets, hostile
+recovery inputs, zero/maximal attack strengths, and pathological
+poisoned vectors.  Every case must either work or fail with a library
+exception — never a silent wrong answer or a bare numpy error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.projection import is_probability_vector
+from repro.exceptions import ReproError
+
+
+class TestDegenerateDomains:
+    def test_minimal_domain_grr(self):
+        proto = repro.GRR(epsilon=1.0, domain_size=2)
+        reports = proto.perturb(np.array([0, 1, 0]), rng=0)
+        assert proto.support_counts(reports).sum() == 3
+
+    def test_minimal_domain_recovery(self):
+        proto = repro.GRR(epsilon=1.0, domain_size=2)
+        result = repro.recover_frequencies(np.array([0.7, 0.3]), proto)
+        assert is_probability_vector(result.frequencies, atol=1e-9)
+
+    def test_single_user_dataset(self):
+        data = repro.Dataset(name="one", counts=np.array([1, 0, 0]))
+        proto = repro.GRR(epsilon=1.0, domain_size=3)
+        trial = repro.run_trial(data, proto, None, rng=0)
+        assert trial.n == 1
+
+    def test_olh_g_larger_than_domain(self):
+        # g > d is legal (hash range larger than the domain).
+        proto = repro.OLH(epsilon=1.0, domain_size=3, g=16)
+        reports = proto.perturb(np.array([0, 1, 2]), rng=0)
+        counts = proto.support_counts(reports)
+        assert counts.shape == (3,)
+
+
+class TestExtremePrivacyBudgets:
+    def test_tiny_epsilon(self):
+        proto = repro.GRR(epsilon=1e-4, domain_size=5)
+        assert proto.p > proto.q  # still a valid oracle
+        result = repro.recover_frequencies(np.full(5, 0.2), proto)
+        assert is_probability_vector(result.frequencies, atol=1e-8)
+
+    def test_huge_epsilon(self):
+        proto = repro.GRR(epsilon=20.0, domain_size=5)
+        reports = proto.perturb(np.full(1000, 3), rng=0)
+        # Essentially no perturbation at eps=20.
+        assert float(np.mean(reports == 3)) > 0.99
+
+    def test_oue_huge_epsilon_q_tiny(self):
+        proto = repro.OUE(epsilon=20.0, domain_size=5)
+        assert proto.q < 1e-8
+
+
+class TestHostileRecoveryInputs:
+    def test_nan_poisoned_vector(self, grr):
+        poisoned = np.full(grr.domain_size, 1.0 / grr.domain_size)
+        poisoned[0] = np.nan
+        with pytest.raises(ReproError):
+            repro.recover_frequencies(poisoned, grr)
+
+    def test_inf_poisoned_vector(self, grr):
+        poisoned = np.full(grr.domain_size, 1.0 / grr.domain_size)
+        poisoned[0] = np.inf
+        with pytest.raises(ReproError):
+            repro.recover_frequencies(poisoned, grr)
+
+    def test_huge_magnitude_vector(self, grr):
+        poisoned = np.full(grr.domain_size, 1e12)
+        result = repro.recover_frequencies(poisoned, grr)
+        assert is_probability_vector(result.frequencies, atol=1e-6)
+
+    def test_all_zero_vector(self, grr):
+        result = repro.recover_frequencies(np.zeros(grr.domain_size), grr)
+        assert is_probability_vector(result.frequencies, atol=1e-9)
+
+    def test_eta_at_extremes(self, grr):
+        poisoned = np.full(grr.domain_size, 1.0 / grr.domain_size)
+        for eta in (0.0, 10.0):
+            result = repro.recover_frequencies(poisoned, grr, eta=eta)
+            assert is_probability_vector(result.frequencies, atol=1e-8)
+
+
+class TestAttackStrengthExtremes:
+    def test_beta_zero_is_noop(self, grr, small_dataset):
+        attack = repro.AdaptiveAttack(domain_size=grr.domain_size, rng=0)
+        trial = repro.run_trial(small_dataset, grr, attack, beta=0.0, rng=1)
+        assert trial.m == 0
+        np.testing.assert_array_equal(
+            trial.poisoned_frequencies, trial.genuine_frequencies
+        )
+
+    def test_beta_near_one_rejected(self, grr, small_dataset):
+        attack = repro.AdaptiveAttack(domain_size=grr.domain_size, rng=0)
+        with pytest.raises(ReproError):
+            repro.run_trial(small_dataset, grr, attack, beta=1.0)
+
+    def test_massive_beta_still_recovers_shape(self, grr, small_dataset):
+        attack = repro.MGAAttack(domain_size=grr.domain_size, r=2, rng=0)
+        trial = repro.run_trial(small_dataset, grr, attack, beta=0.5, rng=1)
+        result = repro.recover_frequencies(
+            trial.poisoned_frequencies, grr, eta=1.0, target_items=attack.target_items
+        )
+        assert is_probability_vector(result.frequencies, atol=1e-8)
+
+    def test_zero_malicious_users_craft(self, grr):
+        attack = repro.MGAAttack(domain_size=grr.domain_size, r=2, rng=0)
+        reports = attack.craft(grr, 0, rng=1)
+        assert grr.num_reports(reports) == 0
+
+    def test_all_targets_attack(self, grr):
+        # MGA with every item targeted: legal for crafting, but partial
+        # knowledge covering the whole domain must be rejected.
+        attack = repro.MGAAttack(
+            domain_size=grr.domain_size, targets=np.arange(grr.domain_size)
+        )
+        reports = attack.craft(grr, 10, rng=0)
+        assert grr.num_reports(reports) == 10
+        with pytest.raises(ReproError):
+            repro.recover_frequencies(
+                np.full(grr.domain_size, 1.0 / grr.domain_size),
+                grr,
+                target_items=np.arange(grr.domain_size),
+            )
+
+
+class TestDetectionEdges:
+    def test_single_target(self, grr):
+        reports = grr.perturb(np.zeros(100, dtype=np.int64), rng=0)
+        from repro.core.detection import detect_and_aggregate
+
+        result = detect_and_aggregate(grr, reports, target_items=[5])
+        assert result.kept + result.removed == 100
+
+    def test_targets_cover_whole_domain_grr(self, grr):
+        # Every GRR report matches some target -> everything removed.
+        from repro.core.detection import detect_and_aggregate
+
+        reports = grr.perturb(np.zeros(50, dtype=np.int64), rng=0)
+        with pytest.raises(ReproError):
+            detect_and_aggregate(grr, reports, np.arange(grr.domain_size))
+
+
+class TestHarmonyEdges:
+    def test_constant_values(self):
+        harmony = repro.Harmony(epsilon=1.0)
+        reports = harmony.perturb(np.full(50_000, 1.0), rng=0)
+        assert harmony.estimate_mean(reports) == pytest.approx(1.0, abs=0.02)
+
+    def test_empty_values(self):
+        harmony = repro.Harmony(epsilon=1.0)
+        bits = harmony.discretize(np.array([]), rng=0)
+        assert bits.size == 0
+
+
+class TestNumericalStability:
+    def test_projection_with_denormals(self):
+        vec = np.array([1e-310, 1e-310, 1.0])
+        from repro.core.projection import project_onto_simplex_kkt
+
+        result = project_onto_simplex_kkt(vec)
+        assert is_probability_vector(result, atol=1e-9)
+
+    def test_learned_sum_large_domain(self):
+        # d = 100k with OUE: the learned sum is huge and negative but
+        # finite, and the uniform split stays finite.
+        params = repro.OUE(epsilon=0.5, domain_size=100_000).params
+        from repro.core.malicious import uniform_malicious_estimate
+
+        poisoned = np.full(100_000, 1e-5)
+        estimate = uniform_malicious_estimate(poisoned, params)
+        assert np.all(np.isfinite(estimate))

@@ -1,0 +1,177 @@
+"""Tests for the figure-regeneration module (small, fast configurations).
+
+Each test runs the exhibit at a reduced scale and asserts the *qualitative
+shape* the paper reports — who wins, by roughly what factor — exactly the
+reproduction contract of DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim import figures
+
+SCALE = 15_000  # users; keeps each exhibit under a couple of seconds
+
+
+def _col(rows, key):
+    return np.array([row[key] for row in rows], dtype=np.float64)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.figure3_rows(num_users=SCALE, trials=2, rng=0)
+
+    def test_all_cells_present(self, rows):
+        cells = {row["cell"] for row in rows}
+        assert cells == {
+            "manip-grr",
+            "mga-grr",
+            "mga-oue",
+            "mga-olh",
+            "aa-grr",
+            "aa-oue",
+            "aa-olh",
+        }
+
+    def test_recovery_beats_poisoned_everywhere(self, rows):
+        assert np.all(_col(rows, "mse_ldprecover") < _col(rows, "mse_before"))
+
+    def test_recovery_beats_detection_everywhere(self, rows):
+        assert np.all(_col(rows, "mse_ldprecover") < _col(rows, "mse_detection"))
+
+    def test_star_best_under_mga(self, rows):
+        mga = [r for r in rows if r["cell"].startswith("mga")]
+        star = _col(mga, "mse_ldprecover_star")
+        plain = _col(mga, "mse_ldprecover")
+        # Star wins on average across the MGA cells.
+        assert star.mean() < plain.mean()
+
+    def test_fire_dataset_variant(self):
+        rows = figures.figure3_rows(
+            dataset_name="fire", num_users=SCALE, trials=1, rng=1
+        )
+        assert len(rows) == 7
+        assert np.all(_col(rows, "mse_ldprecover") < _col(rows, "mse_before"))
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.figure4_rows(num_users=SCALE, trials=3, rng=0)
+
+    def test_fg_positive_before(self, rows):
+        assert np.all(_col(rows, "fg_before") > 0)
+
+    def test_fg_suppressed_after_recovery(self, rows):
+        before = _col(rows, "fg_before")
+        after = np.abs(_col(rows, "fg_ldprecover"))
+        assert np.all(after < before / 2)
+
+    def test_star_fg_at_most_plain(self, rows):
+        star = _col(rows, "fg_ldprecover_star")
+        before = _col(rows, "fg_before")
+        assert np.all(np.abs(star) < before / 2)
+
+
+class TestSweeps:
+    def test_beta_sweep_shape(self):
+        rows = figures.sweep_rows(
+            "ipums", "beta", values=(0.01, 0.1), num_users=SCALE, trials=2, rng=0
+        )
+        assert len(rows) == 6  # 3 protocols x 2 values
+        for protocol in ("grr", "oue", "olh"):
+            sub = [r for r in rows if r["cell"] == f"aa-{protocol}"]
+            # Recovery stays below poisoned at every beta.
+            assert all(r["mse_ldprecover"] < r["mse_before"] for r in sub)
+        # For GRR, whose single-item crafting distorts the most, the
+        # poisoning error visibly grows with beta even at test scale
+        # (OUE/OLH are noise-dominated at 15k users).
+        grr = [r for r in rows if r["cell"] == "aa-grr"]
+        assert grr[1]["mse_before"] > grr[0]["mse_before"]
+
+    def test_eta_sweep_runs(self):
+        rows = figures.sweep_rows(
+            "ipums", "eta", values=(0.05, 0.4), num_users=SCALE, trials=2, rng=1
+        )
+        assert all("eta" in row for row in rows)
+
+    def test_epsilon_sweep_runs(self):
+        rows = figures.sweep_rows(
+            "fire", "epsilon", values=(0.4, 1.6), num_users=SCALE, trials=1, rng=2
+        )
+        assert all(row["mse_ldprecover"] < row["mse_before"] for row in rows)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            figures.sweep_rows("ipums", "gamma", num_users=SCALE)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            figures.load_dataset("adult", None)
+
+
+class TestFigure7:
+    def test_star_estimates_malicious_better(self):
+        rows = figures.figure7_rows(num_users=SCALE, trials=2, rng=0)
+        plain = _col(rows, "malicious_mse_ldprecover")
+        star = _col(rows, "malicious_mse_ldprecover_star")
+        # Fig. 7's claim, averaged across cells.
+        assert star.mean() < plain.mean()
+
+
+class TestFigure8:
+    def test_ipa_much_weaker(self):
+        rows = figures.figure8_rows(num_users=SCALE, trials=2, rng=0)
+        mga = _col(rows, "mse_mga")
+        ipa = _col(rows, "mse_mga_ipa")
+        assert np.all(ipa < mga)
+        # Orders of magnitude at the larger betas.
+        assert (mga / ipa).max() > 10
+
+    def test_mga_grows_with_beta(self):
+        rows = figures.figure8_rows(num_users=SCALE, trials=2, rng=1)
+        grr = [r for r in rows if r["cell"] == "grr"]
+        assert grr[-1]["mse_mga"] > grr[0]["mse_mga"]
+
+
+class TestFigure9:
+    def test_ldprecover_km_wins(self):
+        rows = figures.figure9_rows(num_users=8_000, trials=2, rng=0)
+        km_rec = _col(rows, "mse_ldprecover_km")
+        km_only = _col(rows, "mse_kmeans")
+        assert km_rec.mean() < km_only.mean()
+
+
+class TestFigure10:
+    def test_multiattacker_recovery(self):
+        rows = figures.figure10_rows(num_users=SCALE, trials=2, rng=0)
+        assert len(rows) == 15  # 3 protocols x 5 betas
+        assert np.all(_col(rows, "mse_ldprecover") < _col(rows, "mse_before"))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.table1_rows(num_users=SCALE, trials=3, rng=0)
+
+    def test_both_datasets_all_protocols(self, rows):
+        assert len(rows) == 6
+
+    def test_grr_improves_on_unpoisoned(self, rows):
+        # Table I: for GRR the projection alone helps even without attack.
+        grr = [r for r in rows if r["protocol"] == "grr"]
+        for row in grr:
+            assert row["mse_after_recovery"] < row["mse_before_recovery"]
+
+    def test_oue_olh_can_degrade(self, rows):
+        # The paper's inversion: for OUE/OLH recovery on unpoisoned data
+        # may remove genuine mass.  At least the effect is not a large win
+        # across the board (ratio bounded below by ~0.1x is fine, what we
+        # rule out is accidental massive improvement masking a bug).
+        others = [r for r in rows if r["protocol"] in ("oue", "olh")]
+        ratios = [r["mse_after_recovery"] / r["mse_before_recovery"] for r in others]
+        assert min(ratios) > 0.05

@@ -1,0 +1,176 @@
+"""Cross-module integration scenarios.
+
+Each test is a miniature version of a full deployment story: collect →
+poison → recover → evaluate, exercising the public API exactly as the
+examples do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestQuickstartScenario:
+    """The README quickstart, verified end to end."""
+
+    def test_quickstart_flow(self):
+        data = repro.ipums_like(num_users=20_000)
+        protocol = repro.GRR(epsilon=0.5, domain_size=data.domain_size)
+        attack = repro.MGAAttack(domain_size=data.domain_size, r=10, rng=1)
+        trial = repro.run_trial(data, protocol, attack, beta=0.05, rng=2)
+        result = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+        assert repro.mse(trial.true_frequencies, result.frequencies) < repro.mse(
+            trial.true_frequencies, trial.poisoned_frequencies
+        )
+
+
+class TestFullMatrixScenario:
+    """Every protocol x every attack recovers, via the public API only."""
+
+    @pytest.mark.parametrize("protocol_name", ["grr", "oue", "olh"])
+    def test_matrix(self, protocol_name):
+        data = repro.fire_like(num_users=15_000)
+        protocol = repro.make_protocol(
+            protocol_name, epsilon=0.5, domain_size=data.domain_size
+        )
+        attacks = [
+            repro.ManipAttack(domain_size=data.domain_size, rng=0),
+            repro.MGAAttack(domain_size=data.domain_size, r=10, rng=0),
+            repro.AdaptiveAttack(domain_size=data.domain_size, rng=0),
+        ]
+        improvements = []
+        for attack in attacks:
+            before_vals, after_vals = [], []
+            for seed in range(3):
+                trial = repro.run_trial(data, protocol, attack, beta=0.05, rng=seed)
+                result = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+                before_vals.append(
+                    repro.mse(trial.true_frequencies, trial.poisoned_frequencies)
+                )
+                after_vals.append(repro.mse(trial.true_frequencies, result.frequencies))
+            improvements.append(np.mean(before_vals) / np.mean(after_vals))
+        # Recovery helps against every attack for this protocol.
+        assert min(improvements) > 1.0
+
+
+class TestOutlierDrivenStarScenario:
+    """The partial-knowledge loop: history -> outlier detector -> LDPRecover*."""
+
+    def test_detector_feeds_star_recovery(self):
+        from repro.sim.outliers import ZScoreOutlierDetector
+
+        data = repro.ipums_like(num_users=30_000)
+        protocol = repro.GRR(epsilon=0.5, domain_size=data.domain_size)
+        history = np.array(
+            [
+                repro.run_trial(data, protocol, None, rng=seed).genuine_frequencies
+                for seed in range(12)
+            ]
+        )
+        detector = ZScoreOutlierDetector(threshold=4.0).fit(history)
+        attack = repro.MGAAttack(domain_size=data.domain_size, r=10, rng=3)
+        trial = repro.run_trial(data, protocol, attack, beta=0.05, rng=99)
+        detected = detector.detect(trial.poisoned_frequencies)
+        assert detected.size > 0
+        star = repro.recover_frequencies(
+            trial.poisoned_frequencies, protocol, target_items=detected
+        )
+        plain = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+        # Detector-driven star recovery matches or beats non-knowledge.
+        star_fg = repro.frequency_gain(
+            trial.genuine_frequencies, star.frequencies, attack.target_items
+        )
+        plain_fg = repro.frequency_gain(
+            trial.genuine_frequencies, plain.frequencies, attack.target_items
+        )
+        assert abs(star_fg) <= abs(plain_fg) + 0.05
+
+
+class TestHarmonyScenario:
+    """Section VII-A: mean-estimation poisoning recovered via LDPRecover."""
+
+    def test_mean_recovery(self):
+        harmony = repro.Harmony(epsilon=1.0)
+        rng = np.random.default_rng(0)
+        values = rng.beta(2, 5, size=60_000) * 2 - 1  # skewed in [-1, 1]
+        true_mean = float(values.mean())
+
+        genuine_reports = harmony.perturb(values, rng)
+        m = 6_000
+        poison = harmony.craft_poison_reports(m, bit=1)
+        combined = np.concatenate([genuine_reports, poison])
+
+        poisoned_mean = harmony.estimate_mean(combined)
+        assert poisoned_mean > true_mean + 0.05  # attack visibly inflates
+
+        poisoned_freq = harmony.aggregate_frequencies(combined)
+        result = repro.recover_frequencies(
+            poisoned_freq, harmony.params, eta=m / values.size
+        )
+        recovered_mean = harmony.mean_from_frequencies(result.frequencies)
+        assert abs(recovered_mean - true_mean) < abs(poisoned_mean - true_mean)
+
+
+class TestMultiAttackerScenario:
+    """Section VII-C: five attackers, one recovery."""
+
+    def test_five_adaptive_attackers(self):
+        data = repro.ipums_like(num_users=20_000)
+        protocol = repro.OUE(epsilon=0.5, domain_size=data.domain_size)
+        attackers = [
+            repro.AdaptiveAttack(domain_size=data.domain_size, rng=i) for i in range(5)
+        ]
+        attack = repro.MultiAttacker(attackers)
+        before, after = [], []
+        for seed in range(3):
+            trial = repro.run_trial(data, protocol, attack, beta=0.1, rng=seed)
+            result = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+            before.append(repro.mse(trial.true_frequencies, trial.poisoned_frequencies))
+            after.append(repro.mse(trial.true_frequencies, result.frequencies))
+        assert np.mean(after) < np.mean(before)
+
+
+class TestCustomProtocolScenario:
+    """A downstream user plugs a custom pure protocol into the pipeline."""
+
+    def test_custom_protocol_via_registry(self):
+        from repro.protocols import registry
+        from repro.protocols.grr import GRR as BaseGRR
+
+        class QuietGRR(BaseGRR):
+            """GRR with a doubled privacy budget, as a stand-in custom oracle."""
+
+            name = "quiet-grr"
+
+            def __init__(self, epsilon, domain_size):
+                super().__init__(epsilon * 2, domain_size)
+
+        registry.register_protocol("quiet-grr", QuietGRR)
+        try:
+            data = repro.zipf_dataset(domain_size=20, num_users=10_000, rng=0)
+            protocol = repro.make_protocol("quiet-grr", epsilon=0.5, domain_size=20)
+            attack = repro.AdaptiveAttack(domain_size=20, rng=0)
+            before, after = [], []
+            for seed in range(4):
+                # Strong poisoning so the attack bias dominates LDP noise.
+                trial = repro.run_trial(data, protocol, attack, beta=0.2, rng=seed)
+                result = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
+                before.append(
+                    repro.mse(trial.true_frequencies, trial.poisoned_frequencies)
+                )
+                after.append(repro.mse(trial.true_frequencies, result.frequencies))
+            assert np.mean(after) < np.mean(before)
+        finally:
+            registry._FACTORIES.pop("quiet-grr", None)
+
+
+class TestPublicAPISurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"

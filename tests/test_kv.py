@@ -1,0 +1,184 @@
+"""Tests for the key-value extension (the paper's named future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AttackError, ProtocolError, RecoveryError
+from repro.kv import (
+    KeyValueProtocol,
+    KVPoisoningAttack,
+    recover_key_value,
+)
+from repro.kv.protocol import KVReports
+
+K = 8
+N = 120_000
+
+
+@pytest.fixture()
+def protocol():
+    return KeyValueProtocol(eps_key=2.0, eps_value=2.0, num_keys=K)
+
+
+def _population(rng_seed=0):
+    """A synthetic key-value population with known per-key means."""
+    rng = np.random.default_rng(rng_seed)
+    freq = np.array([0.30, 0.20, 0.15, 0.12, 0.10, 0.06, 0.04, 0.03])
+    means = np.array([0.5, -0.3, 0.0, 0.8, -0.6, 0.2, -0.1, 0.4])
+    keys = rng.choice(K, size=N, p=freq)
+    values = np.clip(means[keys] + rng.normal(0, 0.2, size=N), -1, 1)
+    return keys, values, freq, means
+
+
+class TestProtocol:
+    def test_budget_composition(self, protocol):
+        assert protocol.epsilon == pytest.approx(4.0)
+
+    def test_num_keys_validation(self):
+        with pytest.raises(Exception):
+            KeyValueProtocol(eps_key=1.0, eps_value=1.0, num_keys=1)
+
+    def test_perturb_shapes(self, protocol):
+        reports = protocol.perturb(np.array([0, 1]), np.array([0.5, -0.5]), rng=0)
+        assert len(reports) == 2
+
+    def test_value_bounds_enforced(self, protocol):
+        with pytest.raises(Exception):
+            protocol.perturb(np.array([0]), np.array([1.5]), rng=0)
+
+    def test_mismatched_shapes(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.perturb(np.array([0, 1]), np.array([0.5]), rng=0)
+
+    def test_frequency_estimates_unbiased(self, protocol):
+        keys, values, freq, _ = _population()
+        reports = protocol.perturb(keys, values, rng=1)
+        aggregate = protocol.aggregate(reports)
+        np.testing.assert_allclose(aggregate.frequencies, freq, atol=0.02)
+
+    def test_mean_estimates_debiased(self, protocol):
+        keys, values, _, means = _population()
+        reports = protocol.perturb(keys, values, rng=1)
+        aggregate = protocol.aggregate(reports)
+        # True per-key value means (the discretization is unbiased).
+        true_means = np.array([values[keys == k].mean() for k in range(K)])
+        np.testing.assert_allclose(aggregate.means, true_means, atol=0.1)
+
+    def test_zero_reports_rejected(self, protocol):
+        empty = KVReports(keys=np.empty(0, dtype=np.int64), bits=np.empty(0, dtype=np.int64))
+        with pytest.raises(ProtocolError):
+            protocol.aggregate(empty)
+
+    def test_craft_validation(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.craft_reports(np.array([K]), np.array([1]))
+        with pytest.raises(ProtocolError):
+            protocol.craft_reports(np.array([0]), np.array([2]))
+
+    def test_concat(self, protocol):
+        a = protocol.craft_reports(np.array([0]), np.array([1]))
+        b = protocol.craft_reports(np.array([1, 2]), np.array([0, 1]))
+        assert len(KeyValueProtocol.concat(a, b)) == 3
+
+
+class TestAttack:
+    def test_targets_resolved(self):
+        attack = KVPoisoningAttack(num_keys=K, r=3, rng=0)
+        assert attack.target_keys.size == 3
+
+    def test_explicit_targets(self):
+        attack = KVPoisoningAttack(num_keys=K, targets=[6, 7])
+        np.testing.assert_array_equal(attack.target_keys, [6, 7])
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            KVPoisoningAttack(num_keys=1)
+        with pytest.raises(AttackError):
+            KVPoisoningAttack(num_keys=K, target_bit=2)
+        attack = KVPoisoningAttack(num_keys=K, r=2, rng=0)
+        with pytest.raises(AttackError):
+            attack.craft(KeyValueProtocol(1.0, 1.0, K), -1)
+
+    def test_crafted_reports_hit_targets_with_bit(self, protocol):
+        attack = KVPoisoningAttack(num_keys=K, targets=[6, 7], target_bit=1)
+        reports = attack.craft(protocol, 1000, rng=1)
+        assert set(np.unique(reports.keys)).issubset({6, 7})
+        assert np.all(reports.bits == 1)
+
+    def test_attack_inflates_frequency_and_mean(self, protocol):
+        keys, values, _, _ = _population()
+        genuine = protocol.perturb(keys, values, rng=1)
+        attack = KVPoisoningAttack(num_keys=K, targets=[7], target_bit=1)
+        malicious = attack.craft(protocol, 10_000, rng=2)
+        combined = KeyValueProtocol.concat(genuine, malicious)
+        clean = protocol.aggregate(genuine)
+        poisoned = protocol.aggregate(combined)
+        assert poisoned.frequencies[7] > clean.frequencies[7] + 0.02
+        assert poisoned.means[7] > clean.means[7]
+
+
+class TestRecovery:
+    def _poisoned_setup(self, protocol, beta=0.08):
+        keys, values, freq, means = _population()
+        genuine = protocol.perturb(keys, values, rng=1)
+        attack = KVPoisoningAttack(num_keys=K, targets=[6, 7], target_bit=1, rng=0)
+        m = int(beta * N / (1 - beta))
+        malicious = attack.craft(protocol, m, rng=2)
+        combined = KeyValueProtocol.concat(genuine, malicious)
+        poisoned = protocol.aggregate(combined)
+        clean = protocol.aggregate(genuine)
+        return freq, means, clean, poisoned, attack, len(combined), m
+
+    def test_frequency_recovery_improves(self, protocol):
+        freq, _, clean, poisoned, attack, total, m = self._poisoned_setup(protocol)
+        result = recover_key_value(
+            protocol, poisoned, total, eta=0.1, target_keys=attack.target_keys
+        )
+        before = float(np.mean((poisoned.frequencies - freq) ** 2))
+        after = float(np.mean((result.frequencies - freq) ** 2))
+        assert after < before
+
+    def test_mean_recovery_improves_on_targets(self, protocol):
+        _, means, clean, poisoned, attack, total, m = self._poisoned_setup(protocol)
+        eta = m / (total - m)
+        result = recover_key_value(
+            protocol, poisoned, total, eta=eta, target_keys=attack.target_keys
+        )
+        targets = attack.target_keys
+        bias_before = np.abs(poisoned.means[targets] - clean.means[targets]).mean()
+        bias_after = np.abs(result.means[targets] - clean.means[targets]).mean()
+        assert bias_after < bias_before
+
+    def test_non_knowledge_mode_runs(self, protocol):
+        _, _, _, poisoned, _, total, _ = self._poisoned_setup(protocol)
+        result = recover_key_value(protocol, poisoned, total)
+        assert result.frequencies.shape == (K,)
+        assert result.means.shape == (K,)
+
+    def test_validation(self, protocol):
+        _, _, _, poisoned, _, total, _ = self._poisoned_setup(protocol)
+        with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, 0)
+        with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, total, malicious_bit=3)
+        with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, total, target_keys=[K + 1])
+
+    def test_recovered_frequencies_are_probability_vector(self, protocol):
+        from repro.core.projection import is_probability_vector
+
+        _, _, _, poisoned, attack, total, _ = self._poisoned_setup(protocol)
+        result = recover_key_value(
+            protocol, poisoned, total, target_keys=attack.target_keys
+        )
+        assert is_probability_vector(result.frequencies, atol=1e-8)
+
+    def test_recovered_means_bounded(self, protocol):
+        _, _, _, poisoned, attack, total, _ = self._poisoned_setup(protocol)
+        result = recover_key_value(
+            protocol, poisoned, total, target_keys=attack.target_keys
+        )
+        assert np.all(result.means >= -1.0)
+        assert np.all(result.means <= 1.0)

@@ -1,0 +1,144 @@
+"""Property-based tests on the protocol layer (hypothesis).
+
+Invariants exercised across random epsilon/domain/item configurations:
+support counts bounded by populations, aggregation identities, crafting
+support guarantees, and the unified estimator's algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import GRR, OLH, OUE, make_protocol
+
+protocol_names = st.sampled_from(["grr", "oue", "olh"])
+epsilons = st.floats(min_value=0.1, max_value=4.0, allow_nan=False)
+domains = st.integers(min_value=2, max_value=40)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def protocol_and_items(draw):
+    name = draw(protocol_names)
+    eps = draw(epsilons)
+    d = draw(domains)
+    n = draw(st.integers(min_value=1, max_value=300))
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, d, size=n)
+    proto = make_protocol(name, epsilon=eps, domain_size=d)
+    return proto, items, seed
+
+
+class TestProtocolInvariants:
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_support_counts_bounded_by_population(self, setup):
+        proto, items, seed = setup
+        reports = proto.perturb(items, seed)
+        counts = proto.support_counts(reports)
+        assert counts.shape == (proto.domain_size,)
+        assert counts.min() >= 0
+        assert counts.max() <= items.size
+
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_grr_support_sums_to_population(self, setup):
+        proto, items, seed = setup
+        if not isinstance(proto, GRR):
+            return
+        reports = proto.perturb(items, seed)
+        assert proto.support_counts(reports).sum() == items.size
+
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_num_reports_roundtrip(self, setup):
+        proto, items, seed = setup
+        reports = proto.perturb(items, seed)
+        assert proto.num_reports(reports) == items.size
+
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_is_additive(self, setup):
+        proto, items, seed = setup
+        a = proto.perturb(items, seed)
+        b = proto.craft_supporting(items, seed + 1)
+        combined = proto.concat_reports(a, b)
+        assert proto.num_reports(combined) == 2 * items.size
+        np.testing.assert_array_equal(
+            proto.support_counts(combined),
+            proto.support_counts(a) + proto.support_counts(b),
+        )
+
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_crafted_reports_support_their_item(self, setup):
+        proto, items, seed = setup
+        crafted = proto.craft_supporting(items, seed)
+        counts = proto.support_counts(crafted)
+        histogram = np.bincount(items, minlength=proto.domain_size)
+        # Every crafted report supports its chosen item (possibly others).
+        assert np.all(counts >= histogram)
+
+    @given(protocol_and_items())
+    @settings(max_examples=60, deadline=None)
+    def test_select_then_count_consistent(self, setup):
+        proto, items, seed = setup
+        reports = proto.perturb(items, seed)
+        rng = np.random.default_rng(seed)
+        mask = rng.random(items.size) < 0.5
+        kept = proto.select_reports(reports, mask)
+        assert proto.num_reports(kept) == int(mask.sum())
+
+    @given(protocol_and_items())
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_frequencies_affine_in_counts(self, setup):
+        proto, items, seed = setup
+        n = max(items.size, 1)
+        zero = proto.estimate_frequencies(np.full(proto.domain_size, n * proto.q), n)
+        np.testing.assert_allclose(zero, 0.0, atol=1e-9)
+        one = proto.estimate_frequencies(np.full(proto.domain_size, n * proto.p), n)
+        np.testing.assert_allclose(one, 1.0, atol=1e-9)
+
+    @given(protocol_and_items())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_counts_bounded(self, setup):
+        proto, items, seed = setup
+        histogram = np.bincount(items, minlength=proto.domain_size)
+        counts = proto.sample_genuine_counts(histogram, seed)
+        assert counts.min() >= 0
+        assert counts.max() <= items.size
+
+    @given(protocol_and_items())
+    @settings(max_examples=40, deadline=None)
+    def test_privacy_ratio(self, setup):
+        # p/q <= e^eps for GRR-style keep/flip probabilities (the LDP
+        # guarantee's likelihood-ratio bound at the report level).
+        proto, _, _ = setup
+        import math
+
+        if isinstance(proto, GRR):
+            assert proto.p / proto.q == pytest.approx(math.exp(proto.epsilon))
+        elif isinstance(proto, OUE):
+            # OUE: the worst-case ratio across the two bit channels is e^eps.
+            ratio = (proto.p / proto.q) * ((1 - proto.q) / (1 - proto.p))
+            assert ratio <= math.exp(proto.epsilon) * (1 + 1e-9)
+        elif isinstance(proto, OLH):
+            # Perturbation-level GRR on the hashed domain has ratio e^eps.
+            q_perturb = (1 - proto._p_perturb) / (proto.g - 1)
+            assert proto._p_perturb / q_perturb == pytest.approx(
+                math.exp(proto.epsilon)
+            )
+
+
+class TestDeterminism:
+    @given(protocol_and_items())
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_reports(self, setup):
+        proto, items, seed = setup
+        a = proto.support_counts(proto.perturb(items, seed))
+        b = proto.support_counts(proto.perturb(items, seed))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,131 @@
+"""Property-based tests on the recovery layer (hypothesis).
+
+Invariants: recovery always outputs a probability vector, is deterministic,
+respects the estimator algebra, and degrades gracefully for extreme eta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.malicious import (
+    partial_knowledge_malicious_estimate,
+    uniform_malicious_estimate,
+)
+from repro.core.projection import is_probability_vector
+from repro.core.recover import recover_frequencies
+from repro.protocols import make_protocol
+
+protocol_names = st.sampled_from(["grr", "oue", "olh"])
+
+
+@st.composite
+def recovery_case(draw):
+    name = draw(protocol_names)
+    eps = draw(st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+    d = draw(st.integers(min_value=3, max_value=30))
+    proto = make_protocol(name, epsilon=eps, domain_size=d)
+    poisoned = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=d,
+            elements=st.floats(
+                min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    eta = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return proto, poisoned, eta
+
+
+class TestRecoveryProperties:
+    @given(recovery_case())
+    @settings(max_examples=100, deadline=None)
+    def test_output_always_probability_vector(self, case):
+        proto, poisoned, eta = case
+        result = recover_frequencies(poisoned, proto, eta=eta)
+        assert is_probability_vector(result.frequencies, atol=1e-7)
+
+    @given(recovery_case())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, case):
+        proto, poisoned, eta = case
+        a = recover_frequencies(poisoned, proto, eta=eta)
+        b = recover_frequencies(poisoned, proto, eta=eta)
+        np.testing.assert_array_equal(a.frequencies, b.frequencies)
+
+    @given(recovery_case())
+    @settings(max_examples=50, deadline=None)
+    def test_estimator_algebra(self, case):
+        proto, poisoned, eta = case
+        result = recover_frequencies(poisoned, proto, eta=eta)
+        expected = (1 + eta) * poisoned - eta * result.malicious.frequencies
+        np.testing.assert_allclose(result.estimated_genuine, expected, atol=1e-9)
+
+    @given(recovery_case())
+    @settings(max_examples=50, deadline=None)
+    def test_star_output_probability_vector(self, case):
+        proto, poisoned, eta = case
+        if proto.domain_size < 3:
+            return
+        targets = [0, proto.domain_size - 1]
+        result = recover_frequencies(poisoned, proto, eta=eta, target_items=targets)
+        assert is_probability_vector(result.frequencies, atol=1e-7)
+        assert result.scenario == "partial-knowledge"
+
+    @given(recovery_case())
+    @settings(max_examples=50, deadline=None)
+    def test_eta_zero_is_pure_projection(self, case):
+        proto, poisoned, _ = case
+        from repro.core.projection import project_onto_simplex_kkt
+
+        result = recover_frequencies(poisoned, proto, eta=0.0)
+        np.testing.assert_allclose(
+            result.frequencies, project_onto_simplex_kkt(poisoned), atol=1e-9
+        )
+
+
+class TestMaliciousEstimateProperties:
+    @given(recovery_case())
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_estimate_sum_invariant(self, case):
+        proto, poisoned, _ = case
+        estimate = uniform_malicious_estimate(poisoned, proto.params)
+        expected = proto.expected_malicious_sum()
+        assert estimate.sum() == np.float64(estimate.sum())
+        np.testing.assert_allclose(estimate.sum(), expected, rtol=1e-9)
+
+    @given(recovery_case(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_partial_estimate_sum_invariant(self, case, data):
+        proto, _, _ = case
+        d = proto.domain_size
+        k = data.draw(st.integers(min_value=1, max_value=d - 1))
+        targets = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=d - 1),
+                min_size=1,
+                max_size=k,
+                unique=True,
+            )
+        )
+        estimate = partial_knowledge_malicious_estimate(proto.params, np.array(targets))
+        # The split-and-resum round trip loses a few ulps when the two
+        # components nearly cancel; compare with a small absolute floor.
+        scale = max(1.0, float(np.abs(estimate).sum()))
+        np.testing.assert_allclose(
+            estimate.sum(), proto.expected_malicious_sum(), atol=1e-8 * scale
+        )
+
+    @given(recovery_case())
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_estimate_zero_on_d0(self, case):
+        proto, poisoned, _ = case
+        estimate = uniform_malicious_estimate(poisoned, proto.params)
+        d0 = poisoned <= 0
+        if d0.all():
+            return  # degenerate fallback spreads everywhere
+        np.testing.assert_allclose(estimate[d0], 0.0, atol=1e-12)

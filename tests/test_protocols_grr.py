@@ -1,0 +1,162 @@
+"""Statistical and structural tests for GRR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocols import GRR, counts_to_items
+
+
+@pytest.fixture()
+def proto() -> GRR:
+    return GRR(epsilon=1.0, domain_size=8)
+
+
+class TestPerturb:
+    def test_output_in_domain(self, proto, rng):
+        items = rng.integers(0, proto.domain_size, size=5000)
+        reports = proto.perturb(items, rng)
+        assert reports.min() >= 0
+        assert reports.max() < proto.domain_size
+
+    def test_keep_rate_matches_p(self, proto, rng):
+        n = 200_000
+        items = np.full(n, 3, dtype=np.int64)
+        reports = proto.perturb(items, rng)
+        keep_rate = float(np.mean(reports == 3))
+        assert keep_rate == pytest.approx(proto.p, abs=0.005)
+
+    def test_flip_uniform_over_others(self, proto, rng):
+        n = 300_000
+        items = np.full(n, 0, dtype=np.int64)
+        reports = proto.perturb(items, rng)
+        flipped = reports[reports != 0]
+        counts = np.bincount(flipped, minlength=proto.domain_size)[1:]
+        rates = counts / n
+        np.testing.assert_allclose(rates, proto.q, atol=0.005)
+
+    def test_deterministic_given_seed(self, proto):
+        items = np.arange(proto.domain_size).repeat(10)
+        a = proto.perturb(items, 42)
+        b = proto.perturb(items, 42)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAggregation:
+    def test_unbiased_frequency_estimate(self, proto, rng):
+        n = 100_000
+        true_counts = np.zeros(proto.domain_size, dtype=np.int64)
+        true_counts[2] = int(0.6 * n)
+        true_counts[5] = n - true_counts[2]
+        items = counts_to_items(true_counts, rng)
+        freqs = proto.aggregate(proto.perturb(items, rng))
+        sigma = np.sqrt(proto.theoretical_variance(n, 0.6)) / n
+        assert freqs[2] == pytest.approx(0.6, abs=5 * sigma)
+        assert freqs[5] == pytest.approx(0.4, abs=5 * sigma)
+
+    def test_support_counts_bincount(self, proto):
+        reports = np.array([0, 0, 3, 7, 3])
+        counts = proto.support_counts(reports)
+        assert counts[0] == 2
+        assert counts[3] == 2
+        assert counts[7] == 1
+        assert counts.sum() == 5
+
+    def test_estimated_frequencies_sum_near_one(self, proto, rng):
+        # Support sums are exactly n for GRR, so estimates sum to exactly 1.
+        items = rng.integers(0, proto.domain_size, size=10_000)
+        freqs = proto.aggregate(proto.perturb(items, rng))
+        assert freqs.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFastPath:
+    def test_total_preserved(self, proto, rng):
+        counts = rng.integers(0, 500, size=proto.domain_size)
+        sampled = proto.sample_genuine_counts(counts, rng)
+        assert sampled.sum() == counts.sum()
+
+    def test_fast_matches_sampled_distribution(self, proto):
+        # Compare the two simulation paths statistically: estimated
+        # frequencies of a fixed item should agree in mean across trials.
+        true_counts = np.zeros(proto.domain_size, dtype=np.int64)
+        true_counts[1] = 3000
+        true_counts[4] = 1000
+        n = int(true_counts.sum())
+        fast, slow = [], []
+        for seed in range(40):
+            fast_counts = proto.sample_genuine_counts(true_counts, seed)
+            fast.append(proto.estimate_frequencies(fast_counts, n)[1])
+            items = counts_to_items(true_counts, seed)
+            reports = proto.perturb(items, seed + 1000)
+            slow.append(proto.aggregate(reports)[1])
+        assert np.mean(fast) == pytest.approx(0.75, abs=0.02)
+        assert np.mean(slow) == pytest.approx(0.75, abs=0.02)
+        assert np.std(fast) == pytest.approx(np.std(slow), rel=0.6)
+
+    def test_empirical_variance_matches_theory(self, proto):
+        true_counts = np.zeros(proto.domain_size, dtype=np.int64)
+        true_counts[0] = 5000
+        n = 5000
+        estimates = [
+            proto.estimate_counts(proto.sample_genuine_counts(true_counts, seed), n)[0]
+            for seed in range(300)
+        ]
+        theory = proto.theoretical_variance(n, 1.0)
+        assert np.var(estimates) == pytest.approx(theory, rel=0.3)
+
+
+class TestCrafting:
+    def test_craft_supporting_identity(self, proto):
+        items = np.array([1, 5, 5, 0])
+        crafted = proto.craft_supporting(items)
+        np.testing.assert_array_equal(crafted, items)
+
+    def test_craft_returns_copy(self, proto):
+        items = np.array([1, 2, 3])
+        crafted = proto.craft_supporting(items)
+        crafted[0] = 7
+        assert items[0] == 1
+
+
+class TestReportOps:
+    def test_concat(self, proto):
+        combined = proto.concat_reports(np.array([1, 2]), np.array([3]))
+        np.testing.assert_array_equal(combined, [1, 2, 3])
+
+    def test_num_reports(self, proto):
+        assert proto.num_reports(np.array([1, 2, 3])) == 3
+
+    def test_supporting_any(self, proto):
+        reports = np.array([0, 1, 2, 1])
+        mask = proto.reports_supporting_any(reports, [1, 5])
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_target_support_counts_binary(self, proto):
+        reports = np.array([0, 1, 2])
+        counts = proto.target_support_counts(reports, [1, 2])
+        np.testing.assert_array_equal(counts, [0, 1, 1])
+
+    def test_select_reports(self, proto):
+        reports = np.array([4, 5, 6])
+        kept = proto.select_reports(reports, np.array([True, False, True]))
+        np.testing.assert_array_equal(kept, [4, 6])
+
+    def test_max_report_support_is_one(self, proto):
+        assert proto.max_report_support() == 1
+
+
+class TestVariance:
+    def test_variance_formula_eq4(self):
+        import math
+
+        eps, d, n, f = 0.5, 102, 1000, 0.1
+        proto = GRR(epsilon=eps, domain_size=d)
+        e = math.exp(eps)
+        expected = n * (d - 2 + e) / (e - 1) ** 2 + n * f * (d - 2) / (e - 1)
+        assert proto.theoretical_variance(n, f) == pytest.approx(expected)
+
+    def test_variance_grows_with_domain(self):
+        small = GRR(epsilon=0.5, domain_size=10).theoretical_variance(1000)
+        large = GRR(epsilon=0.5, domain_size=1000).theoretical_variance(1000)
+        assert large > small

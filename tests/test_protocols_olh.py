@@ -1,0 +1,163 @@
+"""Statistical and structural tests for OLH."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols import OLH, OLHReports, counts_to_items
+from repro.protocols import hashing
+
+
+@pytest.fixture()
+def proto() -> OLH:
+    return OLH(epsilon=1.0, domain_size=12)
+
+
+class TestReportsContainer:
+    def test_length(self):
+        reports = OLHReports(seeds=np.array([1, 2], dtype=np.uint64), values=np.array([0, 1]))
+        assert len(reports) == 2
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ProtocolError):
+            OLHReports(seeds=np.array([1], dtype=np.uint64), values=np.array([0, 1]))
+
+
+class TestPerturb:
+    def test_values_in_hash_range(self, proto, rng):
+        items = rng.integers(0, proto.domain_size, size=5000)
+        reports = proto.perturb(items, rng)
+        assert reports.values.min() >= 0
+        assert reports.values.max() < proto.g
+
+    def test_keep_rate(self, proto, rng):
+        n = 200_000
+        items = np.full(n, 2, dtype=np.int64)
+        reports = proto.perturb(items, rng)
+        true_hashes = hashing.hash_items(reports.seeds, np.uint64(2), proto.g)
+        keep_rate = float(np.mean(true_hashes == reports.values.astype(np.uint64)))
+        assert keep_rate == pytest.approx(proto.p, abs=0.005)
+
+    def test_unique_seeds_per_user(self, proto, rng):
+        reports = proto.perturb(rng.integers(0, proto.domain_size, size=2000), rng)
+        assert np.unique(reports.seeds).size == 2000
+
+
+class TestAggregation:
+    def test_unbiased_frequency_estimate(self, proto, rng):
+        n = 60_000
+        counts = np.zeros(proto.domain_size, dtype=np.int64)
+        counts[1] = int(0.5 * n)
+        counts[8] = n - counts[1]
+        items = counts_to_items(counts, rng)
+        freqs = proto.aggregate(proto.perturb(items, rng))
+        sigma = np.sqrt(proto.theoretical_variance(n)) / n
+        assert freqs[1] == pytest.approx(0.5, abs=6 * sigma)
+        assert freqs[8] == pytest.approx(0.5, abs=6 * sigma)
+
+    def test_support_counts_definition(self, proto, rng):
+        # Cross-check the chunked implementation against a direct loop.
+        items = rng.integers(0, proto.domain_size, size=500)
+        reports = proto.perturb(items, rng)
+        counts = proto.support_counts(reports)
+        manual = np.zeros(proto.domain_size, dtype=np.int64)
+        for v in range(proto.domain_size):
+            hashes = hashing.hash_items(reports.seeds, np.uint64(v), proto.g)
+            manual[v] = int(np.sum(hashes == reports.values.astype(np.uint64)))
+        np.testing.assert_array_equal(counts, manual)
+
+    def test_support_counts_chunking_boundary(self, proto, rng):
+        # Force multiple chunks and verify identical results.
+        items = rng.integers(0, proto.domain_size, size=1000)
+        reports = proto.perturb(items, rng)
+        full = proto.support_counts(reports)
+        proto_small = OLH(epsilon=1.0, domain_size=12)
+        proto_small._CHUNK_CELLS = 37  # tiny chunks
+        np.testing.assert_array_equal(proto_small.support_counts(reports), full)
+
+    def test_empty_reports(self, proto):
+        empty = OLHReports(
+            seeds=np.empty(0, dtype=np.uint64), values=np.empty(0, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            proto.support_counts(empty), np.zeros(proto.domain_size, dtype=np.int64)
+        )
+
+    def test_wrong_type_raises(self, proto):
+        with pytest.raises(ProtocolError):
+            proto.support_counts(np.zeros(10))
+
+
+class TestFastPath:
+    def test_fast_counts_mean(self, proto):
+        counts = np.zeros(proto.domain_size, dtype=np.int64)
+        counts[3] = 5000
+        n = 5000
+        draws = np.array(
+            [proto.sample_genuine_counts(counts, seed) for seed in range(200)],
+            dtype=np.float64,
+        )
+        expected = counts * proto.p + (n - counts) * proto.q
+        np.testing.assert_allclose(draws.mean(axis=0), expected, rtol=0.05)
+
+    def test_fast_matches_sampled_mean(self, proto):
+        counts = np.zeros(proto.domain_size, dtype=np.int64)
+        counts[3] = 4000
+        n = 4000
+        fast = [
+            proto.estimate_frequencies(proto.sample_genuine_counts(counts, s), n)[3]
+            for s in range(30)
+        ]
+        slow = []
+        for s in range(20):
+            items = counts_to_items(counts, s)
+            slow.append(proto.aggregate(proto.perturb(items, s + 500))[3])
+        assert np.mean(fast) == pytest.approx(1.0, abs=0.05)
+        assert np.mean(slow) == pytest.approx(1.0, abs=0.05)
+
+
+class TestCrafting:
+    def test_crafted_reports_support_their_items(self, proto, rng):
+        items = rng.integers(0, proto.domain_size, size=300)
+        crafted = proto.craft_supporting(items, rng)
+        hashes = hashing.hash_items(crafted.seeds, items.astype(np.uint64), proto.g)
+        np.testing.assert_array_equal(hashes, crafted.values.astype(np.uint64))
+
+    def test_crafted_support_counts_cover_items(self, proto, rng):
+        items = np.full(200, 7, dtype=np.int64)
+        crafted = proto.craft_supporting(items, rng)
+        counts = proto.support_counts(crafted)
+        assert counts[7] == 200  # every crafted report supports item 7
+        # Other items are supported only by hash collisions (~1/g rate).
+        other = np.delete(counts, 7)
+        assert other.mean() == pytest.approx(200 / proto.g, rel=0.3)
+
+
+class TestReportOps:
+    def test_concat(self, proto, rng):
+        a = proto.craft_supporting(np.array([0, 1]), rng)
+        b = proto.craft_supporting(np.array([2]), rng)
+        combined = proto.concat_reports(a, b)
+        assert proto.num_reports(combined) == 3
+
+    def test_supporting_any(self, proto, rng):
+        crafted = proto.craft_supporting(np.array([5, 9]), rng)
+        mask = proto.reports_supporting_any(crafted, [5])
+        assert bool(mask[0])  # first report supports 5 by construction
+
+    def test_target_support_counts_matches_loop(self, proto, rng):
+        items = rng.integers(0, proto.domain_size, size=100)
+        reports = proto.perturb(items, rng)
+        targets = [0, 3, 7]
+        fast = proto.target_support_counts(reports, targets)
+        slow = sum(
+            proto.reports_supporting_any(reports, [t]).astype(int) for t in targets
+        )
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_select_reports(self, proto, rng):
+        reports = proto.perturb(rng.integers(0, proto.domain_size, size=10), rng)
+        kept = proto.select_reports(reports, np.arange(10) % 2 == 0)
+        assert proto.num_reports(kept) == 5

@@ -1,0 +1,66 @@
+"""Tests for the name-based protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols import (
+    GRR,
+    OLH,
+    OUE,
+    PROTOCOL_NAMES,
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+
+
+class TestMakeProtocol:
+    @pytest.mark.parametrize(
+        "name,cls", [("grr", GRR), ("oue", OUE), ("olh", OLH)]
+    )
+    def test_constructs_right_class(self, name, cls):
+        proto = make_protocol(name, epsilon=0.5, domain_size=10)
+        assert isinstance(proto, cls)
+        assert proto.domain_size == 10
+
+    def test_case_insensitive(self):
+        assert isinstance(make_protocol("GRR", epsilon=0.5, domain_size=5), GRR)
+
+    def test_whitespace_tolerant(self):
+        assert isinstance(make_protocol(" oue ", epsilon=0.5, domain_size=5), OUE)
+
+    def test_kwargs_forwarded(self):
+        proto = make_protocol("olh", epsilon=0.5, domain_size=10, g=5)
+        assert proto.g == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_protocol("rappor", epsilon=0.5, domain_size=10)
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert PROTOCOL_NAMES == ("grr", "oue", "olh")
+
+    def test_available_contains_builtins(self):
+        names = available_protocols()
+        assert {"grr", "oue", "olh"}.issubset(set(names))
+
+    def test_register_and_use_custom(self):
+        class MyGRR(GRR):
+            name = "mygrr-test"
+
+        register_protocol("mygrr-test", MyGRR)
+        try:
+            proto = make_protocol("mygrr-test", epsilon=0.5, domain_size=4)
+            assert isinstance(proto, MyGRR)
+        finally:
+            from repro.protocols import registry
+
+            registry._FACTORIES.pop("mygrr-test", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_protocol("grr", GRR)

@@ -1,0 +1,97 @@
+"""Tests for binary randomized response and Harmony mean estimation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.protocols import BinaryRandomizedResponse, Harmony
+from repro.protocols.rr import sample_binary_reports
+
+
+class TestBinaryRR:
+    def test_probabilities(self):
+        rr = BinaryRandomizedResponse(epsilon=1.0)
+        e = math.exp(1.0)
+        assert rr.p == pytest.approx(e / (e + 1))
+        assert rr.q == pytest.approx(1 / (e + 1))
+        assert rr.p + rr.q == pytest.approx(1.0)
+
+    def test_keep_probability_static(self):
+        assert BinaryRandomizedResponse.keep_probability(1.0) == pytest.approx(
+            math.exp(1.0) / (math.exp(1.0) + 1)
+        )
+
+    def test_flip_probability(self):
+        rr = BinaryRandomizedResponse(epsilon=2.0)
+        assert rr.flip_probability() == pytest.approx(rr.q)
+
+    def test_debias_mean_recovers_truth(self):
+        rr = BinaryRandomizedResponse(epsilon=1.0)
+        rng = np.random.default_rng(0)
+        true_bits = (rng.random(200_000) < 0.3).astype(np.int64)
+        reported = rr.perturb_bits(true_bits, rng)
+        assert rr.debias_mean(reported) == pytest.approx(0.3, abs=0.01)
+
+    def test_sample_binary_reports_shape(self):
+        reports = sample_binary_reports(np.array([0, 1, 1]), epsilon=1.0, rng=0)
+        assert reports.shape == (3,)
+        assert set(np.unique(reports)).issubset({0, 1})
+
+
+class TestHarmony:
+    def test_discretize_unbiased(self):
+        harmony = Harmony(epsilon=1.0)
+        rng = np.random.default_rng(1)
+        values = np.full(200_000, 0.4)
+        bits = harmony.discretize(values, rng)
+        # Pr[bit=1] = (1+0.4)/2 = 0.7
+        assert float(bits.mean()) == pytest.approx(0.7, abs=0.01)
+
+    def test_discretize_bounds_enforced(self):
+        harmony = Harmony(epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            harmony.discretize(np.array([1.5]))
+
+    def test_end_to_end_mean_estimate(self):
+        harmony = Harmony(epsilon=2.0)
+        rng = np.random.default_rng(2)
+        values = rng.uniform(-0.5, 0.9, size=300_000)
+        reports = harmony.perturb(values, rng)
+        estimate = harmony.estimate_mean(reports)
+        assert estimate == pytest.approx(float(values.mean()), abs=0.02)
+
+    def test_mean_from_frequencies(self):
+        assert Harmony.mean_from_frequencies(np.array([0.25, 0.75])) == pytest.approx(0.5)
+        assert Harmony.mean_from_frequencies(np.array([0.5, 0.5])) == pytest.approx(0.0)
+
+    def test_mean_from_frequencies_shape_check(self):
+        with pytest.raises(InvalidParameterError):
+            Harmony.mean_from_frequencies(np.array([0.2, 0.3, 0.5]))
+
+    def test_craft_poison_reports(self):
+        harmony = Harmony(epsilon=1.0)
+        reports = harmony.craft_poison_reports(100, bit=1)
+        assert reports.shape == (100,)
+        assert np.all(reports == 1)
+
+    def test_craft_poison_invalid_bit(self):
+        with pytest.raises(InvalidParameterError):
+            Harmony(epsilon=1.0).craft_poison_reports(10, bit=2)
+
+    def test_poisoning_shifts_mean_up(self):
+        harmony = Harmony(epsilon=1.0)
+        rng = np.random.default_rng(3)
+        values = np.full(50_000, -0.4)
+        genuine = harmony.perturb(values, rng)
+        poison = harmony.craft_poison_reports(5_000, bit=1)
+        combined = np.concatenate([genuine, poison])
+        assert harmony.estimate_mean(combined) > harmony.estimate_mean(genuine)
+
+    def test_params_exposes_rr(self):
+        harmony = Harmony(epsilon=1.0)
+        assert harmony.params.domain_size == 2
+        assert harmony.params.name == "rr"

@@ -1,0 +1,69 @@
+"""Tests for the RNG normalization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import as_generator, derive_seed, spawn
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, size=10)
+        b = as_generator(2).integers(0, 2**31, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        a = as_generator(np.int64(42)).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 2**31) for g in spawn(7, 3)]
+        second = [g.integers(0, 2**31) for g in spawn(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_zero_children(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_children_differ_from_each_other(self):
+        children = spawn(123, 8)
+        draws = [tuple(g.integers(0, 1000, size=4)) for g in children]
+        assert len(set(draws)) == 8
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5) == derive_seed(5)
+
+    def test_range(self):
+        seed = derive_seed(0)
+        assert 0 <= seed < 2**63

@@ -1,0 +1,167 @@
+"""Tests for the evaluation metrics and outlier-based target inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim.metrics import frequency_gain, l1_distance, max_abs_error, mse
+from repro.sim.outliers import ZScoreOutlierDetector, top_increase_items
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        vec = np.array([0.2, 0.8])
+        assert mse(vec, vec) == 0.0
+
+    def test_eq36_value(self):
+        truth = np.array([0.5, 0.5])
+        est = np.array([0.6, 0.4])
+        assert mse(truth, est) == pytest.approx(0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_symmetry(self):
+        a, b = np.array([0.1, 0.9]), np.array([0.3, 0.7])
+        assert mse(a, b) == mse(b, a)
+
+
+class TestOtherDistances:
+    def test_l1(self):
+        assert l1_distance(np.array([0.0, 1.0]), np.array([1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_max_abs(self):
+        assert max_abs_error(np.array([0.0, 0.5]), np.array([0.3, 0.5])) == pytest.approx(0.3)
+
+
+class TestFrequencyGain:
+    def test_positive_when_promoted(self):
+        genuine = np.array([0.1, 0.2, 0.7])
+        after = np.array([0.3, 0.2, 0.5])
+        assert frequency_gain(genuine, after, [0]) == pytest.approx(0.2)
+
+    def test_sums_over_targets(self):
+        genuine = np.zeros(4)
+        after = np.array([0.1, 0.2, 0.0, 0.0])
+        assert frequency_gain(genuine, after, [0, 1]) == pytest.approx(0.3)
+
+    def test_negative_when_suppressed(self):
+        genuine = np.array([0.5, 0.5])
+        after = np.array([0.3, 0.7])
+        assert frequency_gain(genuine, after, [0]) < 0
+
+    def test_duplicate_targets_counted_once(self):
+        genuine = np.zeros(3)
+        after = np.array([0.1, 0.0, 0.0])
+        assert frequency_gain(genuine, after, [0, 0]) == pytest.approx(0.1)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            frequency_gain(np.zeros(3), np.zeros(3), [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            frequency_gain(np.zeros(3), np.zeros(3), [5])
+
+
+class TestTopIncreaseItems:
+    def test_picks_largest_increases(self):
+        ref = np.array([0.25, 0.25, 0.25, 0.25])
+        cur = np.array([0.10, 0.40, 0.30, 0.20])
+        np.testing.assert_array_equal(top_increase_items(ref, cur, 2), [1, 2])
+
+    def test_sorted_output(self):
+        ref = np.zeros(5)
+        cur = np.array([0.0, 0.5, 0.0, 0.9, 0.1])
+        result = top_increase_items(ref, cur, 3)
+        assert np.all(np.diff(result) > 0)
+
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_increase_items(np.zeros(3), np.zeros(3), 0)
+        with pytest.raises(InvalidParameterError):
+            top_increase_items(np.zeros(3), np.zeros(3), 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_increase_items(np.zeros(3), np.zeros(4), 1)
+
+
+class TestZScoreDetector:
+    def _history(self, d=10, epochs=20, seed=0):
+        rng = np.random.default_rng(seed)
+        base = np.full(d, 1.0 / d)
+        return base + rng.normal(0, 0.002, size=(epochs, d))
+
+    def test_detects_injected_outlier(self):
+        history = self._history()
+        detector = ZScoreOutlierDetector(threshold=3.0).fit(history)
+        current = history.mean(axis=0).copy()
+        current[4] += 0.05
+        np.testing.assert_array_equal(detector.detect(current), [4])
+
+    def test_no_false_positives_on_history_mean(self):
+        history = self._history()
+        detector = ZScoreOutlierDetector(threshold=3.0).fit(history)
+        assert detector.detect(history.mean(axis=0)).size == 0
+
+    def test_only_positive_deviations_flagged(self):
+        history = self._history()
+        detector = ZScoreOutlierDetector(threshold=3.0).fit(history)
+        current = history.mean(axis=0).copy()
+        current[2] -= 0.05  # demotion is not an attack signature
+        assert detector.detect(current).size == 0
+
+    def test_scores_shape(self):
+        detector = ZScoreOutlierDetector().fit(self._history())
+        scores = detector.scores(self._history()[0])
+        assert scores.shape == (10,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ZScoreOutlierDetector().detect(np.zeros(10))
+
+    def test_fit_requires_two_epochs(self):
+        with pytest.raises(InvalidParameterError):
+            ZScoreOutlierDetector().fit(np.zeros((1, 10)))
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ZScoreOutlierDetector(threshold=0.0)
+
+    def test_shape_mismatch_on_score(self):
+        detector = ZScoreOutlierDetector().fit(self._history())
+        with pytest.raises(InvalidParameterError):
+            detector.scores(np.zeros(11))
+
+    def test_is_fitted_flag(self):
+        detector = ZScoreOutlierDetector()
+        assert not detector.is_fitted
+        detector.fit(self._history())
+        assert detector.is_fitted
+
+    def test_end_to_end_mga_target_identification(self):
+        """Simulated history + MGA poisoning: the detector finds targets."""
+        from repro.attacks import MGAAttack
+        from repro.datasets import zipf_dataset
+        from repro.protocols import GRR
+        from repro.sim import run_trial
+
+        d = 20
+        data = zipf_dataset(domain_size=d, num_users=30_000, exponent=1.0, rng=1)
+        proto = GRR(epsilon=1.0, domain_size=d)
+        # History: unpoisoned epochs of genuine aggregation.
+        history = np.array(
+            [
+                run_trial(data, proto, None, beta=0.0, rng=seed).genuine_frequencies
+                for seed in range(15)
+            ]
+        )
+        detector = ZScoreOutlierDetector(threshold=4.0).fit(history)
+        attack = MGAAttack(domain_size=d, targets=[3, 11], rng=0)
+        trial = run_trial(data, proto, attack, beta=0.05, rng=99)
+        detected = detector.detect(trial.poisoned_frequencies)
+        assert set([3, 11]).issubset(set(detected.tolist()))

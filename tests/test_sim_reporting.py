@@ -1,0 +1,103 @@
+"""Tests for result export (CSV / JSON round trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim.reporting import read_rows, write_csv, write_json
+
+ROWS = [
+    {"cell": "mga-grr", "mse_before": 0.05, "mse_after": 0.001},
+    {"cell": "mga-oue", "mse_before": 0.01, "mse_after": 0.0005},
+]
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "out.csv")
+        loaded = read_rows(path)
+        assert len(loaded) == 2
+        assert loaded[0]["cell"] == "mga-grr"
+        assert loaded[0]["mse_before"] == pytest.approx(0.05)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "deep" / "nested" / "out.csv")
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_csv([], tmp_path / "out.csv")
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        bad = [{"a": 1}, {"b": 2}]
+        with pytest.raises(InvalidParameterError):
+            write_csv(bad, tmp_path / "out.csv")
+
+
+class TestJSON:
+    def test_round_trip(self, tmp_path):
+        path = write_json(ROWS, tmp_path / "out.json")
+        loaded = read_rows(path)
+        assert loaded == [
+            {"cell": "mga-grr", "mse_before": 0.05, "mse_after": 0.001},
+            {"cell": "mga-oue", "mse_before": 0.01, "mse_after": 0.0005},
+        ]
+
+    def test_numpy_values_serializable(self, tmp_path):
+        import numpy as np
+
+        rows = [{"x": np.float64(0.5), "n": 3}]
+        path = write_json(rows, tmp_path / "np.json")
+        assert read_rows(path)[0]["x"] == 0.5
+
+
+class TestReadRows:
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            read_rows(tmp_path / "out.parquet")
+
+
+class TestCLIOutput:
+    def test_cli_writes_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "table1.csv"
+        code = main(
+            [
+                "run",
+                "--figure",
+                "table1",
+                "--trials",
+                "1",
+                "--num-users",
+                "5000",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        rows = read_rows(out)
+        assert len(rows) == 6
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig8.json"
+        code = main(
+            [
+                "run",
+                "--figure",
+                "fig8",
+                "--trials",
+                "1",
+                "--num-users",
+                "5000",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        rows = read_rows(out)
+        assert rows and "mse_mga" in rows[0]

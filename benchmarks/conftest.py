@@ -5,13 +5,17 @@ table (the same rows/series the paper reports) and asserts the qualitative
 shape.  ``benchmark.pedantic(..., rounds=1)`` wraps the computation so
 pytest-benchmark records wall time without re-running heavy exhibits.
 
-Run with::
+Run with (bench files must be named explicitly — pytest's default
+``test_*`` pattern skips ``bench_*`` during directory collection, which
+keeps the tier-1 suite fast)::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/bench_*.py --benchmark-only
 
-Scale knobs: set ``REPRO_BENCH_USERS`` / ``REPRO_BENCH_TRIALS`` environment
-variables to override the default (minutes-level) configuration; unset
-``REPRO_BENCH_USERS`` and pass 0 to use the paper's full populations.
+Scale knobs: set ``REPRO_BENCH_USERS`` / ``REPRO_BENCH_TRIALS`` /
+``REPRO_BENCH_WORKERS`` environment variables to override the default
+(minutes-level, serial) configuration; unset ``REPRO_BENCH_USERS`` and
+pass 0 to use the paper's full populations, ``REPRO_BENCH_WORKERS=0``
+to fan trials out over every core.
 """
 
 from __future__ import annotations
@@ -35,6 +39,11 @@ def bench_users(default: int) -> int | None:
 
 def bench_trials(default: int) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+def bench_workers(default: int = 1) -> int:
+    """Trial-level parallelism override (``REPRO_BENCH_WORKERS``, 0 = all cores)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", default))
 
 
 #: Exhibit tables accumulated during the run; flushed after capture ends.

@@ -5,6 +5,14 @@ fresh non-deterministic generator), an ``int`` seed, or an existing
 :class:`numpy.random.Generator`.  :func:`as_generator` normalizes all three
 so that every stochastic entry point is reproducible when the caller wants
 it to be.
+
+Child streams are derived through :class:`numpy.random.SeedSequence`
+spawning (:func:`spawn_sequences` / :func:`spawn`), the only construction
+numpy guarantees to produce statistically independent, collision-free
+streams.  This matters doubly for the parallel experiment engine
+(:mod:`repro.sim.engine`): a :class:`~numpy.random.SeedSequence` is small
+and picklable, so per-trial children can be shipped to worker processes
+while the serial path builds identical generators from the same sequences.
 """
 
 from __future__ import annotations
@@ -34,19 +42,53 @@ def as_generator(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"rng must be None, int or numpy Generator, got {type(rng)!r}")
 
 
-def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
-    """Split ``rng`` into ``n`` independent child generators.
+def spawn_sequences(rng: RngLike, n: int) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` independent child :class:`~numpy.random.SeedSequence`.
 
-    Children are derived through :class:`numpy.random.SeedSequence` spawning
-    so that parallel consumers never share streams.
+    The parent sequence is resolved as follows:
+
+    * ``int`` seed / ``None`` — the seed sequence of the generator
+      :func:`as_generator` would build (``SeedSequence(seed)`` / a fresh
+      OS-entropy sequence);
+    * existing :class:`~numpy.random.Generator` — the generator's own
+      ``bit_generator.seed_seq``, so repeated calls keep yielding fresh,
+      non-overlapping children (numpy's spawn counter advances);
+    * generators whose bit generator carries no seed sequence fall back to
+      a sequence derived from entropy drawn off the generator's stream.
+
+    Children are genuine ``SeedSequence.spawn`` descendants, which is what
+    rules out stream overlap/collision across children — unlike drawing raw
+    integer seeds from the parent stream.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
     parent = as_generator(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    seq = getattr(parent.bit_generator, "seed_seq", None)
+    if not isinstance(seq, np.random.SeedSequence):
+        entropy = [int(x) for x in parent.integers(0, 2**63 - 1, size=4, dtype=np.int64)]
+        seq = np.random.SeedSequence(entropy)
+    return list(seq.spawn(n))
+
+
+def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning
+    (see :func:`spawn_sequences`) so that parallel consumers never share
+    streams.
+    """
+    return [np.random.default_rng(seq) for seq in spawn_sequences(rng, n)]
 
 
 def derive_seed(rng: RngLike) -> int:
-    """Draw a single 63-bit seed from ``rng`` (for child processes/logs)."""
-    return int(as_generator(rng).integers(0, 2**63 - 1, dtype=np.int64))
+    """Derive a single 63-bit seed from ``rng`` (for child processes/logs).
+
+    The seed is the first state word of a spawned child sequence, so it is
+    derived through the same ``SeedSequence`` machinery as :func:`spawn`.
+    Note the consumer re-keys from a raw integer, which numpy does not
+    guarantee disjoint from spawned descendants — treat the resulting
+    stream as statistically independent, not provably non-overlapping;
+    prefer passing :func:`spawn_sequences` children where possible.
+    """
+    [seq] = spawn_sequences(rng, 1)
+    return int(seq.generate_state(1, np.uint64)[0] >> np.uint64(1))

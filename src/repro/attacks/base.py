@@ -34,6 +34,13 @@ class PoisoningAttack(ABC):
     #: True when the attack promotes specific items (targeted attacks).
     targeted: ClassVar[bool] = False
 
+    #: True when crafted reports are i.i.d. draws, so ``craft(m)`` may be
+    #: split into smaller batches without changing the report distribution
+    #: (the adaptive-attack contract).  Attacks whose output depends on the
+    #: batch size as a whole (e.g. deterministic user splits) set False;
+    #: chunked simulation then falls back to a single craft call.
+    iid_reports: ClassVar[bool] = True
+
     @abstractmethod
     def craft(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> Any:
         """Produce ``m`` malicious reports for ``protocol``.

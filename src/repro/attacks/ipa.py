@@ -30,6 +30,9 @@ class InputPoisoningAttack(PoisoningAttack):
     def __init__(self, inner: PoisoningAttack) -> None:
         self.inner = inner
         self.targeted = inner.targeted
+        # Crafted reports are one genuine perturbation per sampled item, so
+        # batch-splitting is safe exactly when the inner sampling is.
+        self.iid_reports = inner.iid_reports
 
     def craft(self, protocol: FrequencyOracle, m: int, rng: RngLike = None) -> Any:
         gen = as_generator(rng)

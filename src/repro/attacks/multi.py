@@ -34,6 +34,11 @@ class MultiAttacker(PoisoningAttack):
 
     name = "multi"
 
+    #: The weight split is deterministic per craft call, so crafting in
+    #: sub-batches would re-round the shares each time and can starve
+    #: low-weight attackers entirely; chunked simulation must not split.
+    iid_reports = False
+
     def __init__(
         self,
         attacks: Sequence[PoisoningAttack],

@@ -3,8 +3,9 @@
 Examples::
 
     ldprecover list
-    ldprecover run --figure fig3 --dataset ipums
-    ldprecover run --figure fig5 --parameter beta
+    ldprecover run --figure fig3 --dataset ipums --workers 4
+    ldprecover run --figure fig5 --parameter beta --workers 0
+    ldprecover run --figure fig7 --chunk-users 200000
     ldprecover run --figure table1 --trials 3
     ldprecover demo --protocol oue --beta 0.1
 
@@ -30,6 +31,7 @@ def _run_fig3(args: argparse.Namespace) -> list[dict[str, object]]:
         num_users=args.num_users,
         trials=args.trials,
         rng=args.seed,
+        workers=args.workers,
     )
 
 
@@ -39,6 +41,7 @@ def _run_fig4(args: argparse.Namespace) -> list[dict[str, object]]:
         num_users=args.num_users,
         trials=args.trials,
         rng=args.seed,
+        workers=args.workers,
     )
 
 
@@ -50,27 +53,44 @@ def _run_sweep(args: argparse.Namespace) -> list[dict[str, object]]:
         num_users=args.num_users,
         trials=args.trials,
         rng=args.seed,
+        workers=args.workers,
+        chunk_users=args.chunk_users,
     )
 
 
 def _run_fig7(args: argparse.Namespace) -> list[dict[str, object]]:
-    return figures.figure7_rows(num_users=args.num_users, trials=args.trials, rng=args.seed)
+    return figures.figure7_rows(
+        num_users=args.num_users, trials=args.trials, rng=args.seed,
+        workers=args.workers, chunk_users=args.chunk_users,
+    )
 
 
 def _run_fig8(args: argparse.Namespace) -> list[dict[str, object]]:
-    return figures.figure8_rows(num_users=args.num_users, trials=args.trials, rng=args.seed)
+    return figures.figure8_rows(
+        num_users=args.num_users, trials=args.trials, rng=args.seed,
+        workers=args.workers, chunk_users=args.chunk_users,
+    )
 
 
 def _run_fig9(args: argparse.Namespace) -> list[dict[str, object]]:
-    return figures.figure9_rows(num_users=args.num_users, trials=args.trials, rng=args.seed)
+    return figures.figure9_rows(
+        num_users=args.num_users, trials=args.trials, rng=args.seed,
+        workers=args.workers,
+    )
 
 
 def _run_fig10(args: argparse.Namespace) -> list[dict[str, object]]:
-    return figures.figure10_rows(num_users=args.num_users, trials=args.trials, rng=args.seed)
+    return figures.figure10_rows(
+        num_users=args.num_users, trials=args.trials, rng=args.seed,
+        workers=args.workers, chunk_users=args.chunk_users,
+    )
 
 
 def _run_table1(args: argparse.Namespace) -> list[dict[str, object]]:
-    return figures.table1_rows(num_users=args.num_users, trials=args.trials, rng=args.seed)
+    return figures.table1_rows(
+        num_users=args.num_users, trials=args.trials, rng=args.seed,
+        workers=args.workers, chunk_users=args.chunk_users,
+    )
 
 
 _FIGURES: dict[str, Callable[[argparse.Namespace], list[dict[str, object]]]] = {
@@ -105,7 +125,11 @@ def _demo(args: argparse.Namespace) -> int:
     data = figures.load_dataset(args.dataset, args.num_users or 50_000)
     protocol = repro.make_protocol(args.protocol, epsilon=args.epsilon, domain_size=data.domain_size)
     attack = repro.MGAAttack(domain_size=data.domain_size, r=10, rng=args.seed)
-    trial = repro.run_trial(data, protocol, attack, beta=args.beta, rng=args.seed)
+    mode = "chunked" if args.chunk_users is not None else "fast"
+    trial = repro.run_trial(
+        data, protocol, attack, beta=args.beta, mode=mode, rng=args.seed,
+        chunk_users=args.chunk_users,
+    )
     recovery = repro.recover_frequencies(trial.poisoned_frequencies, protocol)
     star = repro.recover_frequencies(
         trial.poisoned_frequencies, protocol, target_items=attack.target_items
@@ -139,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--num-users", type=int, default=None, dest="num_users",
                      help="override population (default: exhibit-specific)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="trial-level process parallelism (0 = all cores); "
+                          "results are bit-identical to --workers 1")
+    run.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
+                     help="run fast-mode exhibits through the bounded-memory "
+                          "exact simulation, this many users per chunk")
     run.add_argument("--output", default=None,
                      help="also write the rows to this .csv or .json file")
 
@@ -149,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--beta", type=float, default=0.05)
     demo.add_argument("--num-users", type=int, default=None, dest="num_users")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
+                     help="simulate the round report-exactly in chunks of this size")
     return parser
 
 
@@ -161,6 +193,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _demo(args)
+    if args.chunk_users is not None and args.figure in ("fig3", "fig4", "fig9"):
+        print(
+            f"note: --chunk-users is ignored for {args.figure} "
+            f"(report-level defenses need materialized reports)",
+            file=sys.stderr,
+        )
     rows = _FIGURES[args.figure](args)
     print(format_table(rows))
     if args.output:

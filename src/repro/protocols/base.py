@@ -203,6 +203,17 @@ class FrequencyOracle(ABC):
         """Keep only the reports where ``mask`` is True."""
         raise NotImplementedError
 
+    def slice_reports(self, reports: Any, start: int, stop: int) -> Any:
+        """The contiguous sub-batch ``reports[start:stop]``.
+
+        Chunked aggregation walks batches through this, so it must cost
+        O(stop - start); the default routes through :meth:`select_reports`
+        with a mask (O(n)) and subclasses override with direct slicing.
+        """
+        mask = np.zeros(self.num_reports(reports), dtype=bool)
+        mask[start:stop] = True
+        return self.select_reports(reports, mask)
+
     def max_report_support(self) -> int:
         """Largest number of items a single report can support.
 

@@ -73,6 +73,10 @@ class GRR(FrequencyOracle):
     def select_reports(self, reports: np.ndarray, mask: np.ndarray) -> np.ndarray:
         return np.asarray(reports, dtype=np.int64)[np.asarray(mask, dtype=bool)]
 
+    def slice_reports(self, reports: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """O(stop-start) contiguous sub-batch (direct array slice)."""
+        return np.asarray(reports, dtype=np.int64)[start:stop]
+
     # ------------------------------------------------------------------
     # Distributional path
     # ------------------------------------------------------------------

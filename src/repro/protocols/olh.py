@@ -148,6 +148,13 @@ class OLH(FrequencyOracle):
         mask = np.asarray(mask, dtype=bool)
         return OLHReports(seeds=reports.seeds[mask], values=reports.values[mask])
 
+    def slice_reports(self, reports: OLHReports, start: int, stop: int) -> OLHReports:
+        """O(stop-start) contiguous sub-batch (direct array slices)."""
+        reports = self._validate_olh(reports)
+        return OLHReports(
+            seeds=reports.seeds[start:stop], values=reports.values[start:stop]
+        )
+
     # ------------------------------------------------------------------
     # Distributional path
     # ------------------------------------------------------------------

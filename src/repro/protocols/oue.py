@@ -115,6 +115,10 @@ class OUE(FrequencyOracle):
     def select_reports(self, reports: np.ndarray, mask: np.ndarray) -> np.ndarray:
         return self._validate_reports(reports)[np.asarray(mask, dtype=bool)]
 
+    def slice_reports(self, reports: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """O(stop-start) contiguous sub-batch (direct row slice)."""
+        return self._validate_reports(reports)[start:stop]
+
     # ------------------------------------------------------------------
     # Distributional path
     # ------------------------------------------------------------------

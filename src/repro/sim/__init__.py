@@ -1,5 +1,17 @@
 """Simulation: the poisoning pipeline, metrics and experiment harness."""
 
+from repro.sim.engine import (
+    DEFAULT_CHUNK_USERS,
+    MetricStats,
+    TrialTask,
+    Welford,
+    chunked_genuine_counts,
+    chunked_malicious_counts,
+    chunked_support_counts,
+    parallel_map,
+    run_chunked_trial,
+    trial_metrics,
+)
 from repro.sim.experiment import (
     RecoveryEvaluation,
     SweepResult,
@@ -18,6 +30,16 @@ __all__ = [
     "run_trial",
     "TrialResult",
     "malicious_count",
+    "DEFAULT_CHUNK_USERS",
+    "MetricStats",
+    "TrialTask",
+    "Welford",
+    "chunked_genuine_counts",
+    "chunked_malicious_counts",
+    "chunked_support_counts",
+    "parallel_map",
+    "run_chunked_trial",
+    "trial_metrics",
     "mse",
     "l1_distance",
     "max_abs_error",

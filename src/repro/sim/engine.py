@@ -1,0 +1,451 @@
+"""Parallel, memory-bounded experiment engine.
+
+The paper's exhibits average MSE/FG over independent trials per cell
+across a grid of (dataset x protocol x attack x beta x eta).  This module
+is the execution substrate for that grid:
+
+* **Process-parallel trials** — :func:`parallel_map` fans picklable trial
+  tasks out over a fork-safe :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Every trial owns a :class:`numpy.random.SeedSequence` child spawned from
+  the cell's parent (see :func:`repro._rng.spawn_sequences`), so results
+  are bit-identical whether the tasks run inline (``workers=1``) or across
+  a pool, and trial streams never overlap.
+* **Streaming metric accumulation** — :class:`Welford` keeps running
+  mean/variance/count per metric instead of materializing per-trial metric
+  lists, so cells can report confidence intervals at no extra memory cost.
+* **Chunked trial simulation** — :func:`run_chunked_trial` perturbs and
+  aggregates genuine users in bounded-memory chunks of ``support_counts``
+  partial sums, so report-level OUE/SUE simulations of tens of millions of
+  users fit in RAM (an ``(n, d)`` boolean report matrix never exists).
+
+:func:`repro.sim.experiment.evaluate_recovery` is a thin shell over
+:func:`trial_metrics` + :func:`parallel_map`; the figure functions and the
+CLI expose the ``workers`` / ``chunk_users`` knobs end to end.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator
+from repro.attacks.base import PoisoningAttack
+from repro.core.detection import detect_and_aggregate
+from repro.core.recover import recover_frequencies
+from repro.datasets.base import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import FrequencyOracle
+from repro.sim.metrics import frequency_gain, mse
+from repro.sim.outliers import top_increase_items
+from repro.sim.pipeline import SimulationMode, TrialResult, malicious_count, run_trial
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default number of users simulated per chunk in the chunked exact path.
+#: At OUE's worst case this bounds the live report matrix to
+#: ``DEFAULT_CHUNK_USERS * d`` booleans regardless of the population size.
+DEFAULT_CHUNK_USERS = 131_072
+
+
+# ----------------------------------------------------------------------
+# Streaming statistics
+# ----------------------------------------------------------------------
+@dataclass
+class Welford:
+    """Streaming mean/variance accumulator (Welford's online algorithm).
+
+    Replaces per-metric Python lists: one float triple per metric instead
+    of one float per trial, and it merges (Chan et al.'s parallel update)
+    so shards accumulated independently combine exactly.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "Welford") -> None:
+        """Fold another accumulator in (parallel/sharded accumulation)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    @property
+    def variance(self) -> Optional[float]:
+        """Unbiased sample variance, ``None`` with fewer than two samples."""
+        if self.count < 2:
+            return None
+        return self.m2 / (self.count - 1)
+
+    @property
+    def stderr(self) -> Optional[float]:
+        """Standard error of the mean, ``None`` with fewer than two samples."""
+        var = self.variance
+        if var is None:
+            return None
+        return math.sqrt(var / self.count)
+
+    def snapshot(self) -> "MetricStats":
+        """Freeze the current statistics into an immutable record."""
+        return MetricStats(
+            mean=self.mean, variance=self.variance, stderr=self.stderr, count=self.count
+        )
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Frozen summary of one metric across the trials of a cell."""
+
+    mean: float
+    variance: Optional[float]
+    stderr: Optional[float]
+    count: int
+
+    @property
+    def ci95_halfwidth(self) -> Optional[float]:
+        """Half-width of the normal-approximation 95% confidence interval."""
+        if self.stderr is None:
+            return None
+        return 1.96 * self.stderr
+
+
+def aggregate_metrics(per_trial: Iterable[dict[str, float]]) -> dict[str, MetricStats]:
+    """Fold per-trial metric dicts into per-metric streaming statistics.
+
+    Trials are folded in iteration order, so the result is bit-identical
+    regardless of how the dicts were computed (inline or across a pool, as
+    long as the caller preserves task order — :func:`parallel_map` does).
+    """
+    accumulators: dict[str, Welford] = {}
+    for metrics in per_trial:
+        for key, value in metrics.items():
+            accumulators.setdefault(key, Welford()).add(float(value))
+    return {key: acc.snapshot() for key, acc in accumulators.items()}
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument: ``None``/``0`` means all cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise InvalidParameterError(f"workers must be >= 0 or None, got {workers}")
+    return int(workers)
+
+
+def _pool_context():
+    """The multiprocessing context for worker pools (fork where available).
+
+    ``fork`` keeps worker startup at milliseconds and inherits the parent's
+    imports; platforms without it (Windows, macOS spawn default) fall back
+    to the interpreter default, which only requires the tasks and the
+    worker function to be picklable — both hold here.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[T], R], tasks: Sequence[T], workers: Optional[int] = 1
+) -> list[R]:
+    """Apply ``fn`` to every task, optionally across a process pool.
+
+    ``workers=1`` (the default) runs inline — no pool, no pickling — and is
+    the reference the pool path must match bit for bit.  Results always
+    come back in task order.  ``fn`` and the tasks must be picklable when
+    ``workers > 1`` (module-level functions and dataclasses of arrays are).
+    """
+    tasks = list(tasks)
+    count = resolve_workers(workers)
+    if count == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    max_workers = min(count, len(tasks))
+    chunksize = max(1, len(tasks) // (max_workers * 4))
+    with ProcessPoolExecutor(max_workers=max_workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+# ----------------------------------------------------------------------
+# Chunked (bounded-memory) simulation
+# ----------------------------------------------------------------------
+def _validate_chunk(chunk_users: Optional[int]) -> int:
+    chunk = DEFAULT_CHUNK_USERS if chunk_users is None else int(chunk_users)
+    if chunk < 1:
+        raise InvalidParameterError(f"chunk_users must be >= 1, got {chunk_users}")
+    return chunk
+
+
+def chunked_support_counts(
+    protocol: FrequencyOracle, reports: Any, chunk_users: Optional[int] = None
+) -> np.ndarray:
+    """Aggregate a report batch chunk by chunk into ``support_counts``.
+
+    Equals ``protocol.support_counts(reports)`` exactly (support counting
+    is a sum over reports), including when the batch size is not divisible
+    by the chunk size; peak transient memory is one chunk's worth.
+    """
+    chunk = _validate_chunk(chunk_users)
+    n = protocol.num_reports(reports)
+    total = np.zeros(protocol.domain_size, dtype=np.int64)
+    for start in range(0, n, chunk):
+        total += protocol.support_counts(
+            protocol.slice_reports(reports, start, min(start + chunk, n))
+        )
+    return total
+
+
+def chunked_genuine_counts(
+    protocol: FrequencyOracle,
+    true_counts: np.ndarray,
+    rng: RngLike = None,
+    chunk_users: Optional[int] = None,
+) -> np.ndarray:
+    """Exact report-level genuine aggregation in bounded memory.
+
+    Splits the population histogram into chunk-sized sub-histograms by
+    sampling without replacement (multivariate hypergeometric), perturbs
+    each chunk's users and accumulates ``support_counts`` partial sums.
+    Because aggregation is permutation-invariant and the chunks partition
+    the population uniformly at random, the result is distributed exactly
+    as the unchunked ``support_counts(perturb(items))`` while the live
+    report batch never exceeds ``chunk_users`` rows.
+    """
+    gen = as_generator(rng)
+    chunk = _validate_chunk(chunk_users)
+    remaining = np.asarray(true_counts, dtype=np.int64).copy()
+    d = remaining.size
+    total = np.zeros(d, dtype=np.int64)
+    left = int(remaining.sum())
+    while left > 0:
+        take = min(chunk, left)
+        sub = gen.multivariate_hypergeometric(remaining, take).astype(np.int64)
+        remaining -= sub
+        left -= take
+        items = np.repeat(np.arange(d, dtype=np.int64), sub)
+        total += protocol.support_counts(protocol.perturb(items, gen))
+    return total
+
+
+def chunked_malicious_counts(
+    protocol: FrequencyOracle,
+    attack: PoisoningAttack,
+    m: int,
+    rng: RngLike = None,
+    chunk_users: Optional[int] = None,
+) -> np.ndarray:
+    """Craft and aggregate ``m`` malicious reports in bounded chunks.
+
+    Malicious reports are normally i.i.d. draws from the attacker's report
+    distribution (the adaptive-attack contract of Section V-C), so crafting
+    in chunks is statistically identical to one crafted batch.  Attacks
+    that declare ``iid_reports = False`` (e.g. :class:`MultiAttacker`'s
+    deterministic weight split, which re-rounds shares per call and would
+    starve low-weight attackers) are crafted in a single batch instead —
+    only the support counting is chunked, so the reports do materialize
+    once, but ``m`` is a ``beta`` fraction of the population.
+    """
+    gen = as_generator(rng)
+    chunk = _validate_chunk(chunk_users)
+    if not getattr(attack, "iid_reports", True):
+        return chunked_support_counts(protocol, attack.craft(protocol, m, gen), chunk)
+    total = np.zeros(protocol.domain_size, dtype=np.int64)
+    for start in range(0, m, chunk):
+        take = min(chunk, m - start)
+        total += protocol.support_counts(attack.craft(protocol, take, gen))
+    return total
+
+
+def run_chunked_trial(
+    dataset: Dataset,
+    protocol: FrequencyOracle,
+    attack: Optional[PoisoningAttack] = None,
+    beta: float = 0.05,
+    rng: RngLike = None,
+    chunk_users: Optional[int] = None,
+) -> TrialResult:
+    """One poisoning round via the exact report-level path, chunked.
+
+    Semantics of ``run_trial(mode="sampled")`` — every report is genuinely
+    perturbed/crafted — but reports are aggregated chunk by chunk and never
+    retained, so the memory high-water mark is ``O(chunk_users * d)``
+    instead of ``O(n * d)``.  Raw reports are consequently unavailable
+    (``reports is None``), which rules out report-level defenses.
+    """
+    if dataset.domain_size != protocol.domain_size:
+        raise InvalidParameterError(
+            f"dataset domain size {dataset.domain_size} != protocol domain size "
+            f"{protocol.domain_size}"
+        )
+    gen = as_generator(rng)
+    n = dataset.num_users
+    m = malicious_count(n, beta) if attack is not None else 0
+
+    genuine_counts = chunked_genuine_counts(protocol, dataset.counts, gen, chunk_users)
+    genuine_freq = protocol.estimate_frequencies(genuine_counts, n)
+
+    if m > 0 and attack is not None:
+        malicious_counts = chunked_malicious_counts(protocol, attack, m, gen, chunk_users)
+        malicious_freq = protocol.estimate_frequencies(malicious_counts, m)
+        poisoned_freq = protocol.estimate_frequencies(
+            genuine_counts + malicious_counts, n + m
+        )
+    else:
+        malicious_freq = None
+        poisoned_freq = genuine_freq
+
+    return TrialResult(
+        true_frequencies=dataset.frequencies,
+        genuine_frequencies=genuine_freq,
+        poisoned_frequencies=poisoned_freq,
+        malicious_frequencies=malicious_freq,
+        n=n,
+        m=m,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-trial metric computation (the worker body)
+# ----------------------------------------------------------------------
+def resolve_star_targets(
+    attack: PoisoningAttack, trial: TrialResult, aa_top_k: int
+) -> Optional[np.ndarray]:
+    """The attacker-selected items LDPRecover* assumes (Section VI-A4).
+
+    MGA (and any targeted attack): the explicit target items.  AA: the
+    top-``aa_top_k`` items by frequency increase relative to the server's
+    historical estimate (we use the genuine aggregate as the history
+    stand-in).  Untargeted Manip: the same top-increase rule applies, since
+    the server cannot distinguish attack types a priori.
+    """
+    explicit = attack.target_items
+    if explicit is not None:
+        return explicit
+    if trial.genuine_frequencies is None:
+        return None
+    k = min(aa_top_k, trial.true_frequencies.size)
+    return top_increase_items(trial.genuine_frequencies, trial.poisoned_frequencies, k)
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One picklable unit of work: a single trial of one experimental cell.
+
+    Carries everything a worker process needs — the cell configuration and
+    the trial's own :class:`~numpy.random.SeedSequence` child — so workers
+    share no state and results are independent of placement.
+    """
+
+    dataset: Dataset
+    protocol: FrequencyOracle
+    attack: Optional[PoisoningAttack]
+    seed: np.random.SeedSequence
+    beta: float = 0.05
+    eta: float = 0.2
+    mode: SimulationMode = "fast"
+    with_star: bool = True
+    with_detection: bool = False
+    aa_top_k: int = 5
+    chunk_users: Optional[int] = field(default=None)
+
+
+def trial_metrics(task: TrialTask) -> dict[str, float]:
+    """Run one trial and compute every recovery metric of the cell.
+
+    This is the worker body of :func:`repro.sim.experiment.evaluate_recovery`:
+    simulate the poisoning round, apply LDPRecover / LDPRecover* /
+    Detection, and return a flat ``{metric: value}`` dict.  Metrics that do
+    not apply (e.g. frequency gain of an untargeted attack) are simply
+    absent, which the streaming accumulator treats as "no observation".
+    """
+    gen = np.random.default_rng(task.seed)
+    dataset, protocol, attack = task.dataset, task.protocol, task.attack
+    trial = run_trial(
+        dataset, protocol, attack, beta=task.beta, mode=task.mode, rng=gen,
+        chunk_users=task.chunk_users,
+    )
+    truth = trial.true_frequencies
+    out: dict[str, float] = {"mse_before": mse(truth, trial.poisoned_frequencies)}
+
+    recovery = recover_frequencies(trial.poisoned_frequencies, protocol, eta=task.eta)
+    out["mse_recover"] = mse(truth, recovery.frequencies)
+    if trial.malicious_frequencies is not None:
+        out["mse_malicious_estimate"] = mse(
+            trial.malicious_frequencies, recovery.malicious.frequencies
+        )
+
+    star_targets = None
+    if attack is not None and task.with_star:
+        star_targets = resolve_star_targets(attack, trial, task.aa_top_k)
+    star = None
+    if star_targets is not None and star_targets.size:
+        star = recover_frequencies(
+            trial.poisoned_frequencies, protocol, eta=task.eta, target_items=star_targets
+        )
+        out["mse_recover_star"] = mse(truth, star.frequencies)
+        if trial.malicious_frequencies is not None:
+            out["mse_malicious_estimate_star"] = mse(
+                trial.malicious_frequencies, star.malicious.frequencies
+            )
+
+    detection_freq = None
+    if task.with_detection and star_targets is not None and star_targets.size:
+        detection = detect_and_aggregate(protocol, trial.reports, star_targets)
+        detection_freq = detection.frequencies
+        out["mse_detection"] = mse(truth, detection_freq)
+
+    measured_targets = attack.target_items if attack is not None else None
+    if measured_targets is not None and measured_targets.size:
+        genuine = trial.genuine_frequencies
+        out["fg_before"] = frequency_gain(
+            genuine, trial.poisoned_frequencies, measured_targets
+        )
+        out["fg_recover"] = frequency_gain(genuine, recovery.frequencies, measured_targets)
+        if star is not None:
+            out["fg_recover_star"] = frequency_gain(
+                genuine, star.frequencies, measured_targets
+            )
+        if detection_freq is not None:
+            out["fg_detection"] = frequency_gain(genuine, detection_freq, measured_targets)
+    return out
+
+
+__all__ = [
+    "DEFAULT_CHUNK_USERS",
+    "MetricStats",
+    "TrialTask",
+    "Welford",
+    "aggregate_metrics",
+    "chunked_genuine_counts",
+    "chunked_malicious_counts",
+    "chunked_support_counts",
+    "parallel_map",
+    "resolve_star_targets",
+    "resolve_workers",
+    "run_chunked_trial",
+    "trial_metrics",
+]

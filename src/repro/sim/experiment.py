@@ -6,29 +6,43 @@ it runs ``trials`` independent poisoning rounds, applies every recovery
 method under evaluation (before-recovery, LDPRecover, LDPRecover*,
 Detection) and averages the metrics — exactly the paper's protocol of
 averaging MSE/FG over 10 trials (Section VI-B).
+
+Execution is delegated to :mod:`repro.sim.engine`: trials become picklable
+:class:`~repro.sim.engine.TrialTask` units with ``SeedSequence``-spawned
+child streams, run inline (``workers=1``) or across a fork-safe process
+pool (``workers=N``) with bit-identical results, and metrics accumulate
+through streaming :class:`~repro.sim.engine.Welford` statistics so every
+cell also carries variance/CI information.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-import numpy as np
-
-from repro._rng import RngLike, spawn
+from repro._rng import RngLike, spawn, spawn_sequences
 from repro.attacks.base import PoisoningAttack
-from repro.core.detection import detect_and_aggregate
-from repro.core.recover import recover_frequencies
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
-from repro.sim.metrics import frequency_gain, mse
-from repro.sim.outliers import top_increase_items
-from repro.sim.pipeline import SimulationMode, TrialResult, run_trial
+from repro.sim.engine import (
+    MetricStats,
+    TrialTask,
+    aggregate_metrics,
+    parallel_map,
+    resolve_star_targets,
+    trial_metrics,
+)
+from repro.sim.pipeline import SimulationMode, malicious_count
 
-
-def _mean(values: list[float]) -> Optional[float]:
-    return float(np.mean(values)) if values else None
+__all__ = [
+    "RecoveryEvaluation",
+    "SweepResult",
+    "evaluate_recovery",
+    "format_table",
+    "resolve_star_targets",
+    "sweep_parameter",
+]
 
 
 @dataclass
@@ -54,15 +68,24 @@ class RecoveryEvaluation:
     #: MSE of the estimated vs. true malicious frequencies (Figure 7).
     mse_malicious_estimate: Optional[float] = None
     mse_malicious_estimate_star: Optional[float] = None
+    #: Streaming per-metric statistics (mean/variance/stderr/count) keyed by
+    #: metric name, for confidence intervals over the trial average.
+    stats: dict[str, MetricStats] = field(default_factory=dict)
+
+    def ci95(self, metric: str) -> Optional[float]:
+        """95% CI half-width of a metric's trial average, if estimable."""
+        entry = self.stats.get(metric)
+        return entry.ci95_halfwidth if entry is not None else None
 
     def as_row(self) -> dict[str, object]:
-        """Flat dict for table printing / CSV dumps."""
+        """Flat dict for table printing / CSV dumps (every metric column)."""
         return {
             "dataset": self.dataset,
             "protocol": self.protocol,
             "attack": self.attack,
             "beta": self.beta,
             "eta": self.eta,
+            "trials": self.trials,
             "mse_before": self.mse_before,
             "mse_recover": self.mse_recover,
             "mse_recover_star": self.mse_recover_star,
@@ -71,27 +94,9 @@ class RecoveryEvaluation:
             "fg_recover": self.fg_recover,
             "fg_recover_star": self.fg_recover_star,
             "fg_detection": self.fg_detection,
+            "mse_malicious_estimate": self.mse_malicious_estimate,
+            "mse_malicious_estimate_star": self.mse_malicious_estimate_star,
         }
-
-
-def resolve_star_targets(
-    attack: PoisoningAttack, trial: TrialResult, aa_top_k: int
-) -> Optional[np.ndarray]:
-    """The attacker-selected items LDPRecover* assumes (Section VI-A4).
-
-    MGA (and any targeted attack): the explicit target items.  AA: the
-    top-``aa_top_k`` items by frequency increase relative to the server's
-    historical estimate (we use the genuine aggregate as the history
-    stand-in).  Untargeted Manip: the same top-increase rule applies, since
-    the server cannot distinguish attack types a priori.
-    """
-    explicit = attack.target_items
-    if explicit is not None:
-        return explicit
-    if trial.genuine_frequencies is None:
-        return None
-    k = min(aa_top_k, trial.true_frequencies.size)
-    return top_increase_items(trial.genuine_frequencies, trial.poisoned_frequencies, k)
 
 
 def evaluate_recovery(
@@ -106,71 +111,59 @@ def evaluate_recovery(
     with_detection: bool = False,
     aa_top_k: int = 5,
     rng: RngLike = None,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
+    strict_beta: bool = False,
 ) -> RecoveryEvaluation:
     """Run one experimental cell and average over ``trials``.
 
     ``with_detection`` requires ``mode="sampled"`` because the Detection
-    baseline filters individual reports.
+    baseline filters individual reports.  ``workers`` fans trials out over
+    a process pool (``None``/``0`` = all cores) with results bit-identical
+    to the serial ``workers=1`` path under the same seed.  Passing
+    ``chunk_users`` selects the bounded-memory exact simulation (it
+    upgrades ``mode="fast"`` to ``"chunked"``); ``strict_beta`` turns the
+    "beta rounds to zero malicious users" warning into an error.
     """
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
     if with_detection and mode != "sampled":
         raise InvalidParameterError("Detection requires mode='sampled'")
-    rngs = spawn(rng, trials)
+    if chunk_users is not None and mode == "fast":
+        mode = "chunked"
+    if chunk_users is not None and mode == "sampled":
+        raise InvalidParameterError(
+            "chunk_users is incompatible with mode='sampled' (chunked simulation "
+            "does not retain reports); use mode='chunked' without detection"
+        )
+    if attack is not None:
+        # Surface the m=0 rounding problem at the cell level — under
+        # strict_beta this fails fast before any worker spawns, and the
+        # warning fires here even when pooled workers' stderr is lost.
+        # (Trials may re-warn from run_trial in their own processes.)
+        malicious_count(dataset.num_users, beta, strict=strict_beta)
 
-    mse_before: list[float] = []
-    mse_rec: list[float] = []
-    mse_star: list[float] = []
-    mse_det: list[float] = []
-    fg_before: list[float] = []
-    fg_rec: list[float] = []
-    fg_star: list[float] = []
-    fg_det: list[float] = []
-    mal_mse: list[float] = []
-    mal_mse_star: list[float] = []
+    tasks = [
+        TrialTask(
+            dataset=dataset,
+            protocol=protocol,
+            attack=attack,
+            seed=seed,
+            beta=beta,
+            eta=eta,
+            mode=mode,
+            with_star=with_star,
+            with_detection=with_detection,
+            aa_top_k=aa_top_k,
+            chunk_users=chunk_users,
+        )
+        for seed in spawn_sequences(rng, trials)
+    ]
+    stats = aggregate_metrics(parallel_map(trial_metrics, tasks, workers=workers))
 
-    for trial_rng in rngs:
-        trial = run_trial(dataset, protocol, attack, beta=beta, mode=mode, rng=trial_rng)
-        truth = trial.true_frequencies
-        mse_before.append(mse(truth, trial.poisoned_frequencies))
-
-        recovery = recover_frequencies(trial.poisoned_frequencies, protocol, eta=eta)
-        mse_rec.append(mse(truth, recovery.frequencies))
-        if trial.malicious_frequencies is not None:
-            mal_mse.append(mse(trial.malicious_frequencies, recovery.malicious.frequencies))
-
-        star_targets = None
-        if attack is not None and with_star:
-            star_targets = resolve_star_targets(attack, trial, aa_top_k)
-        if star_targets is not None and star_targets.size:
-            star = recover_frequencies(
-                trial.poisoned_frequencies, protocol, eta=eta, target_items=star_targets
-            )
-            mse_star.append(mse(truth, star.frequencies))
-            if trial.malicious_frequencies is not None:
-                mal_mse_star.append(
-                    mse(trial.malicious_frequencies, star.malicious.frequencies)
-                )
-        else:
-            star = None
-
-        detection_freq = None
-        if with_detection and star_targets is not None and star_targets.size:
-            detection = detect_and_aggregate(protocol, trial.reports, star_targets)
-            detection_freq = detection.frequencies
-            mse_det.append(mse(truth, detection_freq))
-
-        measured_targets = attack.target_items if attack is not None else None
-        if measured_targets is not None and measured_targets.size:
-            genuine = trial.genuine_frequencies
-            fg_before.append(
-                frequency_gain(genuine, trial.poisoned_frequencies, measured_targets)
-            )
-            fg_rec.append(frequency_gain(genuine, recovery.frequencies, measured_targets))
-            if star is not None:
-                fg_star.append(frequency_gain(genuine, star.frequencies, measured_targets))
-            if detection_freq is not None:
-                fg_det.append(frequency_gain(genuine, detection_freq, measured_targets))
+    def _mean(metric: str) -> Optional[float]:
+        entry = stats.get(metric)
+        return entry.mean if entry is not None else None
 
     return RecoveryEvaluation(
         dataset=dataset.name,
@@ -179,16 +172,17 @@ def evaluate_recovery(
         beta=beta,
         eta=eta,
         trials=trials,
-        mse_before=_mean(mse_before) or 0.0,
-        mse_recover=_mean(mse_rec) or 0.0,
-        mse_recover_star=_mean(mse_star),
-        mse_detection=_mean(mse_det),
-        fg_before=_mean(fg_before),
-        fg_recover=_mean(fg_rec),
-        fg_recover_star=_mean(fg_star),
-        fg_detection=_mean(fg_det),
-        mse_malicious_estimate=_mean(mal_mse),
-        mse_malicious_estimate_star=_mean(mal_mse_star),
+        mse_before=_mean("mse_before") or 0.0,
+        mse_recover=_mean("mse_recover") or 0.0,
+        mse_recover_star=_mean("mse_recover_star"),
+        mse_detection=_mean("mse_detection"),
+        fg_before=_mean("fg_before"),
+        fg_recover=_mean("fg_recover"),
+        fg_recover_star=_mean("fg_recover_star"),
+        fg_detection=_mean("fg_detection"),
+        mse_malicious_estimate=_mean("mse_malicious_estimate"),
+        mse_malicious_estimate_star=_mean("mse_malicious_estimate_star"),
+        stats=stats,
     )
 
 

@@ -11,15 +11,21 @@ here are tuned so the full suite finishes in minutes on a laptop —
 ``sampled``-mode exhibits (those needing the Detection baseline or raw
 reports) run at a scaled population, pure-aggregate exhibits run in
 ``fast`` mode.  Pass ``num_users=None`` for the paper's full populations.
+
+Every exhibit takes ``workers=`` (trial fan-out over the process pool of
+:mod:`repro.sim.engine`; ``None``/``0`` = all cores, results bit-identical
+to ``workers=1``), and the fast-mode exhibits take ``chunk_users=`` to
+switch to the bounded-memory exact simulation path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
-from repro._rng import RngLike, as_generator, spawn
+from repro._rng import RngLike, as_generator, spawn, spawn_sequences
 from repro.attacks import (
     AdaptiveAttack,
     InputPoisoningAttack,
@@ -32,9 +38,10 @@ from repro.core.recover import recover_frequencies
 from repro.datasets import Dataset, fire_like, ipums_like
 from repro.exceptions import InvalidParameterError
 from repro.protocols import PROTOCOL_NAMES, make_protocol
+from repro.sim.engine import parallel_map
 from repro.sim.experiment import evaluate_recovery
 from repro.sim.metrics import mse
-from repro.sim.pipeline import run_trial
+from repro.sim.pipeline import SimulationMode, run_trial
 
 #: Paper defaults (Section VI-A): epsilon, malicious fraction, number of
 #: target items, server-side eta.
@@ -86,6 +93,7 @@ def figure3_rows(
     beta: float = DEFAULT_BETA,
     eta: float = DEFAULT_ETA,
     rng: RngLike = 3,
+    workers: Optional[int] = 1,
 ) -> list[dict[str, object]]:
     """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell."""
     dataset = load_dataset(dataset_name, num_users)
@@ -106,6 +114,7 @@ def figure3_rows(
             with_detection=True,
             aa_top_k=DEFAULT_R // 2,
             rng=gen,
+            workers=workers,
         )
         rows.append(
             {
@@ -127,6 +136,7 @@ def figure4_rows(
     beta: float = DEFAULT_BETA,
     eta: float = DEFAULT_ETA,
     rng: RngLike = 4,
+    workers: Optional[int] = 1,
 ) -> list[dict[str, object]]:
     """Figure 4: frequency gain of MGA per protocol, before/after."""
     dataset = load_dataset(dataset_name, num_users)
@@ -146,6 +156,7 @@ def figure4_rows(
             mode="sampled",
             with_detection=True,
             rng=gen,
+            workers=workers,
         )
         rows.append(
             {
@@ -172,11 +183,14 @@ def sweep_rows(
     num_users: Optional[int] = None,
     trials: int = 5,
     rng: RngLike = 5,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
 ) -> list[dict[str, object]]:
     """Figures 5-6: MSE under AA while one of (beta, epsilon, eta) varies.
 
     The remaining parameters stay at the paper defaults.  Runs in ``fast``
-    mode at full population unless ``num_users`` overrides.
+    mode at full population unless ``num_users`` overrides; ``chunk_users``
+    switches to the chunked exact simulation instead.
     """
     grids = {"beta": BETA_GRID, "epsilon": EPSILON_GRID, "eta": ETA_GRID}
     if parameter not in grids:
@@ -209,6 +223,8 @@ def sweep_rows(
                 mode="fast",
                 aa_top_k=DEFAULT_R // 2,
                 rng=gen,
+                workers=workers,
+                chunk_users=chunk_users,
             )
             rows.append(
                 {
@@ -229,6 +245,8 @@ def figure7_rows(
     num_users: Optional[int] = None,
     trials: int = 5,
     rng: RngLike = 7,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
 ) -> list[dict[str, object]]:
     """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS)."""
     dataset = load_dataset("ipums", num_users)
@@ -252,6 +270,8 @@ def figure7_rows(
                 trials=trials,
                 mode="fast",
                 rng=gen,
+                workers=workers,
+                chunk_users=chunk_users,
             )
             rows.append(
                 {
@@ -267,13 +287,47 @@ def figure7_rows(
 FIG8_BETAS = (0.05, 0.1, 0.15, 0.2, 0.25)
 
 
+@dataclass(frozen=True)
+class _Fig8Task:
+    """Picklable per-trial unit of Figure 8 (one MGA + one IPA round)."""
+
+    dataset: Dataset
+    protocol: object
+    mga: MGAAttack
+    ipa: InputPoisoningAttack
+    beta: float
+    mode: SimulationMode
+    chunk_users: Optional[int]
+    seed: np.random.SeedSequence
+
+
+def _figure8_trial(task: _Fig8Task) -> tuple[float, float]:
+    """One Figure 8 trial: poisoned MSE of MGA and of its IPA variant."""
+    gen = np.random.default_rng(task.seed)
+    t1 = run_trial(
+        task.dataset, task.protocol, task.mga, beta=task.beta, mode=task.mode,
+        rng=gen, chunk_users=task.chunk_users,
+    )
+    t2 = run_trial(
+        task.dataset, task.protocol, task.ipa, beta=task.beta, mode=task.mode,
+        rng=gen, chunk_users=task.chunk_users,
+    )
+    return (
+        mse(t1.true_frequencies, t1.poisoned_frequencies),
+        mse(t2.true_frequencies, t2.poisoned_frequencies),
+    )
+
+
 def figure8_rows(
     num_users: Optional[int] = None,
     trials: int = 5,
     rng: RngLike = 8,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
 ) -> list[dict[str, object]]:
     """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery)."""
     dataset = load_dataset("ipums", num_users)
+    mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG8_BETAS))
     idx = 0
@@ -286,19 +340,17 @@ def figure8_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             ipa = InputPoisoningAttack(mga)
-            mse_mga: list[float] = []
-            mse_ipa: list[float] = []
-            for trial_rng in spawn(gen, trials):
-                t1 = run_trial(dataset, protocol, mga, beta=beta, mode="fast", rng=trial_rng)
-                t2 = run_trial(dataset, protocol, ipa, beta=beta, mode="fast", rng=trial_rng)
-                mse_mga.append(mse(t1.true_frequencies, t1.poisoned_frequencies))
-                mse_ipa.append(mse(t2.true_frequencies, t2.poisoned_frequencies))
+            tasks = [
+                _Fig8Task(dataset, protocol, mga, ipa, beta, mode, chunk_users, seed)
+                for seed in spawn_sequences(gen, trials)
+            ]
+            pairs = parallel_map(_figure8_trial, tasks, workers=workers)
             rows.append(
                 {
                     "cell": f"{protocol_name}",
                     "beta": beta,
-                    "mse_mga": float(np.mean(mse_mga)),
-                    "mse_mga_ipa": float(np.mean(mse_ipa)),
+                    "mse_mga": float(np.mean([p[0] for p in pairs])),
+                    "mse_mga_ipa": float(np.mean([p[1] for p in pairs])),
                 }
             )
     return rows
@@ -307,11 +359,42 @@ def figure8_rows(
 FIG9_XIS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 
+@dataclass(frozen=True)
+class _Fig9Task:
+    """Picklable per-trial unit of Figure 9 (one k-means defense round)."""
+
+    dataset: Dataset
+    protocol: object
+    attack: InputPoisoningAttack
+    beta: float
+    xi: float
+    seed: np.random.SeedSequence
+
+
+def _figure9_trial(task: _Fig9Task) -> tuple[float, float, float]:
+    """One Figure 9 trial: before / k-means-only / LDPRecover-KM MSE."""
+    gen = np.random.default_rng(task.seed)
+    trial = run_trial(
+        task.dataset, task.protocol, task.attack, beta=task.beta, mode="sampled", rng=gen
+    )
+    truth = trial.true_frequencies
+    defense = KMeansDefense(sample_rate=task.xi, num_subsets=10)
+    recovery, km_result = recover_with_kmeans(
+        task.protocol, trial.reports, defense=defense, rng=gen
+    )
+    return (
+        mse(truth, trial.poisoned_frequencies),
+        mse(truth, km_result.frequencies),
+        mse(truth, recovery.frequencies),
+    )
+
+
 def figure9_rows(
     num_users: Optional[int] = 20_000,
     trials: int = 3,
     beta: float = DEFAULT_BETA,
     rng: RngLike = 9,
+    workers: Optional[int] = 1,
 ) -> list[dict[str, object]]:
     """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS)."""
     dataset = load_dataset("ipums", num_users)
@@ -327,28 +410,18 @@ def figure9_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             attack = InputPoisoningAttack(mga)
-            before: list[float] = []
-            km_only: list[float] = []
-            km_recover: list[float] = []
-            for trial_rng in spawn(gen, trials):
-                trial = run_trial(
-                    dataset, protocol, attack, beta=beta, mode="sampled", rng=trial_rng
-                )
-                truth = trial.true_frequencies
-                before.append(mse(truth, trial.poisoned_frequencies))
-                defense = KMeansDefense(sample_rate=xi, num_subsets=10)
-                recovery, km_result = recover_with_kmeans(
-                    protocol, trial.reports, defense=defense, rng=trial_rng
-                )
-                km_only.append(mse(truth, km_result.frequencies))
-                km_recover.append(mse(truth, recovery.frequencies))
+            tasks = [
+                _Fig9Task(dataset, protocol, attack, beta, xi, seed)
+                for seed in spawn_sequences(gen, trials)
+            ]
+            triples = parallel_map(_figure9_trial, tasks, workers=workers)
             rows.append(
                 {
                     "cell": f"{protocol_name}",
                     "xi": xi,
-                    "mse_before": float(np.mean(before)),
-                    "mse_kmeans": float(np.mean(km_only)),
-                    "mse_ldprecover_km": float(np.mean(km_recover)),
+                    "mse_before": float(np.mean([t[0] for t in triples])),
+                    "mse_kmeans": float(np.mean([t[1] for t in triples])),
+                    "mse_ldprecover_km": float(np.mean([t[2] for t in triples])),
                 }
             )
     return rows
@@ -362,6 +435,8 @@ def figure10_rows(
     num_users: Optional[int] = None,
     trials: int = 5,
     rng: RngLike = 10,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
 ) -> list[dict[str, object]]:
     """Figure 10: LDPRecover against 5 independent adaptive attackers."""
     dataset = load_dataset("ipums", num_users)
@@ -390,6 +465,8 @@ def figure10_rows(
                 mode="fast",
                 with_star=False,
                 rng=gen,
+                workers=workers,
+                chunk_users=chunk_users,
             )
             rows.append(
                 {
@@ -402,13 +479,40 @@ def figure10_rows(
     return rows
 
 
+@dataclass(frozen=True)
+class _Table1Task:
+    """Picklable per-trial unit of Table I (one unpoisoned recovery round)."""
+
+    dataset: Dataset
+    protocol: object
+    mode: SimulationMode
+    chunk_users: Optional[int]
+    seed: np.random.SeedSequence
+
+
+def _table1_trial(task: _Table1Task) -> tuple[float, float]:
+    """One Table I trial: MSE before and after recovery, beta=0."""
+    gen = np.random.default_rng(task.seed)
+    trial = run_trial(
+        task.dataset, task.protocol, None, beta=0.0, mode=task.mode,
+        rng=gen, chunk_users=task.chunk_users,
+    )
+    truth = trial.true_frequencies
+    before = mse(truth, trial.poisoned_frequencies)
+    recovery = recover_frequencies(trial.poisoned_frequencies, task.protocol, eta=DEFAULT_ETA)
+    return before, mse(truth, recovery.frequencies)
+
+
 def table1_rows(
     num_users: Optional[int] = None,
     trials: int = 5,
     rng: RngLike = 1,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
 ) -> list[dict[str, object]]:
     """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0)."""
     rows = []
+    mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
     datasets = [load_dataset("ipums", num_users), load_dataset("fire", num_users)]
     rngs = spawn(rng, len(datasets) * len(PROTOCOL_NAMES))
     idx = 0
@@ -419,22 +523,17 @@ def table1_rows(
             protocol = make_protocol(
                 protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
             )
-            before: list[float] = []
-            after: list[float] = []
-            for trial_rng in spawn(gen, trials):
-                trial = run_trial(dataset, protocol, None, beta=0.0, mode="fast", rng=trial_rng)
-                truth = trial.true_frequencies
-                before.append(mse(truth, trial.poisoned_frequencies))
-                recovery = recover_frequencies(
-                    trial.poisoned_frequencies, protocol, eta=DEFAULT_ETA
-                )
-                after.append(mse(truth, recovery.frequencies))
+            tasks = [
+                _Table1Task(dataset, protocol, mode, chunk_users, seed)
+                for seed in spawn_sequences(gen, trials)
+            ]
+            pairs = parallel_map(_table1_trial, tasks, workers=workers)
             rows.append(
                 {
                     "dataset": dataset.name,
                     "protocol": protocol_name,
-                    "mse_before_recovery": float(np.mean(before)),
-                    "mse_after_recovery": float(np.mean(after)),
+                    "mse_before_recovery": float(np.mean([p[0] for p in pairs])),
+                    "mse_after_recovery": float(np.mean([p[1] for p in pairs])),
                 }
             )
     return rows

@@ -13,6 +13,7 @@ dataset of ``n`` genuine users.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Literal, Optional
 
@@ -24,14 +25,29 @@ from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle, counts_to_items
 
-SimulationMode = Literal["fast", "sampled"]
+SimulationMode = Literal["fast", "sampled", "chunked"]
 
 
-def malicious_count(num_genuine: int, beta: float) -> int:
-    """Number of malicious users for a malicious fraction ``beta``."""
+def malicious_count(num_genuine: int, beta: float, strict: bool = False) -> int:
+    """Number of malicious users for a malicious fraction ``beta``.
+
+    When ``beta > 0`` but the population is so small that the count rounds
+    to zero, the "attacked" cell would silently run unpoisoned — a warning
+    is emitted, or :class:`~repro.exceptions.InvalidParameterError` raised
+    under ``strict=True``.
+    """
     if not 0.0 <= beta < 1.0:
         raise InvalidParameterError(f"beta must be in [0, 1), got {beta}")
-    return int(round(beta * num_genuine / (1.0 - beta)))
+    m = int(round(beta * num_genuine / (1.0 - beta)))
+    if beta > 0.0 and m == 0:
+        message = (
+            f"beta={beta} with n={num_genuine} genuine users rounds to m=0 "
+            f"malicious users: the cell will run unpoisoned"
+        )
+        if strict:
+            raise InvalidParameterError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    return m
 
 
 @dataclass
@@ -75,6 +91,7 @@ def run_trial(
     beta: float = 0.05,
     mode: SimulationMode = "fast",
     rng: RngLike = None,
+    chunk_users: Optional[int] = None,
 ) -> TrialResult:
     """Simulate one poisoning round.
 
@@ -91,14 +108,31 @@ def run_trial(
     mode:
         ``"fast"`` draws genuine aggregated counts from their marginal
         laws (milliseconds at paper scale); ``"sampled"`` materializes
-        every report (needed by Detection / k-means defenses).
+        every report (needed by Detection / k-means defenses);
+        ``"chunked"`` runs the exact report-level simulation in
+        bounded-memory chunks without retaining reports (see
+        :func:`repro.sim.engine.run_chunked_trial`).
     rng:
         Seed or generator for the whole trial.
+    chunk_users:
+        Users simulated per chunk in ``"chunked"`` mode (default
+        :data:`repro.sim.engine.DEFAULT_CHUNK_USERS`); rejected in the
+        other modes, which never chunk.
     """
     if dataset.domain_size != protocol.domain_size:
         raise InvalidParameterError(
             f"dataset domain size {dataset.domain_size} != protocol domain size "
             f"{protocol.domain_size}"
+        )
+    if mode == "chunked":
+        from repro.sim.engine import run_chunked_trial
+
+        return run_chunked_trial(
+            dataset, protocol, attack, beta=beta, rng=rng, chunk_users=chunk_users
+        )
+    if chunk_users is not None:
+        raise InvalidParameterError(
+            f"chunk_users only applies to mode='chunked', got mode={mode!r}"
         )
     gen = as_generator(rng)
     n = dataset.num_users

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro._rng import as_generator, derive_seed, spawn
+from repro._rng import as_generator, derive_seed, spawn, spawn_sequences
 
 
 class TestAsGenerator:
@@ -58,6 +58,47 @@ class TestSpawn:
         children = spawn(123, 8)
         draws = [tuple(g.integers(0, 1000, size=4)) for g in children]
         assert len(set(draws)) == 8
+
+    def test_children_are_real_seed_sequence_spawns(self):
+        # The docstring contract: children come from SeedSequence.spawn of
+        # the parent's sequence, not from raw integers drawn off its stream.
+        expected = [
+            np.random.default_rng(s).integers(0, 2**31)
+            for s in np.random.SeedSequence(7).spawn(3)
+        ]
+        actual = [g.integers(0, 2**31) for g in spawn(7, 3)]
+        assert actual == expected
+
+    def test_generator_parent_spawns_fresh_children_each_call(self):
+        gen = np.random.default_rng(0)
+        first = [g.integers(0, 2**31) for g in spawn(gen, 2)]
+        second = [g.integers(0, 2**31) for g in spawn(gen, 2)]
+        assert set(first).isdisjoint(second)
+
+
+class TestSpawnSequences:
+    def test_returns_seed_sequences(self):
+        seqs = spawn_sequences(42, 3)
+        assert len(seqs) == 3
+        assert all(isinstance(s, np.random.SeedSequence) for s in seqs)
+
+    def test_deterministic_for_int_seeds(self):
+        a = [s.generate_state(1)[0] for s in spawn_sequences(11, 4)]
+        b = [s.generate_state(1)[0] for s in spawn_sequences(11, 4)]
+        assert a == b
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_sequences(0, -1)
+
+    def test_children_are_picklable(self):
+        import pickle
+
+        seqs = spawn_sequences(3, 2)
+        clones = pickle.loads(pickle.dumps(seqs))
+        assert [s.generate_state(1)[0] for s in clones] == [
+            s.generate_state(1)[0] for s in seqs
+        ]
 
 
 class TestDeriveSeed:

@@ -1,0 +1,292 @@
+"""Tests for the parallel, memory-bounded experiment engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import AdaptiveAttack, MGAAttack
+from repro.datasets import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.sim import engine
+from repro.sim.engine import (
+    MetricStats,
+    Welford,
+    aggregate_metrics,
+    chunked_genuine_counts,
+    chunked_malicious_counts,
+    chunked_support_counts,
+    parallel_map,
+    resolve_workers,
+    run_chunked_trial,
+)
+from repro.sim.experiment import evaluate_recovery
+from repro.sim.pipeline import run_trial
+
+D = 16
+DATASET = zipf_dataset(domain_size=D, num_users=10_000, exponent=1.0, rng=8)
+
+
+class TestWelford:
+    def test_matches_numpy(self):
+        values = np.random.default_rng(0).normal(3.0, 2.0, size=97)
+        acc = Welford()
+        for v in values:
+            acc.add(float(v))
+        assert acc.count == values.size
+        assert acc.mean == pytest.approx(float(np.mean(values)), rel=1e-12)
+        assert acc.variance == pytest.approx(float(np.var(values, ddof=1)), rel=1e-12)
+
+    def test_merge_equals_sequential(self):
+        values = np.random.default_rng(1).normal(size=50)
+        whole = Welford()
+        for v in values:
+            whole.add(float(v))
+        left, right = Welford(), Welford()
+        for v in values[:17]:
+            left.add(float(v))
+        for v in values[17:]:
+            right.add(float(v))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.variance == pytest.approx(whole.variance, rel=1e-12)
+
+    def test_merge_empty_sides(self):
+        acc = Welford()
+        acc.add(2.0)
+        acc.merge(Welford())
+        assert acc.count == 1 and acc.mean == 2.0
+        empty = Welford()
+        empty.merge(acc)
+        assert empty.count == 1 and empty.mean == 2.0
+
+    def test_small_counts_have_no_variance(self):
+        acc = Welford()
+        assert acc.variance is None and acc.stderr is None
+        acc.add(1.0)
+        assert acc.variance is None
+        snap = acc.snapshot()
+        assert isinstance(snap, MetricStats)
+        assert snap.ci95_halfwidth is None
+
+    def test_ci95(self):
+        acc = Welford()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            acc.add(v)
+        snap = acc.snapshot()
+        assert snap.ci95_halfwidth == pytest.approx(1.96 * snap.stderr)
+
+
+class TestAggregateMetrics:
+    def test_missing_metrics_are_absent(self):
+        stats = aggregate_metrics([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert stats["a"].count == 2 and stats["a"].mean == 2.0
+        assert stats["b"].count == 1
+        assert "c" not in stats
+
+
+def _double(x: float) -> float:
+    """Module-level doubling helper (picklable across the pool)."""
+    return 2.0 * x
+
+
+class TestParallelMap:
+    def test_inline_and_pool_agree(self):
+        tasks = [float(i) for i in range(7)]
+        assert parallel_map(_double, tasks, workers=1) == parallel_map(
+            _double, tasks, workers=3
+        )
+
+    def test_order_preserved(self):
+        assert parallel_map(_double, [3.0, 1.0, 2.0], workers=2) == [6.0, 2.0, 4.0]
+
+    def test_workers_validation(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(InvalidParameterError):
+            resolve_workers(-2)
+
+
+class TestParallelDeterminism:
+    """workers=1 and workers=N must produce bit-identical evaluations."""
+
+    @pytest.mark.parametrize("mode", ["fast", "chunked"])
+    def test_workers_bit_identical(self, grr, mode):
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        kwargs = dict(beta=0.05, eta=0.2, trials=4, mode=mode, rng=77)
+        if mode == "chunked":
+            kwargs["chunk_users"] = 1_000
+        serial = evaluate_recovery(DATASET, grr, attack, workers=1, **kwargs)
+        pooled = evaluate_recovery(DATASET, grr, attack, workers=4, **kwargs)
+        for metric in (
+            "mse_before",
+            "mse_recover",
+            "mse_recover_star",
+            "fg_before",
+            "fg_recover",
+            "mse_malicious_estimate",
+        ):
+            assert getattr(serial, metric) == getattr(pooled, metric), metric
+        assert serial.stats.keys() == pooled.stats.keys()
+        for key in serial.stats:
+            assert serial.stats[key] == pooled.stats[key], key
+
+    def test_sampled_mode_parallel(self, grr):
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        serial = evaluate_recovery(
+            DATASET, grr, attack, trials=2, mode="sampled", with_detection=True,
+            rng=5, workers=1,
+        )
+        pooled = evaluate_recovery(
+            DATASET, grr, attack, trials=2, mode="sampled", with_detection=True,
+            rng=5, workers=2,
+        )
+        assert serial.mse_detection == pooled.mse_detection
+        assert serial.fg_detection == pooled.fg_detection
+
+    def test_stats_carry_confidence_intervals(self, grr):
+        attack = AdaptiveAttack(domain_size=D, rng=1)
+        ev = evaluate_recovery(DATASET, grr, attack, trials=5, rng=3)
+        assert ev.stats["mse_before"].count == 5
+        assert ev.ci95("mse_before") is not None and ev.ci95("mse_before") > 0
+        assert ev.ci95("nonexistent") is None
+
+
+class TestChunkedSupportCounts:
+    """Chunked aggregation must equal the unchunked path exactly."""
+
+    N = 1_037  # deliberately not divisible by the chunk size
+
+    @pytest.mark.parametrize("chunk", [100, 256, 1_037, 5_000])
+    def test_oue_equals_unchunked(self, oue, chunk):
+        items = np.random.default_rng(3).integers(0, D, size=self.N)
+        reports = oue.perturb(items, np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            chunked_support_counts(oue, reports, chunk), oue.support_counts(reports)
+        )
+
+    @pytest.mark.parametrize("chunk", [100, 256, 1_037, 5_000])
+    def test_olh_equals_unchunked(self, olh, chunk):
+        items = np.random.default_rng(3).integers(0, D, size=self.N)
+        reports = olh.perturb(items, np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            chunked_support_counts(olh, reports, chunk), olh.support_counts(reports)
+        )
+
+    def test_grr_equals_unchunked(self, grr):
+        items = np.random.default_rng(3).integers(0, D, size=self.N)
+        reports = grr.perturb(items, np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            chunked_support_counts(grr, reports, 64), grr.support_counts(reports)
+        )
+
+    def test_invalid_chunk(self, oue):
+        reports = oue.perturb(np.zeros(4, dtype=np.int64), 0)
+        with pytest.raises(InvalidParameterError):
+            chunked_support_counts(oue, reports, 0)
+
+
+class TestChunkedGenuineCounts:
+    def test_population_conserved_for_grr(self, grr):
+        # Every GRR report supports exactly one item, so the chunked total
+        # must conserve the population even across ragged chunk boundaries.
+        counts = chunked_genuine_counts(grr, DATASET.counts, rng=0, chunk_users=999)
+        assert int(counts.sum()) == DATASET.num_users
+
+    def test_deterministic(self, oue):
+        a = chunked_genuine_counts(oue, DATASET.counts, rng=11, chunk_users=777)
+        b = chunked_genuine_counts(oue, DATASET.counts, rng=11, chunk_users=777)
+        np.testing.assert_array_equal(a, b)
+
+    def test_estimates_recover_truth(self, oue):
+        counts = chunked_genuine_counts(oue, DATASET.counts, rng=2, chunk_users=1_000)
+        est = oue.estimate_frequencies(counts, DATASET.num_users)
+        assert float(np.mean((est - DATASET.frequencies) ** 2)) < 5e-3
+
+
+class TestChunkedTrial:
+    def test_matches_run_trial_dispatch(self, oue):
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        direct = run_chunked_trial(DATASET, oue, attack, beta=0.05, rng=9, chunk_users=640)
+        via_mode = run_trial(
+            DATASET, oue, attack, beta=0.05, mode="chunked", rng=9, chunk_users=640
+        )
+        np.testing.assert_array_equal(
+            direct.poisoned_frequencies, via_mode.poisoned_frequencies
+        )
+        np.testing.assert_array_equal(
+            direct.malicious_frequencies, via_mode.malicious_frequencies
+        )
+
+    def test_no_reports_retained(self, oue):
+        trial = run_chunked_trial(DATASET, oue, None, beta=0.0, rng=1, chunk_users=512)
+        assert trial.reports is None and trial.malicious_mask is None
+
+    def test_malicious_chunking_covers_all_users(self, grr):
+        attack = MGAAttack(domain_size=D, targets=[2], rng=0)
+        counts = chunked_malicious_counts(grr, attack, 1_003, rng=0, chunk_users=100)
+        # Every crafted GRR report is the target item itself.
+        assert counts[2] == 1_003 and int(counts.sum()) == 1_003
+
+    def test_non_iid_attacks_are_not_split(self, grr):
+        """Regression: MultiAttacker's deterministic weight split re-rounds
+        per craft call, so chunking its crafting would starve low-weight
+        attackers; the chunked path must craft it in one batch."""
+        from repro.attacks import MultiAttacker
+
+        attack = MultiAttacker(
+            [
+                MGAAttack(domain_size=D, targets=[1], rng=0),
+                MGAAttack(domain_size=D, targets=[2], rng=0),
+            ],
+            weights=[0.99, 0.01],
+        )
+        assert not attack.iid_reports
+        counts = chunked_malicious_counts(grr, attack, 1_000, rng=0, chunk_users=10)
+        # The 1%-weight attacker keeps its 10 users despite 10-user chunks.
+        assert counts[2] == 10 and counts[1] == 990
+
+    def test_ipa_inherits_iid_flag(self):
+        from repro.attacks import InputPoisoningAttack, MultiAttacker
+
+        iid_inner = MGAAttack(domain_size=D, targets=[1], rng=0)
+        assert InputPoisoningAttack(iid_inner).iid_reports
+        multi = MultiAttacker([iid_inner])
+        assert not InputPoisoningAttack(multi).iid_reports
+
+    def test_chunk_users_rejected_outside_chunked_mode(self, grr):
+        with pytest.raises(InvalidParameterError):
+            run_trial(DATASET, grr, None, mode="fast", rng=0, chunk_users=100)
+
+    def test_chunk_users_incompatible_with_sampled_cell(self, grr):
+        with pytest.raises(InvalidParameterError):
+            evaluate_recovery(
+                DATASET, grr, None, trials=1, mode="sampled", chunk_users=100
+            )
+
+    def test_chunk_users_upgrades_fast_mode(self, grr):
+        # chunk_users on a fast-mode cell silently selects the exact path.
+        ev = evaluate_recovery(DATASET, grr, None, trials=1, rng=0, chunk_users=5_000)
+        assert ev.mse_before > 0
+
+
+class TestStrictBeta:
+    def test_warns_when_m_rounds_to_zero(self, grr):
+        tiny = zipf_dataset(domain_size=D, num_users=40, exponent=1.0, rng=1)
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        with pytest.warns(RuntimeWarning, match="m=0"):
+            evaluate_recovery(tiny, grr, attack, beta=0.005, trials=1, rng=0)
+
+    def test_strict_raises(self, grr):
+        tiny = zipf_dataset(domain_size=D, num_users=40, exponent=1.0, rng=1)
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        with pytest.raises(InvalidParameterError, match="m=0"):
+            evaluate_recovery(
+                tiny, grr, attack, beta=0.005, trials=1, rng=0, strict_beta=True
+            )
+
+
+class TestEngineDefaults:
+    def test_default_chunk_size_is_bounded(self):
+        assert engine.DEFAULT_CHUNK_USERS >= 1

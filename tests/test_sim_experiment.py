@@ -86,6 +86,22 @@ class TestEvaluateRecovery:
         assert row["protocol"] == "grr"
         assert "mse_before" in row
 
+    def test_as_row_includes_malicious_estimate_columns(self, proto):
+        """Regression: Figure 7's metric used to be dropped from dumps."""
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        row = evaluate_recovery(DATASET, proto, attack, trials=2, rng=1).as_row()
+        assert row["trials"] == 2
+        assert row["mse_malicious_estimate"] is not None
+        assert row["mse_malicious_estimate_star"] is not None
+
+    def test_as_row_columns_are_stable_across_cells(self, proto):
+        """Poisoned and unpoisoned cells must emit identical columns so the
+        CSV/JSON writers (which require a uniform header) accept them."""
+        attack = MGAAttack(domain_size=D, r=3, rng=0)
+        poisoned = evaluate_recovery(DATASET, proto, attack, trials=1, rng=1).as_row()
+        clean = evaluate_recovery(DATASET, proto, None, trials=1, rng=1).as_row()
+        assert list(poisoned.keys()) == list(clean.keys())
+
 
 class TestResolveStarTargets:
     def test_explicit_targets_win(self, proto):

@@ -33,6 +33,23 @@ class TestMaliciousCount:
         m = malicious_count(n, 0.05)
         assert m / (n + m) == pytest.approx(0.05, abs=1e-4)
 
+    def test_warns_when_beta_rounds_to_zero(self):
+        """beta > 0 with m = 0 silently de-poisons a cell; it must warn."""
+        with pytest.warns(RuntimeWarning, match="m=0"):
+            assert malicious_count(40, 0.005) == 0
+
+    def test_strict_raises_when_beta_rounds_to_zero(self):
+        with pytest.raises(InvalidParameterError, match="m=0"):
+            malicious_count(40, 0.005, strict=True)
+
+    def test_no_warning_for_zero_beta_or_positive_m(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert malicious_count(1000, 0.0) == 0
+            assert malicious_count(1000, 0.05) > 0
+
 
 class TestRunTrial:
     def test_unpoisoned_trial(self, grr):

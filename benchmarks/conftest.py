@@ -15,7 +15,11 @@ Scale knobs: set ``REPRO_BENCH_USERS`` / ``REPRO_BENCH_TRIALS`` /
 ``REPRO_BENCH_WORKERS`` environment variables to override the default
 (minutes-level, serial) configuration; unset ``REPRO_BENCH_USERS`` and
 pass 0 to use the paper's full populations, ``REPRO_BENCH_WORKERS=0``
-to fan trials out over every core.
+to fan trials out over every core.  Set ``REPRO_BENCH_CACHE_DIR`` to a
+directory to run every exhibit benchmark (``bench_fig*.py`` /
+``bench_table1*.py``) against a persistent cell cache (see
+:mod:`repro.sim.cache`): a warm directory turns exhibit regeneration into
+pure cache reads, which is also what ``bench_cell_cache.py`` measures.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.sim.cache import CellCache
 from repro.sim.experiment import format_table
 
 
@@ -44,6 +49,12 @@ def bench_trials(default: int) -> int:
 def bench_workers(default: int = 1) -> int:
     """Trial-level parallelism override (``REPRO_BENCH_WORKERS``, 0 = all cores)."""
     return int(os.environ.get("REPRO_BENCH_WORKERS", default))
+
+
+def bench_cache() -> CellCache | None:
+    """Cell cache from ``REPRO_BENCH_CACHE_DIR``, or ``None`` (no caching)."""
+    raw = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    return CellCache(raw) if raw else None
 
 
 #: Exhibit tables accumulated during the run; flushed after capture ends.

@@ -1,0 +1,53 @@
+"""Sphinx configuration for the repro (LDPRecover, ICDE 2024) API docs.
+
+Build with::
+
+    python -m sphinx -b html docs docs/_build
+
+CI builds with ``-W`` (warnings are errors); keep the autodoc surface
+warning-clean.  Requirements: ``docs/requirements.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Autodoc imports the package from the source tree (no install needed).
+sys.path.insert(0, os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src")))
+
+import repro  # noqa: E402  (path set up just above)
+
+project = "repro — LDPRecover reproduction"
+author = "repro contributors"
+copyright = "2026, repro contributors"  # noqa: A001 - sphinx config name
+version = repro.__version__
+release = repro.__version__
+
+extensions = [
+    "sphinx.ext.autodoc",
+    "sphinx.ext.autosummary",
+    "sphinx.ext.napoleon",
+    "sphinx.ext.viewcode",
+    "myst_parser",
+]
+
+# Markdown (docs/exhibits.md) rides through MyST; reST stays the default.
+source_suffix = {".rst": "restructuredtext", ".md": "markdown"}
+
+exclude_patterns = ["_build"]
+
+# Docstrings are numpydoc-flavoured prose; keep autodoc faithful to source
+# order and include class docstrings once (on the class, not __init__).
+autodoc_member_order = "bysource"
+autoclass_content = "class"
+autodoc_typehints = "signature"
+napoleon_numpy_docstring = True
+napoleon_google_docstring = False
+
+# The default alabaster theme ships with Sphinx — no extra dependency.
+html_theme = "alabaster"
+html_theme_options = {
+    "description": "Recovering frequencies from poisoning attacks against LDP",
+    "fixed_sidebar": True,
+}

@@ -1,7 +1,7 @@
 """MGA: the Maximal Gain Attack of Cao, Jia & Gong (USENIX Security'21).
 
 A targeted poisoning attack that maximizes the frequency gain of the
-attacker-chosen target items ``T`` (|T| = r).  The crafted report is
+attacker-chosen target items ``T`` (``|T| = r``).  The crafted report is
 protocol specific:
 
 * **GRR** — each malicious user reports a uniformly chosen target item.

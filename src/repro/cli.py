@@ -6,8 +6,21 @@ Examples::
     ldprecover run --figure fig3 --dataset ipums --workers 4
     ldprecover run --figure fig5 --parameter beta --workers 0
     ldprecover run --figure fig7 --chunk-users 200000
-    ldprecover run --figure table1 --trials 3
+    ldprecover run --figure table1 --trials 3 --cache-stats
+    ldprecover run --figure fig6 --no-cache
     ldprecover demo --protocol oue --beta 0.1
+    ldprecover cache ls
+    ldprecover cache verify
+    ldprecover cache prune --older-than-days 30
+
+Completed experiment cells are cached on disk (see
+:mod:`repro.sim.cache`) under ``--cache-dir`` — by default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ldprecover`` — so interrupted
+sweeps resume from where they stopped and warm reruns cost zero
+simulation time.  ``--no-cache`` bypasses the store, ``--cache-stats``
+prints the hit/miss summary after a run, and the ``cache`` subcommand
+inspects (``ls``), garbage-collects (``prune``) and integrity-checks
+(``verify``) the store.
 
 The same functions back the ``benchmarks/`` suite; the CLI simply prints
 the row tables.
@@ -20,32 +33,35 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.sim import figures
+from repro.sim.cache import CellCache, resolve_cache
 from repro.sim.experiment import format_table
 
 _FigureFn = Callable[..., list[dict[str, object]]]
 
 
-def _run_fig3(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig3(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure3_rows(
         dataset_name=args.dataset,
         num_users=args.num_users,
         trials=args.trials,
         rng=args.seed,
         workers=args.workers,
+        cache=cache,
     )
 
 
-def _run_fig4(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig4(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure4_rows(
         dataset_name=args.dataset,
         num_users=args.num_users,
         trials=args.trials,
         rng=args.seed,
         workers=args.workers,
+        cache=cache,
     )
 
 
-def _run_sweep(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_sweep(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     dataset = {"fig5": "ipums", "fig6": "fire"}[args.figure]
     return figures.sweep_rows(
         dataset_name=dataset,
@@ -55,45 +71,46 @@ def _run_sweep(args: argparse.Namespace) -> list[dict[str, object]]:
         rng=args.seed,
         workers=args.workers,
         chunk_users=args.chunk_users,
+        cache=cache,
     )
 
 
-def _run_fig7(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig7(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure7_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
+        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
     )
 
 
-def _run_fig8(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig8(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure8_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
+        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
     )
 
 
-def _run_fig9(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig9(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure9_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers,
+        workers=args.workers, cache=cache,
     )
 
 
-def _run_fig10(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_fig10(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure10_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
+        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
     )
 
 
-def _run_table1(args: argparse.Namespace) -> list[dict[str, object]]:
+def _run_table1(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.table1_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
+        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
     )
 
 
-_FIGURES: dict[str, Callable[[argparse.Namespace], list[dict[str, object]]]] = {
+_FIGURES: dict[str, Callable[[argparse.Namespace, Optional[CellCache]], list[dict[str, object]]]] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_sweep,
@@ -144,6 +161,40 @@ def _demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_command(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand: ls / prune / verify the cell store."""
+    cache = resolve_cache(cache_dir=args.cache_dir)
+    assert cache is not None  # no_cache is not offered on this subcommand
+    if args.action == "ls":
+        base = cache.cache_dir if args.all_versions else cache.root
+        entries = cache.entries(all_tags=args.all_versions)
+        if not entries:
+            print(f"(no cached cells under {base})")
+            return 0
+        print(format_table([e.summary_row() for e in entries], float_format="{:g}"))
+        total = sum(e.size_bytes for e in entries)
+        print(f"{len(entries)} cells, {total} bytes under {base}")
+        return 0
+    if args.action == "prune":
+        removed = cache.prune(
+            older_than_days=args.older_than_days, all_tags=args.all_versions
+        )
+        print(f"pruned {removed} cached cells from {cache.cache_dir}")
+        return 0
+    if args.action == "verify":
+        problems = cache.verify(delete=args.delete)
+        healthy = cache.count() - (0 if args.delete else len(problems))
+        if not problems:
+            print(f"ok: {healthy} cells verified under {cache.root}")
+            return 0
+        for path, problem in problems:
+            print(f"BAD  {path}: {problem}", file=sys.stderr)
+        action = "deleted" if args.delete else "found (rerun with --delete to remove)"
+        print(f"{len(problems)} bad entries {action}; {healthy} healthy", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled cache action {args.action!r}")  # pragma: no cover
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``ldprecover`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -169,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
                      help="run fast-mode exhibits through the bounded-memory "
                           "exact simulation, this many users per chunk")
+    run.add_argument("--cache-dir", default=None, dest="cache_dir",
+                     help="cell cache directory (default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro-ldprecover); completed cells are "
+                          "reused across runs")
+    run.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="neither read nor write the cell cache")
+    run.add_argument("--cache-stats", action="store_true", dest="cache_stats",
+                     help="print cache hit/miss statistics after the run")
     run.add_argument("--output", default=None,
                      help="also write the rows to this .csv or .json file")
 
@@ -181,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
                      help="simulate the round report-exactly in chunks of this size")
+
+    cache = sub.add_parser("cache", help="inspect or clean the cell cache")
+    cache.add_argument("action", choices=["ls", "prune", "verify"],
+                       help="ls: list cached cells; prune: delete cells; "
+                            "verify: integrity-check every entry")
+    cache.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="cell cache directory (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-ldprecover)")
+    cache.add_argument("--older-than-days", type=float, default=None,
+                       dest="older_than_days",
+                       help="prune only: keep cells younger than this horizon")
+    cache.add_argument("--all-versions", action="store_true", dest="all_versions",
+                       help="extend ls/prune to entries of other cache/package "
+                            "versions")
+    cache.add_argument("--delete", action="store_true",
+                       help="verify only: delete entries that fail the check")
     return parser
 
 
@@ -193,14 +268,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _demo(args)
+    if args.command == "cache":
+        return _cache_command(args)
     if args.chunk_users is not None and args.figure in ("fig3", "fig4", "fig9"):
         print(
             f"note: --chunk-users is ignored for {args.figure} "
             f"(report-level defenses need materialized reports)",
             file=sys.stderr,
         )
-    rows = _FIGURES[args.figure](args)
+    cache = resolve_cache(cache_dir=args.cache_dir, no_cache=args.no_cache)
+    rows = _FIGURES[args.figure](args, cache)
     print(format_table(rows))
+    if cache is not None and args.cache_stats:
+        print(cache.stats.summary())
     if args.output:
         from repro.sim.reporting import write_csv, write_json
 

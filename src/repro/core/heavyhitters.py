@@ -42,7 +42,7 @@ def top_k_items(frequencies: np.ndarray, k: int) -> np.ndarray:
 
 
 def top_k_precision(true_freq: np.ndarray, estimated_freq: np.ndarray, k: int) -> float:
-    """|estimated top-k ∩ true top-k| / k."""
+    """``|estimated top-k ∩ true top-k| / k``."""
     true_set = set(top_k_items(true_freq, k).tolist())
     est_set = set(top_k_items(estimated_freq, k).tolist())
     return len(true_set & est_set) / k

@@ -189,7 +189,7 @@ class FrequencyOracle(ABC):
 
         Backs the threshold-based Detection baseline: a report supporting
         many target items at once carries the signature of a crafted MGA
-        report.  The default implementation is O(|items|) passes of
+        report.  The default implementation is ``O(|items|)`` passes of
         :meth:`reports_supporting_any`; subclasses override with vector
         code.
         """

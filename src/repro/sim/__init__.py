@@ -1,7 +1,19 @@
 """Simulation: the poisoning pipeline, metrics and experiment harness."""
 
+from repro.sim.cache import (
+    CacheEntry,
+    CacheStats,
+    CellCache,
+    canonical_key,
+    default_cache_dir,
+    evaluation_cell_spec,
+    resolve_cache,
+    row_cell_spec,
+)
 from repro.sim.engine import (
     DEFAULT_CHUNK_USERS,
+    TASK_COUNTER,
+    CallCounter,
     MetricStats,
     TrialTask,
     Welford,
@@ -30,6 +42,16 @@ __all__ = [
     "run_trial",
     "TrialResult",
     "malicious_count",
+    "CacheEntry",
+    "CacheStats",
+    "CellCache",
+    "CallCounter",
+    "TASK_COUNTER",
+    "canonical_key",
+    "default_cache_dir",
+    "evaluation_cell_spec",
+    "resolve_cache",
+    "row_cell_spec",
     "DEFAULT_CHUNK_USERS",
     "MetricStats",
     "TrialTask",

@@ -1,0 +1,634 @@
+"""Persistent experiment-cell cache: content-addressed, resumable sweeps.
+
+Every exhibit of the paper (Figures 3-10, Table I) is a grid of
+*experimental cells*, and each cell is a pure function of its spec —
+dataset, protocol and parameters, attack and parameters, ``beta``,
+``eta``, ``trials``, the simulation mode, and the exact per-trial seed
+sequences.  This module caches completed cells on disk keyed by the
+canonical hash of that spec, so:
+
+* an interrupted sweep resumes from its completed cells on rerun;
+* regenerating a figure after a code-comment-only change costs zero
+  simulation time;
+* execution knobs that cannot change results — ``workers`` (bit-identical
+  by construction) and ``chunk_users`` (statistically identical chunked
+  aggregation) — are deliberately **excluded** from the key, so a run on
+  one machine shape warms the cache for every other.
+
+Layout: one JSON file per cell under
+``<cache_dir>/<tag>/<key[:2]>/<key>.json`` where ``tag`` versions the
+cache by schema (:data:`CACHE_SCHEMA`) plus the ``repro`` package version
+— a release invalidates old entries wholesale instead of serving stale
+rows.  Writes are atomic (temp file + ``os.replace``) so a Ctrl-C never
+leaves a truncated entry behind; unreadable entries are treated as misses
+and reported by :meth:`CellCache.verify`.
+
+The cache stores two kinds of payloads:
+
+* ``"evaluation"`` — a serialized
+  :class:`~repro.sim.experiment.RecoveryEvaluation` (including its
+  per-metric :class:`~repro.sim.engine.MetricStats`), written by
+  :func:`repro.sim.experiment.evaluate_recovery`;
+* ``"row"`` — one flat exhibit row dict, written by the figure generators
+  whose cells do not go through ``evaluate_recovery`` (Figure 8/9,
+  Table I).
+
+The CLI exposes the store via ``--cache-dir`` / ``--no-cache`` /
+``--cache-stats`` on ``run`` and a ``cache`` subcommand (``ls`` /
+``prune`` / ``verify``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.datasets.base import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import FrequencyOracle
+from repro.sim.engine import MetricStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment -> cache)
+    from repro.sim.experiment import RecoveryEvaluation
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheEntry",
+    "CacheStats",
+    "CellCache",
+    "cache_tag",
+    "canonical_key",
+    "default_cache_dir",
+    "evaluation_cell_spec",
+    "fingerprint_dataset",
+    "fingerprint_object",
+    "fingerprint_seed_sequences",
+    "resolve_cache",
+    "row_cell_spec",
+]
+
+#: Cache schema version: bump whenever the entry layout, the spec
+#: fingerprints, or the payload serialization change incompatibly.
+CACHE_SCHEMA = 1
+
+#: Environment variable that overrides the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Spec fingerprints
+# ----------------------------------------------------------------------
+def _hash_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fingerprint_array(arr: np.ndarray) -> dict[str, Any]:
+    """Content hash of a numpy array (dtype + shape + raw bytes)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "__array__": _hash_bytes(arr.tobytes()),
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+    }
+
+
+_SKIP = object()  # sentinel: attribute carries no cell-identity information
+
+
+def _fingerprint_value(value: Any) -> Any:
+    """Recursively reduce a value to canonical JSON-able identity data.
+
+    RNG machinery (``Generator`` / ``BitGenerator`` / ``SeedSequence``
+    attributes) and callables are skipped: attack/protocol objects hold
+    construction-time generators whose state does not influence results —
+    trial randomness flows exclusively through the spec's seed list.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return _fingerprint_array(value)
+    if isinstance(
+        value, (np.random.Generator, np.random.BitGenerator, np.random.SeedSequence)
+    ):
+        return _SKIP
+    if callable(value) and not isinstance(value, type):
+        return _SKIP
+    if isinstance(value, dict):
+        out = {str(k): _fingerprint_value(v) for k, v in sorted(value.items())}
+        return {k: v for k, v in out.items() if v is not _SKIP}
+    if isinstance(value, (list, tuple)):
+        return [v for v in (_fingerprint_value(x) for x in value) if v is not _SKIP]
+    if isinstance(value, Dataset):
+        return fingerprint_dataset(value)
+    if isinstance(value, (FrequencyOracle, PoisoningAttack)):
+        return fingerprint_object(value)
+    if hasattr(value, "__dict__"):
+        return fingerprint_object(value)
+    return repr(value)
+
+
+def fingerprint_object(obj: Any) -> dict[str, Any]:
+    """Canonical identity of a protocol / attack / defense instance.
+
+    Walks ``obj``'s instance ``vars()``: scalars pass through, arrays are
+    content-hashed, nested components (e.g. :class:`MultiAttacker`'s
+    sub-attacks, IPA's inner attack) recurse, and RNG state is skipped
+    (see :func:`_fingerprint_value`).  The concrete class name is always
+    included so two classes with identical attributes cannot collide.
+    """
+    fp: dict[str, Any] = {"__type__": type(obj).__name__}
+    describe = getattr(obj, "describe", None)
+    if callable(describe):
+        fp["describe"] = str(describe())
+    for key, value in sorted(vars(obj).items()):
+        printed = _fingerprint_value(value)
+        if printed is not _SKIP:
+            fp[key] = printed
+    return fp
+
+
+def fingerprint_dataset(dataset: Dataset) -> dict[str, Any]:
+    """Canonical identity of a dataset: name plus histogram content hash."""
+    return {
+        "name": dataset.name,
+        "counts": _fingerprint_array(dataset.counts),
+        "num_users": dataset.num_users,
+        "domain_size": dataset.domain_size,
+    }
+
+
+def fingerprint_seed_sequences(
+    seeds: Sequence[np.random.SeedSequence],
+) -> list[dict[str, Any]]:
+    """Canonical identity of the per-trial ``seeds`` of a cell.
+
+    Each :class:`~numpy.random.SeedSequence` is fully determined by its
+    ``entropy``, ``spawn_key`` and ``pool_size``, so this captures exactly
+    the randomness every trial will consume — independent of whether the
+    trials later run inline or across a process pool.  Non-deterministic
+    runs (``rng=None`` draws OS entropy) simply produce keys that will
+    never be hit again, i.e. natural cache misses.
+    """
+    out = []
+    for seq in seeds:
+        entropy = seq.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(e) for e in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        out.append(
+            {
+                "entropy": entropy,
+                "spawn_key": [int(k) for k in seq.spawn_key],
+                "pool_size": int(seq.pool_size),
+            }
+        )
+    return out
+
+
+def evaluation_cell_spec(
+    dataset: Dataset,
+    protocol: FrequencyOracle,
+    attack: Optional[PoisoningAttack],
+    *,
+    beta: float,
+    eta: float,
+    trials: int,
+    mode: str,
+    with_star: bool,
+    with_detection: bool,
+    aa_top_k: int,
+    seeds: Sequence[np.random.SeedSequence],
+) -> dict[str, Any]:
+    """The full cell spec of one :func:`evaluate_recovery` call.
+
+    Every field that can change the returned
+    :class:`~repro.sim.experiment.RecoveryEvaluation` is present —
+    ``dataset``, ``protocol``, ``attack`` (all content-fingerprinted),
+    ``beta``, ``eta``, ``trials``, the *resolved* simulation ``mode``, the
+    evaluation switches ``with_star`` / ``with_detection`` / ``aa_top_k``,
+    and the per-trial ``seeds``.  Execution-only knobs (``workers``,
+    ``chunk_users``) are deliberately absent.
+    """
+    return {
+        "kind": "evaluation",
+        "dataset": fingerprint_dataset(dataset),
+        "protocol": fingerprint_object(protocol),
+        "attack": None if attack is None else fingerprint_object(attack),
+        "beta": float(beta),
+        "eta": float(eta),
+        "trials": int(trials),
+        "mode": str(mode),
+        "with_star": bool(with_star),
+        "with_detection": bool(with_detection),
+        "aa_top_k": int(aa_top_k),
+        "seeds": fingerprint_seed_sequences(seeds),
+    }
+
+
+def row_cell_spec(
+    exhibit: str,
+    dataset: Dataset,
+    protocol: Optional[FrequencyOracle],
+    attacks: Iterable[PoisoningAttack],
+    params: dict[str, Any],
+    seeds: Sequence[np.random.SeedSequence],
+) -> dict[str, Any]:
+    """The cell spec of one custom exhibit row (Figure 8/9, Table I).
+
+    ``exhibit`` names the generator (e.g. ``"figure8"``), ``attacks`` the
+    attack instances involved in the cell (possibly none), ``params`` the
+    remaining cell parameters (e.g. ``beta``, ``xi``, ``mode``), and
+    ``seeds`` the per-trial seed sequences; ``dataset`` and ``protocol``
+    are content-fingerprinted like in :func:`evaluation_cell_spec`.
+    """
+    return {
+        "kind": "row",
+        "exhibit": str(exhibit),
+        "dataset": fingerprint_dataset(dataset),
+        "protocol": None if protocol is None else fingerprint_object(protocol),
+        "attacks": [fingerprint_object(a) for a in attacks],
+        "params": _fingerprint_value(dict(params)),
+        "seeds": fingerprint_seed_sequences(seeds),
+    }
+
+
+def canonical_key(spec: dict[str, Any]) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON form of a spec."""
+    encoded = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return _hash_bytes(encoded.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Payload (de)serialization
+# ----------------------------------------------------------------------
+def _stats_to_payload(stats: dict[str, MetricStats]) -> dict[str, dict[str, Any]]:
+    return {
+        name: {
+            "mean": entry.mean,
+            "variance": entry.variance,
+            "stderr": entry.stderr,
+            "count": entry.count,
+        }
+        for name, entry in stats.items()
+    }
+
+
+def _stats_from_payload(payload: dict[str, dict[str, Any]]) -> dict[str, MetricStats]:
+    return {
+        name: MetricStats(
+            mean=float(entry["mean"]),
+            variance=None if entry["variance"] is None else float(entry["variance"]),
+            stderr=None if entry["stderr"] is None else float(entry["stderr"]),
+            count=int(entry["count"]),
+        )
+        for name, entry in payload.items()
+    }
+
+
+def evaluation_to_payload(evaluation: "RecoveryEvaluation") -> dict[str, Any]:
+    """Serialize an ``evaluation`` (with its stats) to a plain JSON dict."""
+    payload = dict(evaluation.as_row())
+    payload["stats"] = _stats_to_payload(evaluation.stats)
+    return payload
+
+
+def payload_to_evaluation(payload: dict[str, Any]) -> "RecoveryEvaluation":
+    """Rebuild a :class:`RecoveryEvaluation` from its cached payload."""
+    from repro.sim.experiment import RecoveryEvaluation  # deferred: import cycle
+
+    data = dict(payload)
+    stats = _stats_from_payload(data.pop("stats", {}))
+    data["trials"] = int(data["trials"])
+    return RecoveryEvaluation(stats=stats, **data)
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+def cache_tag() -> str:
+    """The versioned subdirectory name isolating incompatible caches."""
+    from repro import __version__  # deferred: repro/__init__ imports repro.sim
+
+    return f"v{CACHE_SCHEMA}-repro-{__version__}"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root used when the caller does not pick one.
+
+    Resolution order: the :data:`CACHE_DIR_ENV` environment variable, then
+    ``$XDG_CACHE_HOME/repro-ldprecover``, then ``~/.cache/repro-ldprecover``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-ldprecover"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`CellCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Fraction of lookups served from disk; ``None`` before any lookup."""
+        return self.hits / self.lookups if self.lookups else None
+
+    def summary(self) -> str:
+        """One-line human summary (the ``--cache-stats`` output format)."""
+        rate = self.hit_rate
+        rendered = "n/a" if rate is None else f"{100.0 * rate:.1f}%"
+        line = (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stored (hit rate {rendered})"
+        )
+        if self.errors:
+            line += f", {self.errors} unreadable entries"
+        return line
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one cached cell, as listed by ``repro cache ls``."""
+
+    key: str
+    kind: str
+    path: pathlib.Path
+    created_at: float
+    size_bytes: int
+    spec: dict[str, Any] = field(repr=False)
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat row for ``cache ls`` tables (best-effort spec highlights)."""
+        spec = self.spec
+        dataset = (spec.get("dataset") or {}).get("name", "-")
+        protocol = (spec.get("protocol") or {}).get("describe") or (
+            spec.get("protocol") or {}
+        ).get("__type__", "-")
+        if spec.get("kind") == "evaluation":
+            attack = (spec.get("attack") or {}).get("describe", "none")
+            exhibit = "evaluation"
+            beta, eta, trials = spec.get("beta"), spec.get("eta"), spec.get("trials")
+        else:
+            attacks = spec.get("attacks") or []
+            attack = ", ".join(a.get("describe", a.get("__type__", "?")) for a in attacks) or "none"
+            exhibit = spec.get("exhibit", "row")
+            params = spec.get("params") or {}
+            beta, eta = params.get("beta"), params.get("eta")
+            trials = len(spec.get("seeds") or [])
+        return {
+            "key": self.key[:12],
+            "kind": exhibit,
+            "dataset": dataset,
+            "protocol": protocol,
+            "attack": attack,
+            "beta": beta,
+            "eta": eta,
+            "trials": trials,
+            "age_s": round(max(0.0, time.time() - self.created_at), 1),
+            "bytes": self.size_bytes,
+        }
+
+
+class CellCache:
+    """Content-addressed on-disk store of completed experimental cells.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory of the store; created lazily on first write.
+        Entries live under the versioned :func:`cache_tag` subdirectory.
+    tag:
+        Override the version tag (tests only; the default ties entries to
+        the cache schema and the installed ``repro`` version).
+    """
+
+    def __init__(
+        self, cache_dir: str | os.PathLike[str], tag: Optional[str] = None
+    ) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.tag = tag or cache_tag()
+        self.stats = CacheStats()
+
+    @property
+    def root(self) -> pathlib.Path:
+        """The versioned directory actually holding this cache's entries."""
+        return self.cache_dir / self.tag
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- core get/put --------------------------------------------------
+    def key_for(self, spec: dict[str, Any]) -> str:
+        """The canonical content key of a cell spec."""
+        return canonical_key(spec)
+
+    def get(self, spec: dict[str, Any]) -> Optional[dict[str, Any]]:
+        """Return the cached payload for ``spec``, or ``None`` on a miss.
+
+        Unreadable or mismatched entries (truncated files, foreign kinds)
+        count as misses and bump :attr:`CacheStats.errors`.
+        """
+        path = self._path(self.key_for(spec))
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("kind") != spec.get("kind"):
+                raise ValueError("cached kind does not match requested kind")
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, OSError):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, spec: dict[str, Any], payload: dict[str, Any]) -> pathlib.Path:
+        """Store ``payload`` under ``spec``'s key (atomic write); return path."""
+        key = self.key_for(spec)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "kind": spec.get("kind", "row"),
+            "schema": CACHE_SCHEMA,
+            "created_at": time.time(),
+            "spec": spec,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"), default=float)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- typed convenience wrappers ------------------------------------
+    def get_evaluation(self, spec: dict[str, Any]) -> Optional["RecoveryEvaluation"]:
+        """Cached :class:`RecoveryEvaluation` for an evaluation spec, if any.
+
+        A payload that no longer matches the current
+        :class:`RecoveryEvaluation` shape (e.g. a field was renamed by an
+        in-place code edit under the same cache tag) is treated as a miss
+        and recomputed, not raised.
+        """
+        payload = self.get(spec)
+        if payload is None:
+            return None
+        try:
+            return payload_to_evaluation(payload)
+        except (KeyError, TypeError, ValueError):
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return None
+
+    def put_evaluation(
+        self, spec: dict[str, Any], evaluation: "RecoveryEvaluation"
+    ) -> pathlib.Path:
+        """Store a completed :class:`RecoveryEvaluation` under its spec."""
+        return self.put(spec, evaluation_to_payload(evaluation))
+
+    # -- maintenance (the `repro cache` subcommand) --------------------
+    def _entry_files(self, all_tags: bool = False) -> Iterator[pathlib.Path]:
+        base = self.cache_dir if all_tags else self.root
+        if not base.is_dir():
+            return
+        yield from sorted(base.rglob("*.json"))
+
+    def count(self, all_tags: bool = False) -> int:
+        """Number of entry files on disk (readable or not)."""
+        return sum(1 for _ in self._entry_files(all_tags))
+
+    def entries(self, all_tags: bool = False) -> list[CacheEntry]:
+        """Readable entries of this cache version (or of ``all_tags``)."""
+        out = []
+        for path in self._entry_files(all_tags):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                out.append(
+                    CacheEntry(
+                        key=str(entry["key"]),
+                        kind=str(entry.get("kind", "row")),
+                        path=path,
+                        created_at=float(entry.get("created_at", 0.0)),
+                        size_bytes=path.stat().st_size,
+                        spec=entry.get("spec", {}),
+                    )
+                )
+            except (ValueError, KeyError, OSError):
+                continue
+        return out
+
+    def prune(
+        self, older_than_days: Optional[float] = None, all_tags: bool = False
+    ) -> int:
+        """Delete cached cells; return the number of files removed.
+
+        ``older_than_days`` keeps entries younger than the horizon;
+        ``None`` removes everything.  ``all_tags`` extends the sweep to
+        entries written by other schema/package versions (the usual way to
+        reclaim space after upgrades).
+        """
+        if older_than_days is not None and older_than_days < 0:
+            raise InvalidParameterError(
+                f"older_than_days must be >= 0, got {older_than_days}"
+            )
+        horizon = (
+            None if older_than_days is None else time.time() - 86_400.0 * older_than_days
+        )
+        removed = 0
+        for path in list(self._entry_files(all_tags)):
+            if horizon is not None:
+                try:
+                    with path.open("r", encoding="utf-8") as handle:
+                        created = float(json.load(handle).get("created_at", 0.0))
+                except (ValueError, OSError):
+                    created = 0.0  # unreadable: always eligible
+                if created > horizon:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def verify(self, delete: bool = False) -> list[tuple[pathlib.Path, str]]:
+        """Check every entry's integrity; return ``(path, problem)`` pairs.
+
+        An entry is healthy when it parses as JSON, carries a payload, and
+        its stored key equals the canonical hash recomputed from its
+        stored spec (i.e. the file content was not tampered with or
+        half-written).  ``delete`` removes the offenders.
+        """
+        problems = []
+        for path in self._entry_files():
+            problem = None
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if "payload" not in entry:
+                    problem = "missing payload"
+                elif canonical_key(entry.get("spec", {})) != entry.get("key"):
+                    problem = "key does not match stored spec"
+                elif path.stem != entry.get("key"):
+                    problem = "filename does not match stored key"
+            except (ValueError, OSError) as exc:
+                problem = f"unreadable: {exc}"
+            if problem is not None:
+                problems.append((path, problem))
+                if delete:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return problems
+
+
+def resolve_cache(
+    cache_dir: Optional[str | os.PathLike[str]] = None, no_cache: bool = False
+) -> Optional[CellCache]:
+    """Build the cache the CLI (and scripts) should use, or ``None``.
+
+    ``no_cache`` wins over everything; otherwise ``cache_dir`` (explicit
+    argument or ``--cache-dir``) is used, falling back to
+    :func:`default_cache_dir`.
+    """
+    if no_cache:
+        return None
+    return CellCache(cache_dir if cache_dir is not None else default_cache_dir())

@@ -129,7 +129,7 @@ class MetricStats:
 
 
 def aggregate_metrics(per_trial: Iterable[dict[str, float]]) -> dict[str, MetricStats]:
-    """Fold per-trial metric dicts into per-metric streaming statistics.
+    """Fold the ``per_trial`` metric dicts into per-metric statistics.
 
     Trials are folded in iteration order, so the result is bit-identical
     regardless of how the dicts were computed (inline or across a pool, as
@@ -145,6 +145,32 @@ def aggregate_metrics(per_trial: Iterable[dict[str, float]]) -> dict[str, Metric
 # ----------------------------------------------------------------------
 # Parallel execution
 # ----------------------------------------------------------------------
+@dataclass
+class CallCounter:
+    """Monotone counter of simulation tasks executed by :func:`parallel_map`.
+
+    The module-level :data:`TASK_COUNTER` instance lets tests and
+    benchmarks assert *how much simulation actually ran* — e.g. that a
+    warm :class:`repro.sim.cache.CellCache` serves a whole figure with
+    zero executed trial tasks.  Counting happens in the parent process
+    (tasks submitted, not per-worker), so it is pool-safe.
+    """
+
+    count: int = 0
+
+    def add(self, n: int = 1) -> None:
+        """Record ``n`` executed tasks."""
+        self.count += int(n)
+
+    def reset(self) -> None:
+        """Zero the counter (start of a measured section)."""
+        self.count = 0
+
+
+#: Process-wide counter of tasks executed through :func:`parallel_map`.
+TASK_COUNTER = CallCounter()
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` argument: ``None``/``0`` means all cores."""
     if workers is None or workers == 0:
@@ -179,8 +205,11 @@ def parallel_map(
     the reference the pool path must match bit for bit.  Results always
     come back in task order.  ``fn`` and the tasks must be picklable when
     ``workers > 1`` (module-level functions and dataclasses of arrays are).
+    Every call adds ``len(tasks)`` to :data:`TASK_COUNTER`, which is how
+    tests measure that cached cells skip simulation entirely.
     """
     tasks = list(tasks)
+    TASK_COUNTER.add(len(tasks))
     count = resolve_workers(workers)
     if count == 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
@@ -207,7 +236,8 @@ def chunked_support_counts(
 
     Equals ``protocol.support_counts(reports)`` exactly (support counting
     is a sum over reports), including when the batch size is not divisible
-    by the chunk size; peak transient memory is one chunk's worth.
+    by ``chunk_users`` (default :data:`DEFAULT_CHUNK_USERS`); peak
+    transient memory is one chunk's worth.
     """
     chunk = _validate_chunk(chunk_users)
     n = protocol.num_reports(reports)
@@ -227,13 +257,15 @@ def chunked_genuine_counts(
 ) -> np.ndarray:
     """Exact report-level genuine aggregation in bounded memory.
 
-    Splits the population histogram into chunk-sized sub-histograms by
-    sampling without replacement (multivariate hypergeometric), perturbs
-    each chunk's users and accumulates ``support_counts`` partial sums.
-    Because aggregation is permutation-invariant and the chunks partition
-    the population uniformly at random, the result is distributed exactly
-    as the unchunked ``support_counts(perturb(items))`` while the live
-    report batch never exceeds ``chunk_users`` rows.
+    Splits the population histogram ``true_counts`` into chunk-sized
+    sub-histograms by sampling without replacement off ``rng``
+    (multivariate hypergeometric), perturbs each chunk's users with
+    ``protocol`` and accumulates ``support_counts`` partial sums.  Because
+    aggregation is permutation-invariant and the chunks partition the
+    population uniformly at random, the result is distributed exactly as
+    the unchunked ``support_counts(perturb(items))`` while the live
+    report batch never exceeds ``chunk_users`` rows (default
+    :data:`DEFAULT_CHUNK_USERS`).
     """
     gen = as_generator(rng)
     chunk = _validate_chunk(chunk_users)
@@ -260,9 +292,12 @@ def chunked_malicious_counts(
 ) -> np.ndarray:
     """Craft and aggregate ``m`` malicious reports in bounded chunks.
 
-    Malicious reports are normally i.i.d. draws from the attacker's report
-    distribution (the adaptive-attack contract of Section V-C), so crafting
-    in chunks is statistically identical to one crafted batch.  Attacks
+    ``attack`` crafts reports for ``protocol`` in batches of at most
+    ``chunk_users`` (default :data:`DEFAULT_CHUNK_USERS`) drawing off
+    ``rng``: malicious reports are normally i.i.d. draws from the
+    attacker's report distribution (the adaptive-attack contract of
+    Section V-C), so crafting in chunks is statistically identical to one
+    crafted batch.  Attacks
     that declare ``iid_reports = False`` (e.g. :class:`MultiAttacker`'s
     deterministic weight split, which re-rounds shares per call and would
     starve low-weight attackers) are crafted in a single batch instead —
@@ -290,10 +325,12 @@ def run_chunked_trial(
 ) -> TrialResult:
     """One poisoning round via the exact report-level path, chunked.
 
-    Semantics of ``run_trial(mode="sampled")`` — every report is genuinely
-    perturbed/crafted — but reports are aggregated chunk by chunk and never
-    retained, so the memory high-water mark is ``O(chunk_users * d)``
-    instead of ``O(n * d)``.  Raw reports are consequently unavailable
+    Semantics of ``run_trial(mode="sampled")`` — every genuine user of
+    ``dataset`` perturbs through ``protocol`` and ``attack`` (if any, at
+    malicious fraction ``beta``) genuinely crafts, all drawing off ``rng``
+    — but reports are aggregated chunk by chunk and never retained, so
+    the memory high-water mark is ``O(chunk_users * d)`` instead of
+    ``O(n * d)``.  Raw reports are consequently unavailable
     (``reports is None``), which rules out report-level defenses.
     """
     if dataset.domain_size != protocol.domain_size:
@@ -336,11 +373,12 @@ def resolve_star_targets(
 ) -> Optional[np.ndarray]:
     """The attacker-selected items LDPRecover* assumes (Section VI-A4).
 
-    MGA (and any targeted attack): the explicit target items.  AA: the
-    top-``aa_top_k`` items by frequency increase relative to the server's
-    historical estimate (we use the genuine aggregate as the history
-    stand-in).  Untargeted Manip: the same top-increase rule applies, since
-    the server cannot distinguish attack types a priori.
+    For MGA (and any targeted ``attack``): the explicit target items.
+    For AA: the top-``aa_top_k`` items of ``trial`` by frequency increase
+    relative to the server's historical estimate (we use the genuine
+    aggregate as the history stand-in).  Untargeted Manip: the same
+    top-increase rule applies, since the server cannot distinguish attack
+    types a priori.
     """
     explicit = attack.target_items
     if explicit is not None:
@@ -374,7 +412,7 @@ class TrialTask:
 
 
 def trial_metrics(task: TrialTask) -> dict[str, float]:
-    """Run one trial and compute every recovery metric of the cell.
+    """Run one trial ``task`` and compute every recovery metric of the cell.
 
     This is the worker body of :func:`repro.sim.experiment.evaluate_recovery`:
     simulate the poisoning round, apply LDPRecover / LDPRecover* /
@@ -435,8 +473,10 @@ def trial_metrics(task: TrialTask) -> dict[str, float]:
 
 
 __all__ = [
+    "CallCounter",
     "DEFAULT_CHUNK_USERS",
     "MetricStats",
+    "TASK_COUNTER",
     "TrialTask",
     "Welford",
     "aggregate_metrics",

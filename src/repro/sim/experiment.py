@@ -13,18 +13,26 @@ child streams, run inline (``workers=1``) or across a fork-safe process
 pool (``workers=N``) with bit-identical results, and metrics accumulate
 through streaming :class:`~repro.sim.engine.Welford` statistics so every
 cell also carries variance/CI information.
+
+Completed cells can persist across runs: pass a
+:class:`repro.sim.cache.CellCache` and :func:`evaluate_recovery` keys the
+cell by the canonical hash of its full spec (dataset, protocol, attack,
+``beta``, ``eta``, ``trials``, mode, seeds — but *not* ``workers`` or
+``chunk_users``, which cannot change results) and serves repeat calls
+from disk without running a single trial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, ClassVar, Iterable, Optional, Sequence
 
 from repro._rng import RngLike, spawn, spawn_sequences
 from repro.attacks.base import PoisoningAttack
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
+from repro.sim.cache import CellCache, evaluation_cell_spec
 from repro.sim.engine import (
     MetricStats,
     TrialTask,
@@ -72,31 +80,45 @@ class RecoveryEvaluation:
     #: metric name, for confidence intervals over the trial average.
     stats: dict[str, MetricStats] = field(default_factory=dict)
 
+    #: Metric columns emitted by :meth:`as_row`, in output order.
+    METRIC_COLUMNS: ClassVar[tuple[str, ...]] = (
+        "mse_before",
+        "mse_recover",
+        "mse_recover_star",
+        "mse_detection",
+        "fg_before",
+        "fg_recover",
+        "fg_recover_star",
+        "fg_detection",
+        "mse_malicious_estimate",
+        "mse_malicious_estimate_star",
+    )
+
     def ci95(self, metric: str) -> Optional[float]:
         """95% CI half-width of a metric's trial average, if estimable."""
         entry = self.stats.get(metric)
         return entry.ci95_halfwidth if entry is not None else None
 
-    def as_row(self) -> dict[str, object]:
-        """Flat dict for table printing / CSV dumps (every metric column)."""
-        return {
+    def as_row(self, ci: bool = False) -> dict[str, object]:
+        """Flat dict for table printing / CSV dumps (every metric column).
+
+        With ``ci=True`` every metric column is followed by a ``<metric>±``
+        column carrying the 95% confidence half-width of its trial average
+        (``None`` when fewer than two trials contributed).
+        """
+        row: dict[str, object] = {
             "dataset": self.dataset,
             "protocol": self.protocol,
             "attack": self.attack,
             "beta": self.beta,
             "eta": self.eta,
             "trials": self.trials,
-            "mse_before": self.mse_before,
-            "mse_recover": self.mse_recover,
-            "mse_recover_star": self.mse_recover_star,
-            "mse_detection": self.mse_detection,
-            "fg_before": self.fg_before,
-            "fg_recover": self.fg_recover,
-            "fg_recover_star": self.fg_recover_star,
-            "fg_detection": self.fg_detection,
-            "mse_malicious_estimate": self.mse_malicious_estimate,
-            "mse_malicious_estimate_star": self.mse_malicious_estimate_star,
         }
+        for metric in self.METRIC_COLUMNS:
+            row[metric] = getattr(self, metric)
+            if ci:
+                row[f"{metric}±"] = self.ci95(metric)
+        return row
 
 
 def evaluate_recovery(
@@ -114,16 +136,53 @@ def evaluate_recovery(
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
     strict_beta: bool = False,
+    cache: Optional[CellCache] = None,
 ) -> RecoveryEvaluation:
     """Run one experimental cell and average over ``trials``.
 
-    ``with_detection`` requires ``mode="sampled"`` because the Detection
-    baseline filters individual reports.  ``workers`` fans trials out over
-    a process pool (``None``/``0`` = all cores) with results bit-identical
-    to the serial ``workers=1`` path under the same seed.  Passing
-    ``chunk_users`` selects the bounded-memory exact simulation (it
-    upgrades ``mode="fast"`` to ``"chunked"``); ``strict_beta`` turns the
-    "beta rounds to zero malicious users" warning into an error.
+    Parameters
+    ----------
+    dataset:
+        Genuine population (histogram) of the cell.
+    protocol:
+        The LDP frequency oracle under attack.
+    attack:
+        Poisoning attack, or ``None`` for an unpoisoned cell.
+    beta:
+        Malicious user fraction ``m / (n + m)`` (paper default 0.05).
+    eta:
+        Server-side zero-threshold parameter of LDPRecover.
+    trials:
+        Independent poisoning rounds averaged into the cell.
+    mode:
+        Simulation mode per :func:`repro.sim.pipeline.run_trial`;
+        ``with_detection`` requires ``mode="sampled"`` because the
+        Detection baseline filters individual reports.
+    with_star:
+        Also evaluate LDPRecover* (the partial-knowledge variant).
+    with_detection:
+        Also evaluate the Detection baseline (needs ``mode="sampled"``).
+    aa_top_k:
+        Number of top-increase items LDPRecover* assumes for untargeted
+        attacks (the AA rule of Section VI-A4).
+    rng:
+        Seed or generator; per-trial streams are ``SeedSequence`` children
+        spawned from it.
+    workers:
+        Trial fan-out over a process pool (``None``/``0`` = all cores);
+        results are bit-identical to the serial ``workers=1`` path under
+        the same seed, so this never affects the cell's cache key.
+    chunk_users:
+        Users simulated per chunk in the bounded-memory exact path;
+        passing it upgrades ``mode="fast"`` to ``"chunked"``.  Like
+        ``workers`` it is an execution knob excluded from the cache key.
+    strict_beta:
+        Turn the "beta rounds to zero malicious users" warning into an
+        error before any trial runs.
+    cache:
+        Optional :class:`repro.sim.cache.CellCache`.  On a hit the cached
+        :class:`RecoveryEvaluation` is returned without running any
+        trials; on a miss the freshly computed cell is stored.
     """
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
@@ -143,6 +202,29 @@ def evaluate_recovery(
         # (Trials may re-warn from run_trial in their own processes.)
         malicious_count(dataset.num_users, beta, strict=strict_beta)
 
+    # Seeds are spawned before the cache lookup so the parent RNG advances
+    # identically on hits and misses — later cells see the same streams
+    # whether or not this one came from disk.
+    seeds = spawn_sequences(rng, trials)
+    spec = None
+    if cache is not None:
+        spec = evaluation_cell_spec(
+            dataset,
+            protocol,
+            attack,
+            beta=beta,
+            eta=eta,
+            trials=trials,
+            mode=mode,
+            with_star=with_star,
+            with_detection=with_detection,
+            aa_top_k=aa_top_k,
+            seeds=seeds,
+        )
+        cached = cache.get_evaluation(spec)
+        if cached is not None:
+            return cached
+
     tasks = [
         TrialTask(
             dataset=dataset,
@@ -157,7 +239,7 @@ def evaluate_recovery(
             aa_top_k=aa_top_k,
             chunk_users=chunk_users,
         )
-        for seed in spawn_sequences(rng, trials)
+        for seed in seeds
     ]
     stats = aggregate_metrics(parallel_map(trial_metrics, tasks, workers=workers))
 
@@ -165,7 +247,7 @@ def evaluate_recovery(
         entry = stats.get(metric)
         return entry.mean if entry is not None else None
 
-    return RecoveryEvaluation(
+    evaluation = RecoveryEvaluation(
         dataset=dataset.name,
         protocol=protocol.name,
         attack=attack.describe() if attack is not None else "none",
@@ -184,6 +266,9 @@ def evaluate_recovery(
         mse_malicious_estimate_star=_mean("mse_malicious_estimate_star"),
         stats=stats,
     )
+    if cache is not None and spec is not None:
+        cache.put_evaluation(spec, evaluation)
+    return evaluation
 
 
 @dataclass
@@ -203,9 +288,13 @@ def sweep_parameter(
 ) -> list[SweepResult]:
     """Evaluate over a parameter grid with independent child RNGs.
 
-    ``evaluate(value, rng)`` builds and runs one cell; Figures 5-6's
+    ``parameter`` names the swept knob (recorded in each
+    :class:`SweepResult`), ``values`` is its grid, and
+    ``evaluate(value, rng)`` builds and runs one cell — Figures 5-6's
     beta/epsilon/eta sweeps are thin closures over
-    :func:`evaluate_recovery`.
+    :func:`evaluate_recovery`.  Each grid point receives an independent
+    child of ``rng``, so inserting or removing values never perturbs the
+    other cells' streams.
     """
     values = list(values)
     rngs = spawn(rng, len(values))
@@ -216,7 +305,11 @@ def sweep_parameter(
 
 
 def format_table(rows: Sequence[dict[str, object]], float_format: str = "{:.3e}") -> str:
-    """Render rows as an aligned text table (the benches' output format)."""
+    """Render ``rows`` as an aligned text table (the benches' format).
+
+    ``float_format`` is the format string applied to float cells;
+    ``None`` cells render as ``-``.
+    """
     if not rows:
         return "(no rows)"
     columns = list(rows[0].keys())

@@ -3,8 +3,8 @@
 Each ``figure*_rows`` / ``table1_rows`` function reproduces one exhibit of
 Section VI / VII and returns a list of flat row dicts (printable with
 :func:`repro.sim.experiment.format_table`).  The benchmark suite and the
-CLI are thin wrappers over these functions; DESIGN.md section 5 maps each
-exhibit to its function and expected qualitative shape.
+CLI are thin wrappers over these functions; ``docs/exhibits.md`` maps each
+exhibit to its function, regenerating CLI command, and emitted columns.
 
 Scale notes: the paper runs 10 trials at full population.  The defaults
 here are tuned so the full suite finishes in minutes on a laptop —
@@ -16,12 +16,20 @@ Every exhibit takes ``workers=`` (trial fan-out over the process pool of
 :mod:`repro.sim.engine`; ``None``/``0`` = all cores, results bit-identical
 to ``workers=1``), and the fast-mode exhibits take ``chunk_users=`` to
 switch to the bounded-memory exact simulation path.
+
+Every exhibit also takes ``cache=`` (a
+:class:`repro.sim.cache.CellCache`): completed cells are keyed by the
+canonical hash of their full spec and served from disk on repeat runs, so
+an interrupted sweep resumes from where it stopped and warm regeneration
+performs zero simulation trials.  Each metric column is accompanied by a
+``<column>±`` companion holding the 95% confidence half-width of the
+trial average (``None``/``-`` when a single trial contributed).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -38,8 +46,9 @@ from repro.core.recover import recover_frequencies
 from repro.datasets import Dataset, fire_like, ipums_like
 from repro.exceptions import InvalidParameterError
 from repro.protocols import PROTOCOL_NAMES, make_protocol
-from repro.sim.engine import parallel_map
-from repro.sim.experiment import evaluate_recovery
+from repro.sim.cache import CellCache, row_cell_spec
+from repro.sim.engine import MetricStats, aggregate_metrics, parallel_map
+from repro.sim.experiment import RecoveryEvaluation, evaluate_recovery
 from repro.sim.metrics import mse
 from repro.sim.pipeline import SimulationMode, run_trial
 
@@ -52,7 +61,11 @@ DEFAULT_ETA = 0.2
 
 
 def load_dataset(name: str, num_users: Optional[int]) -> Dataset:
-    """The two paper workloads by name, optionally rescaled."""
+    """The two paper workloads by ``name`` (``"ipums"`` / ``"fire"``).
+
+    ``num_users`` rescales the population while preserving the frequency
+    profile; ``None`` keeps the paper's full population.
+    """
     key = name.strip().lower()
     if key in ("ipums", "ipums-like"):
         return ipums_like(num_users=num_users)
@@ -70,6 +83,52 @@ def _make_attack(kind: str, domain_size: int, rng: RngLike) -> object:
     if kind == "aa":
         return AdaptiveAttack(domain_size=domain_size, rng=gen)
     raise InvalidParameterError(f"unknown attack {kind!r}")
+
+
+def _metric_columns(
+    evaluation: RecoveryEvaluation, mapping: dict[str, str]
+) -> dict[str, object]:
+    """Columns ``{col: value, col±: ci95}`` for evaluation-backed rows.
+
+    ``mapping`` maps output column names to
+    :class:`~repro.sim.experiment.RecoveryEvaluation` metric names; each
+    column is immediately followed by its ``±`` confidence companion.
+    """
+    out: dict[str, object] = {}
+    for column, metric in mapping.items():
+        out[column] = getattr(evaluation, metric)
+        out[f"{column}±"] = evaluation.ci95(metric)
+    return out
+
+
+def _stat_columns(
+    stats: dict[str, MetricStats], columns: Iterable[str]
+) -> dict[str, object]:
+    """Columns ``{col: mean, col±: ci95}`` from aggregated trial stats."""
+    out: dict[str, object] = {}
+    for column in columns:
+        entry = stats[column]
+        out[column] = entry.mean
+        out[f"{column}±"] = entry.ci95_halfwidth
+    return out
+
+
+def _cached_cell_row(
+    cache: Optional[CellCache],
+    spec: Optional[dict[str, object]],
+    compute: Callable[[], dict[str, object]],
+) -> dict[str, object]:
+    """Serve one exhibit row from ``cache`` under ``spec``, or ``compute``
+    and store it — the shared lookup/store protocol of the generators
+    whose cells do not go through :func:`evaluate_recovery`."""
+    if cache is not None and spec is not None:
+        cached = cache.get(spec)
+        if cached is not None:
+            return cached
+    row = compute()
+    if cache is not None and spec is not None:
+        cache.put(spec, row)
+    return row
 
 
 #: The (attack, protocol) cells of Figures 3-4: Manip is shown on GRR only
@@ -94,8 +153,32 @@ def figure3_rows(
     eta: float = DEFAULT_ETA,
     rng: RngLike = 3,
     workers: Optional[int] = 1,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell."""
+    """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell.
+
+    Parameters
+    ----------
+    dataset_name:
+        Workload for :func:`load_dataset` (``"ipums"`` or ``"fire"``).
+    num_users:
+        Population rescale (``None`` = paper scale); sampled-mode cost is
+        O(``num_users``) so the default is reduced.
+    trials:
+        Independent rounds averaged per cell.
+    epsilon:
+        Privacy budget of every protocol cell.
+    beta:
+        Malicious fraction.
+    eta:
+        LDPRecover zero-threshold.
+    rng:
+        Seed or generator; one independent child per cell.
+    workers:
+        Trial-level process fan-out (``None``/``0`` = all cores).
+    cache:
+        Optional cell cache; completed cells are reused across runs.
+    """
     dataset = load_dataset(dataset_name, num_users)
     rows = []
     rngs = spawn(rng, len(FIG3_CELLS))
@@ -115,14 +198,20 @@ def figure3_rows(
             aa_top_k=DEFAULT_R // 2,
             rng=gen,
             workers=workers,
+            cache=cache,
         )
         rows.append(
             {
                 "cell": f"{attack_kind}-{protocol_name}",
-                "mse_before": evaluation.mse_before,
-                "mse_detection": evaluation.mse_detection,
-                "mse_ldprecover": evaluation.mse_recover,
-                "mse_ldprecover_star": evaluation.mse_recover_star,
+                **_metric_columns(
+                    evaluation,
+                    {
+                        "mse_before": "mse_before",
+                        "mse_detection": "mse_detection",
+                        "mse_ldprecover": "mse_recover",
+                        "mse_ldprecover_star": "mse_recover_star",
+                    },
+                ),
             }
         )
     return rows
@@ -137,8 +226,17 @@ def figure4_rows(
     eta: float = DEFAULT_ETA,
     rng: RngLike = 4,
     workers: Optional[int] = 1,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 4: frequency gain of MGA per protocol, before/after."""
+    """Figure 4: frequency gain of MGA per protocol, before/after.
+
+    Parameters match :func:`figure3_rows`: ``dataset_name`` /
+    ``num_users`` pick and rescale the workload, ``trials`` rounds are
+    averaged per cell at privacy budget ``epsilon`` with malicious
+    fraction ``beta`` and recovery threshold ``eta``; ``rng`` seeds the
+    cells, ``workers`` fans trials out, and ``cache`` reuses completed
+    cells.
+    """
     dataset = load_dataset(dataset_name, num_users)
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES))
@@ -157,14 +255,20 @@ def figure4_rows(
             with_detection=True,
             rng=gen,
             workers=workers,
+            cache=cache,
         )
         rows.append(
             {
                 "cell": f"mga-{protocol_name}",
-                "fg_before": evaluation.fg_before,
-                "fg_detection": evaluation.fg_detection,
-                "fg_ldprecover": evaluation.fg_recover,
-                "fg_ldprecover_star": evaluation.fg_recover_star,
+                **_metric_columns(
+                    evaluation,
+                    {
+                        "fg_before": "fg_before",
+                        "fg_detection": "fg_detection",
+                        "fg_ldprecover": "fg_recover",
+                        "fg_ldprecover_star": "fg_recover_star",
+                    },
+                ),
             }
         )
     return rows
@@ -185,12 +289,33 @@ def sweep_rows(
     rng: RngLike = 5,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figures 5-6: MSE under AA while one of (beta, epsilon, eta) varies.
 
-    The remaining parameters stay at the paper defaults.  Runs in ``fast``
-    mode at full population unless ``num_users`` overrides; ``chunk_users``
-    switches to the chunked exact simulation instead.
+    Parameters
+    ----------
+    dataset_name:
+        Workload (``"ipums"`` for Figure 5, ``"fire"`` for Figure 6).
+    parameter:
+        The swept knob: ``"beta"``, ``"epsilon"`` or ``"eta"``; the
+        remaining two stay at the paper defaults.
+    values:
+        Grid override; empty selects the paper grid of ``parameter``.
+    num_users:
+        Population rescale (``None`` = paper scale).
+    trials:
+        Independent rounds averaged per cell.
+    rng:
+        Seed or generator; one independent child per (protocol, value).
+    workers:
+        Trial-level process fan-out (``None``/``0`` = all cores).
+    chunk_users:
+        Switch the ``fast`` cells to the bounded-memory exact simulation,
+        this many users per chunk.
+    cache:
+        Optional cell cache — this is the exhibit where resumable sweeps
+        pay off most: an interrupted grid rerun skips completed cells.
     """
     grids = {"beta": BETA_GRID, "epsilon": EPSILON_GRID, "eta": ETA_GRID}
     if parameter not in grids:
@@ -225,14 +350,20 @@ def sweep_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                cache=cache,
             )
             rows.append(
                 {
                     "cell": f"aa-{protocol_name}",
                     parameter: value,
-                    "mse_before": evaluation.mse_before,
-                    "mse_ldprecover": evaluation.mse_recover,
-                    "mse_ldprecover_star": evaluation.mse_recover_star,
+                    **_metric_columns(
+                        evaluation,
+                        {
+                            "mse_before": "mse_before",
+                            "mse_ldprecover": "mse_recover",
+                            "mse_ldprecover_star": "mse_recover_star",
+                        },
+                    ),
                 }
             )
     return rows
@@ -247,8 +378,15 @@ def figure7_rows(
     rng: RngLike = 7,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS)."""
+    """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS).
+
+    ``num_users`` rescales the population, ``trials`` rounds are averaged
+    per (protocol, beta) cell, ``rng`` seeds the cells, ``workers`` fans
+    trials over a process pool, ``chunk_users`` selects the bounded-memory
+    exact path, and ``cache`` reuses completed cells across runs.
+    """
     dataset = load_dataset("ipums", num_users)
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG7_BETAS))
@@ -272,13 +410,19 @@ def figure7_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                cache=cache,
             )
             rows.append(
                 {
                     "cell": f"mga-{protocol_name}",
                     "beta": beta,
-                    "malicious_mse_ldprecover": evaluation.mse_malicious_estimate,
-                    "malicious_mse_ldprecover_star": evaluation.mse_malicious_estimate_star,
+                    **_metric_columns(
+                        evaluation,
+                        {
+                            "malicious_mse_ldprecover": "mse_malicious_estimate",
+                            "malicious_mse_ldprecover_star": "mse_malicious_estimate_star",
+                        },
+                    ),
                 }
             )
     return rows
@@ -301,7 +445,7 @@ class _Fig8Task:
     seed: np.random.SeedSequence
 
 
-def _figure8_trial(task: _Fig8Task) -> tuple[float, float]:
+def _figure8_trial(task: _Fig8Task) -> dict[str, float]:
     """One Figure 8 trial: poisoned MSE of MGA and of its IPA variant."""
     gen = np.random.default_rng(task.seed)
     t1 = run_trial(
@@ -312,10 +456,10 @@ def _figure8_trial(task: _Fig8Task) -> tuple[float, float]:
         task.dataset, task.protocol, task.ipa, beta=task.beta, mode=task.mode,
         rng=gen, chunk_users=task.chunk_users,
     )
-    return (
-        mse(t1.true_frequencies, t1.poisoned_frequencies),
-        mse(t2.true_frequencies, t2.poisoned_frequencies),
-    )
+    return {
+        "mse_mga": mse(t1.true_frequencies, t1.poisoned_frequencies),
+        "mse_mga_ipa": mse(t2.true_frequencies, t2.poisoned_frequencies),
+    }
 
 
 def figure8_rows(
@@ -324,10 +468,18 @@ def figure8_rows(
     rng: RngLike = 8,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery)."""
+    """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery).
+
+    ``num_users`` rescales the IPUMS population, ``trials`` MGA+IPA round
+    pairs are averaged per (protocol, beta) cell, ``rng`` seeds the cells,
+    ``workers`` fans trials out, ``chunk_users`` selects the chunked exact
+    simulation, and ``cache`` reuses completed cells.
+    """
     dataset = load_dataset("ipums", num_users)
     mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
+    columns = ("mse_mga", "mse_mga_ipa")
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG8_BETAS))
     idx = 0
@@ -340,23 +492,38 @@ def figure8_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             ipa = InputPoisoningAttack(mga)
-            tasks = [
-                _Fig8Task(dataset, protocol, mga, ipa, beta, mode, chunk_users, seed)
-                for seed in spawn_sequences(gen, trials)
-            ]
-            pairs = parallel_map(_figure8_trial, tasks, workers=workers)
-            rows.append(
-                {
+            seeds = spawn_sequences(gen, trials)
+            spec = None
+            if cache is not None:
+                spec = row_cell_spec(
+                    "figure8",
+                    dataset,
+                    protocol,
+                    (mga, ipa),
+                    {"beta": beta, "mode": mode},
+                    seeds,
+                )
+
+            def compute() -> dict[str, object]:
+                tasks = [
+                    _Fig8Task(dataset, protocol, mga, ipa, beta, mode, chunk_users, seed)
+                    for seed in seeds
+                ]
+                stats = aggregate_metrics(
+                    parallel_map(_figure8_trial, tasks, workers=workers)
+                )
+                return {
                     "cell": f"{protocol_name}",
                     "beta": beta,
-                    "mse_mga": float(np.mean([p[0] for p in pairs])),
-                    "mse_mga_ipa": float(np.mean([p[1] for p in pairs])),
+                    **_stat_columns(stats, columns),
                 }
-            )
+
+            rows.append(_cached_cell_row(cache, spec, compute))
     return rows
 
 
 FIG9_XIS = (0.1, 0.3, 0.5, 0.7, 0.9)
+FIG9_NUM_SUBSETS = 10
 
 
 @dataclass(frozen=True)
@@ -371,22 +538,22 @@ class _Fig9Task:
     seed: np.random.SeedSequence
 
 
-def _figure9_trial(task: _Fig9Task) -> tuple[float, float, float]:
+def _figure9_trial(task: _Fig9Task) -> dict[str, float]:
     """One Figure 9 trial: before / k-means-only / LDPRecover-KM MSE."""
     gen = np.random.default_rng(task.seed)
     trial = run_trial(
         task.dataset, task.protocol, task.attack, beta=task.beta, mode="sampled", rng=gen
     )
     truth = trial.true_frequencies
-    defense = KMeansDefense(sample_rate=task.xi, num_subsets=10)
+    defense = KMeansDefense(sample_rate=task.xi, num_subsets=FIG9_NUM_SUBSETS)
     recovery, km_result = recover_with_kmeans(
         task.protocol, trial.reports, defense=defense, rng=gen
     )
-    return (
-        mse(truth, trial.poisoned_frequencies),
-        mse(truth, km_result.frequencies),
-        mse(truth, recovery.frequencies),
-    )
+    return {
+        "mse_before": mse(truth, trial.poisoned_frequencies),
+        "mse_kmeans": mse(truth, km_result.frequencies),
+        "mse_ldprecover_km": mse(truth, recovery.frequencies),
+    }
 
 
 def figure9_rows(
@@ -395,9 +562,17 @@ def figure9_rows(
     beta: float = DEFAULT_BETA,
     rng: RngLike = 9,
     workers: Optional[int] = 1,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS)."""
+    """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS).
+
+    ``num_users`` rescales the population (sampled mode, so reduced by
+    default), ``trials`` rounds are averaged per (protocol, xi) cell at
+    malicious fraction ``beta``, ``rng`` seeds the cells, ``workers``
+    fans trials out, and ``cache`` reuses completed cells.
+    """
     dataset = load_dataset("ipums", num_users)
+    columns = ("mse_before", "mse_kmeans", "mse_ldprecover_km")
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG9_XIS))
     idx = 0
@@ -410,20 +585,38 @@ def figure9_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             attack = InputPoisoningAttack(mga)
-            tasks = [
-                _Fig9Task(dataset, protocol, attack, beta, xi, seed)
-                for seed in spawn_sequences(gen, trials)
-            ]
-            triples = parallel_map(_figure9_trial, tasks, workers=workers)
-            rows.append(
-                {
+            seeds = spawn_sequences(gen, trials)
+            spec = None
+            if cache is not None:
+                spec = row_cell_spec(
+                    "figure9",
+                    dataset,
+                    protocol,
+                    (attack,),
+                    {
+                        "beta": beta,
+                        "xi": xi,
+                        "num_subsets": FIG9_NUM_SUBSETS,
+                        "mode": "sampled",
+                    },
+                    seeds,
+                )
+
+            def compute() -> dict[str, object]:
+                tasks = [
+                    _Fig9Task(dataset, protocol, attack, beta, xi, seed)
+                    for seed in seeds
+                ]
+                stats = aggregate_metrics(
+                    parallel_map(_figure9_trial, tasks, workers=workers)
+                )
+                return {
                     "cell": f"{protocol_name}",
                     "xi": xi,
-                    "mse_before": float(np.mean([t[0] for t in triples])),
-                    "mse_kmeans": float(np.mean([t[1] for t in triples])),
-                    "mse_ldprecover_km": float(np.mean([t[2] for t in triples])),
+                    **_stat_columns(stats, columns),
                 }
-            )
+
+            rows.append(_cached_cell_row(cache, spec, compute))
     return rows
 
 
@@ -437,8 +630,16 @@ def figure10_rows(
     rng: RngLike = 10,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Figure 10: LDPRecover against 5 independent adaptive attackers."""
+    """Figure 10: LDPRecover against 5 independent adaptive attackers.
+
+    ``num_users`` rescales the IPUMS population, ``trials`` rounds are
+    averaged per (protocol, beta) cell, ``rng`` seeds the cells (and the
+    independent attackers), ``workers`` fans trials out, ``chunk_users``
+    selects the chunked exact simulation, and ``cache`` reuses completed
+    cells.
+    """
     dataset = load_dataset("ipums", num_users)
     rows = []
     rngs = spawn(rng, len(PROTOCOL_NAMES) * len(FIG10_BETAS))
@@ -467,13 +668,19 @@ def figure10_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                cache=cache,
             )
             rows.append(
                 {
                     "cell": f"mul-aa-{protocol_name}",
                     "beta": beta,
-                    "mse_before": evaluation.mse_before,
-                    "mse_ldprecover": evaluation.mse_recover,
+                    **_metric_columns(
+                        evaluation,
+                        {
+                            "mse_before": "mse_before",
+                            "mse_ldprecover": "mse_recover",
+                        },
+                    ),
                 }
             )
     return rows
@@ -490,7 +697,7 @@ class _Table1Task:
     seed: np.random.SeedSequence
 
 
-def _table1_trial(task: _Table1Task) -> tuple[float, float]:
+def _table1_trial(task: _Table1Task) -> dict[str, float]:
     """One Table I trial: MSE before and after recovery, beta=0."""
     gen = np.random.default_rng(task.seed)
     trial = run_trial(
@@ -500,7 +707,10 @@ def _table1_trial(task: _Table1Task) -> tuple[float, float]:
     truth = trial.true_frequencies
     before = mse(truth, trial.poisoned_frequencies)
     recovery = recover_frequencies(trial.poisoned_frequencies, task.protocol, eta=DEFAULT_ETA)
-    return before, mse(truth, recovery.frequencies)
+    return {
+        "mse_before_recovery": before,
+        "mse_after_recovery": mse(truth, recovery.frequencies),
+    }
 
 
 def table1_rows(
@@ -509,10 +719,18 @@ def table1_rows(
     rng: RngLike = 1,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
-    """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0)."""
+    """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0).
+
+    ``num_users`` rescales both workloads, ``trials`` rounds are averaged
+    per (dataset, protocol) cell, ``rng`` seeds the cells, ``workers``
+    fans trials out, ``chunk_users`` selects the chunked exact simulation,
+    and ``cache`` reuses completed cells.
+    """
     rows = []
     mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
+    columns = ("mse_before_recovery", "mse_after_recovery")
     datasets = [load_dataset("ipums", num_users), load_dataset("fire", num_users)]
     rngs = spawn(rng, len(datasets) * len(PROTOCOL_NAMES))
     idx = 0
@@ -523,17 +741,31 @@ def table1_rows(
             protocol = make_protocol(
                 protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
             )
-            tasks = [
-                _Table1Task(dataset, protocol, mode, chunk_users, seed)
-                for seed in spawn_sequences(gen, trials)
-            ]
-            pairs = parallel_map(_table1_trial, tasks, workers=workers)
-            rows.append(
-                {
+            seeds = spawn_sequences(gen, trials)
+            spec = None
+            if cache is not None:
+                spec = row_cell_spec(
+                    "table1",
+                    dataset,
+                    protocol,
+                    (),
+                    {"beta": 0.0, "eta": DEFAULT_ETA, "mode": mode},
+                    seeds,
+                )
+
+            def compute() -> dict[str, object]:
+                tasks = [
+                    _Table1Task(dataset, protocol, mode, chunk_users, seed)
+                    for seed in seeds
+                ]
+                stats = aggregate_metrics(
+                    parallel_map(_table1_trial, tasks, workers=workers)
+                )
+                return {
                     "dataset": dataset.name,
                     "protocol": protocol_name,
-                    "mse_before_recovery": float(np.mean([p[0] for p in pairs])),
-                    "mse_after_recovery": float(np.mean([p[1] for p in pairs])),
+                    **_stat_columns(stats, columns),
                 }
-            )
+
+            rows.append(_cached_cell_row(cache, spec, compute))
     return rows

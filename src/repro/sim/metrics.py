@@ -31,19 +31,19 @@ def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def mse(true_freq: np.ndarray, estimate: np.ndarray) -> float:
-    """Mean squared error over all items (Eq. 36)."""
+    """Mean squared error of ``estimate`` against ``true_freq`` (Eq. 36)."""
     x, y = _pair(true_freq, estimate)
     return float(np.mean((x - y) ** 2))
 
 
 def l1_distance(true_freq: np.ndarray, estimate: np.ndarray) -> float:
-    """Total variation style L1 distance (Manip's objective)."""
+    """L1 distance of ``estimate`` from ``true_freq`` (Manip's objective)."""
     x, y = _pair(true_freq, estimate)
     return float(np.abs(x - y).sum())
 
 
 def max_abs_error(true_freq: np.ndarray, estimate: np.ndarray) -> float:
-    """Worst-case per-item error."""
+    """Worst per-item deviation of ``estimate`` from ``true_freq``."""
     x, y = _pair(true_freq, estimate)
     return float(np.abs(x - y).max())
 
@@ -53,7 +53,7 @@ def frequency_gain(
     after_freq: np.ndarray,
     target_items: Sequence[int],
 ) -> float:
-    """Frequency gain of the target items (Eq. 37; sign per Figure 4).
+    """Frequency gain of the ``target_items`` (Eq. 37; sign per Figure 4).
 
     ``genuine_freq`` is the frequency vector aggregated from genuine users
     only; ``after_freq`` is the poisoned or recovered vector.

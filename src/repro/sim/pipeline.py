@@ -29,7 +29,7 @@ SimulationMode = Literal["fast", "sampled", "chunked"]
 
 
 def malicious_count(num_genuine: int, beta: float, strict: bool = False) -> int:
-    """Number of malicious users for a malicious fraction ``beta``.
+    """Malicious users joining ``num_genuine`` at malicious fraction ``beta``.
 
     When ``beta > 0`` but the population is so small that the count rounds
     to zero, the "attacked" cell would silently run unpoisoned — a warning

@@ -54,7 +54,7 @@ def write_json(rows: RowList, path: str | pathlib.Path) -> pathlib.Path:
 
 
 def read_rows(path: str | pathlib.Path) -> list[dict[str, object]]:
-    """Load rows back from a CSV or JSON file (by extension).
+    """Load rows back from a CSV or JSON file at ``path`` (by extension).
 
     CSV values come back as strings with best-effort float conversion —
     good enough for plotting and regression comparison.

@@ -17,6 +17,18 @@ SMALL_DOMAIN = 16
 SMALL_USERS = 6_000
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cell_cache(tmp_path, monkeypatch):
+    """Point the default cell-cache directory at a per-test tmp dir.
+
+    CLI invocations without ``--cache-dir`` fall back to
+    ``$REPRO_CACHE_DIR``; without this, test runs would populate the
+    user's real cache and later runs could serve rows cached by an older
+    build of the code under test.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cell-cache"))
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

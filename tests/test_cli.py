@@ -31,6 +31,19 @@ class TestParser:
         assert args.protocol == "grr"
         assert args.beta == 0.05
 
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--figure", "fig5", "--cache-dir", "/tmp/x", "--cache-stats"]
+        )
+        assert args.cache_dir == "/tmp/x"
+        assert args.cache_stats and not args.no_cache
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "prune", "--older-than-days", "7"])
+        assert args.command == "cache"
+        assert args.action == "prune"
+        assert args.older_than_days == 7.0
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -78,3 +91,50 @@ class TestMain:
         out = capsys.readouterr().out
         assert "MSE after LDPRecover" in out
         assert "frequency gain" in out
+
+
+class TestCacheWorkflow:
+    """End-to-end: run twice against one cache dir, inspect, prune."""
+
+    ARGS = ["run", "--figure", "table1", "--trials", "2", "--num-users", "4000"]
+
+    def test_second_run_is_all_hits(self, capsys, tmp_path):
+        flags = ["--cache-dir", str(tmp_path), "--cache-stats"]
+        assert main(self.ARGS + flags) == 0
+        first = capsys.readouterr().out
+        assert "0 hits, 6 misses, 6 stored" in first
+        assert main(self.ARGS + flags) == 0
+        second = capsys.readouterr().out
+        assert "6 hits, 0 misses, 0 stored (hit rate 100.0%)" in second
+        # Identical tables modulo the stats line.
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_no_cache_bypasses_store(self, capsys, tmp_path):
+        flags = ["--cache-dir", str(tmp_path), "--no-cache", "--cache-stats"]
+        assert main(self.ARGS + flags) == 0
+        out = capsys.readouterr().out
+        assert "hits" not in out  # no stats without a cache
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "no cached cells" in capsys.readouterr().out
+
+    def test_cache_ls_verify_prune(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "6 cells" in out
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "ok: 6 cells verified" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        assert "pruned 6 cached cells" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, capsys, tmp_path):
+        from repro.sim.cache import CellCache
+
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        [first, *_] = CellCache(tmp_path).entries()
+        first.path.write_text("garbage", encoding="utf-8")
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "BAD" in err and "1 bad entries found" in err and "5 healthy" in err

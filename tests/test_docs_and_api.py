@@ -8,11 +8,19 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import os
+import pathlib
 import pkgutil
+import re
+import subprocess
+import sys
 
 import pytest
 
 import repro
+import repro.sim
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 MODULES = [
     name
@@ -65,6 +73,40 @@ class TestDocstrings:
         assert not missing, f"{module_name}: undocumented methods {missing}"
 
 
+SIM_MODULES = [name for name in MODULES if name.startswith("repro.sim")]
+
+
+class TestSimApiDocs:
+    """The public sim API (the layer users script against) is held to a
+    stricter bar: every callable documented, every parameter mentioned —
+    notably the engine/cache knobs ``workers``, ``chunk_users`` and
+    ``cache`` added by recent PRs."""
+
+    def test_sim_exports_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.sim.__all__
+            if callable(getattr(repro.sim, name))
+            and not (inspect.getdoc(getattr(repro.sim, name)) or "").strip()
+        ]
+        assert not undocumented, f"repro.sim exports lack docstrings: {undocumented}"
+
+    @pytest.mark.parametrize("module_name", SIM_MODULES)
+    def test_public_function_parameters_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        missing: list[str] = []
+        for fn_name, fn in _public_members(module):
+            if not inspect.isfunction(fn):
+                continue
+            doc = inspect.getdoc(fn) or ""
+            for param in inspect.signature(fn).parameters:
+                if param in ("self", "cls"):
+                    continue
+                if not re.search(rf"\b{re.escape(param)}\b", doc):
+                    missing.append(f"{fn_name}({param})")
+        assert not missing, f"{module_name}: parameters undocumented: {missing}"
+
+
 class TestExports:
     def test_all_lists_resolve(self):
         for module_name in MODULES:
@@ -82,6 +124,64 @@ class TestExports:
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
                 assert not name.startswith("_"), f"{module_name} exports private {name}"
+
+
+class TestDocsSkeleton:
+    """The rendered documentation under docs/ stays in sync with the code."""
+
+    EXHIBITS = REPO_ROOT / "docs" / "exhibits.md"
+
+    def test_exhibits_md_names_every_exhibit(self):
+        text = self.EXHIBITS.read_text(encoding="utf-8")
+        for exhibit in [f"Figure {i}" for i in range(3, 11)] + ["Table I"]:
+            assert exhibit in text, f"docs/exhibits.md misses {exhibit}"
+
+    def test_exhibits_md_names_every_generator_function(self):
+        text = self.EXHIBITS.read_text(encoding="utf-8")
+        from repro.sim import figures
+
+        generators = [
+            name
+            for name, obj in vars(figures).items()
+            if inspect.isfunction(obj) and name.endswith("_rows")
+        ]
+        assert generators, "no generator functions found"
+        for name in generators:
+            assert name in text, f"docs/exhibits.md misses {name}"
+
+    def test_exhibits_md_names_every_cli_figure(self):
+        text = self.EXHIBITS.read_text(encoding="utf-8")
+        from repro.cli import _FIGURES
+
+        for figure in _FIGURES:
+            assert f"--figure {figure}" in text, (
+                f"docs/exhibits.md misses the CLI invocation for {figure}"
+            )
+
+    def test_api_pages_cover_required_packages(self):
+        api = REPO_ROOT / "docs" / "api"
+        for page, module in [
+            ("core.rst", "repro.core"),
+            ("protocols.rst", "repro.protocols"),
+            ("attacks.rst", "repro.attacks"),
+            ("sim.rst", "repro.sim.cache"),
+        ]:
+            text = (api / page).read_text(encoding="utf-8")
+            assert f".. automodule:: {module}" in text, f"{page} misses {module}"
+
+    def test_sphinx_build_is_warning_clean(self, tmp_path):
+        pytest.importorskip("sphinx")
+        pytest.importorskip("myst_parser")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "sphinx", "-b", "html", "-W", "-q",
+                str(REPO_ROOT / "docs"), str(tmp_path / "html"),
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, f"sphinx -W failed:\n{result.stderr}"
 
 
 class TestExceptionHierarchy:

@@ -1,0 +1,342 @@
+"""Tests for the persistent experiment-cell cache (repro.sim.cache).
+
+The contract under test (ISSUE 2 acceptance criteria):
+
+* cache keys are the canonical hash of the *full* cell spec — changing
+  any spec field (dataset content, protocol/attack parameters, beta, eta,
+  trials, mode, seeds, evaluation switches) changes the key;
+* execution knobs that cannot change results (``workers``,
+  ``chunk_users``) do NOT change the key;
+* re-running any figure generation against a warm cache performs zero
+  simulation trials (asserted through the engine's task counter);
+* the store survives interruption artifacts: truncated/corrupt entries
+  read as misses, ``verify`` flags them, ``prune`` reclaims space.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import AdaptiveAttack, MGAAttack, MultiAttacker
+from repro.datasets import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.protocols import GRR, OLH, OUE
+from repro.sim import figures
+from repro.sim.cache import (
+    CellCache,
+    canonical_key,
+    default_cache_dir,
+    evaluation_cell_spec,
+    fingerprint_dataset,
+    fingerprint_object,
+    fingerprint_seed_sequences,
+    resolve_cache,
+)
+from repro.sim.engine import TASK_COUNTER
+from repro.sim.experiment import evaluate_recovery
+
+D = 16
+DATASET = zipf_dataset(domain_size=D, num_users=5_000, exponent=1.0, rng=7)
+
+
+def _spec(**overrides):
+    """A baseline evaluation spec with optional field overrides."""
+    base = dict(
+        dataset=DATASET,
+        protocol=GRR(epsilon=0.5, domain_size=D),
+        attack=MGAAttack(domain_size=D, r=3, rng=0),
+        beta=0.05,
+        eta=0.2,
+        trials=3,
+        mode="fast",
+        with_star=True,
+        with_detection=False,
+        aa_top_k=5,
+        seeds=np.random.SeedSequence(1).spawn(3),
+    )
+    base.update(overrides)
+    dataset = base.pop("dataset")
+    protocol = base.pop("protocol")
+    attack = base.pop("attack")
+    return evaluation_cell_spec(dataset, protocol, attack, **base)
+
+
+class TestCanonicalKey:
+    def test_key_is_deterministic(self):
+        assert canonical_key(_spec()) == canonical_key(_spec())
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"beta": 0.1},
+            {"eta": 0.4},
+            {"trials": 4, "seeds": np.random.SeedSequence(1).spawn(4)},
+            {"mode": "chunked"},
+            {"with_star": False},
+            {"with_detection": True},
+            {"aa_top_k": 7},
+            {"seeds": np.random.SeedSequence(2).spawn(3)},
+            {"dataset": zipf_dataset(domain_size=D, num_users=5_001, exponent=1.0, rng=7)},
+            {"protocol": GRR(epsilon=0.6, domain_size=D)},
+            {"protocol": OUE(epsilon=0.5, domain_size=D)},
+            {"attack": MGAAttack(domain_size=D, r=4, rng=0)},
+            {"attack": MGAAttack(domain_size=D, r=3, rng=1)},  # different targets
+            {"attack": AdaptiveAttack(domain_size=D, rng=0)},
+            {"attack": None},
+        ],
+    )
+    def test_key_sensitive_to_every_spec_field(self, override):
+        assert canonical_key(_spec(**override)) != canonical_key(_spec())
+
+    def test_key_invariant_to_seed_order_changes_is_false(self):
+        seeds = np.random.SeedSequence(1).spawn(3)
+        reordered = [seeds[1], seeds[0], seeds[2]]
+        assert canonical_key(_spec(seeds=reordered)) != canonical_key(_spec())
+
+    def test_protocol_class_disambiguates(self):
+        # OLH and OUE at the same epsilon produce distinct fingerprints via
+        # both the class name and the (p, q, g) attributes.
+        a = fingerprint_object(OLH(epsilon=0.5, domain_size=D))
+        b = fingerprint_object(OUE(epsilon=0.5, domain_size=D))
+        assert a["__type__"] != b["__type__"]
+
+    def test_multi_attacker_fingerprint_recurses(self):
+        children = [AdaptiveAttack(domain_size=D, rng=i) for i in range(2)]
+        fp = fingerprint_object(MultiAttacker(children))
+        assert len(fp["attacks"]) == 2
+        assert fp["attacks"][0] != fp["attacks"][1]
+
+    def test_rng_state_is_not_part_of_identity(self):
+        # Two attack instances with identical parameters but different
+        # leftover construction generators fingerprint identically.
+        a = MGAAttack(domain_size=D, targets=[1, 2, 3], rng=0)
+        b = MGAAttack(domain_size=D, targets=[1, 2, 3], rng=99)
+        assert fingerprint_object(a) == fingerprint_object(b)
+
+    def test_dataset_fingerprint_hashes_content(self):
+        same = zipf_dataset(domain_size=D, num_users=5_000, exponent=1.0, rng=7)
+        assert fingerprint_dataset(same) == fingerprint_dataset(DATASET)
+
+    def test_seed_fingerprint_captures_spawn_key(self):
+        parent = np.random.SeedSequence(5)
+        first, second = parent.spawn(1), parent.spawn(1)
+        assert fingerprint_seed_sequences(first) != fingerprint_seed_sequences(second)
+
+
+class TestEvaluateRecoveryCaching:
+    def test_roundtrip_is_exact(self, tmp_path):
+        cache = CellCache(tmp_path)
+        kwargs = dict(beta=0.05, eta=0.2, trials=3, rng=1)
+        cold = evaluate_recovery(
+            DATASET, GRR(epsilon=0.5, domain_size=D),
+            MGAAttack(domain_size=D, r=3, rng=0), cache=cache, **kwargs,
+        )
+        warm = evaluate_recovery(
+            DATASET, GRR(epsilon=0.5, domain_size=D),
+            MGAAttack(domain_size=D, r=3, rng=0), cache=cache, **kwargs,
+        )
+        assert warm == cold  # includes the full per-metric stats dict
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_warm_hit_runs_zero_trials(self, tmp_path):
+        cache = CellCache(tmp_path)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=3, rng=1, cache=cache)
+        TASK_COUNTER.reset()
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=3, rng=1, cache=cache)
+        assert TASK_COUNTER.count == 0
+
+    def test_key_invariant_to_workers(self, tmp_path):
+        cache = CellCache(tmp_path)
+        serial = evaluate_recovery(DATASET, OUE(epsilon=0.5, domain_size=D), None,
+                                   trials=2, rng=3, workers=1, cache=cache)
+        TASK_COUNTER.reset()
+        pooled = evaluate_recovery(DATASET, OUE(epsilon=0.5, domain_size=D), None,
+                                   trials=2, rng=3, workers=2, cache=cache)
+        assert TASK_COUNTER.count == 0, "workers must not change the cache key"
+        assert pooled == serial
+
+    def test_key_invariant_to_chunk_size_but_not_mode(self, tmp_path):
+        cache = CellCache(tmp_path)
+        chunked = evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                                    trials=2, rng=3, chunk_users=500, cache=cache)
+        TASK_COUNTER.reset()
+        rechunked = evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                                      trials=2, rng=3, chunk_users=2_000, cache=cache)
+        assert TASK_COUNTER.count == 0, "chunk_users must not change the cache key"
+        assert rechunked == chunked
+        # ...but fast mode is a different spec field, hence a different cell.
+        fast = evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                                 trials=2, rng=3, cache=cache)
+        assert cache.stats.misses == 2
+        assert fast.mse_before != chunked.mse_before
+
+    def test_rng_generator_spawn_position_matters(self, tmp_path):
+        # The same generator passed twice spawns different children, so the
+        # second call is a different cell — no false hits.
+        cache = CellCache(tmp_path)
+        gen = np.random.default_rng(11)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=gen, cache=cache)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=gen, cache=cache)
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+
+FIG_KWARGS = dict(num_users=4_000, trials=2, rng=0)
+
+
+class TestFigureCaching:
+    @pytest.mark.parametrize(
+        "generate",
+        [
+            lambda cache: figures.sweep_rows(
+                "ipums", "beta", values=(0.01, 0.05), cache=cache, **FIG_KWARGS
+            ),
+            lambda cache: figures.figure7_rows(cache=cache, **FIG_KWARGS),
+            lambda cache: figures.figure8_rows(cache=cache, **FIG_KWARGS),
+            lambda cache: figures.figure9_rows(cache=cache, **FIG_KWARGS),
+            lambda cache: figures.figure10_rows(cache=cache, **FIG_KWARGS),
+            lambda cache: figures.table1_rows(cache=cache, **FIG_KWARGS),
+        ],
+        ids=["sweep", "fig7", "fig8", "fig9", "fig10", "table1"],
+    )
+    def test_warm_cache_regenerates_without_simulation(self, tmp_path, generate):
+        cache = CellCache(tmp_path)
+        cold = generate(cache)
+        assert cache.stats.stores == len(cold)
+        TASK_COUNTER.reset()
+        warm = generate(cache)
+        assert TASK_COUNTER.count == 0, "warm figure must perform zero trials"
+        assert warm == cold
+
+    def test_interrupted_sweep_resumes_from_completed_cells(self, tmp_path):
+        """A rerun after interruption only simulates the missing cells."""
+        cache = CellCache(tmp_path)
+        run = lambda: figures.sweep_rows(
+            "ipums", "beta", values=(0.01, 0.05), cache=cache, **FIG_KWARGS
+        )
+        full = run()
+        # Simulate a Ctrl-C that landed after 4 of the 6 cells completed.
+        entries = cache.entries()
+        for entry in entries[:2]:
+            entry.path.unlink()
+        resumed = run()
+        assert resumed == full
+        assert cache.stats.stores == len(full) + 2  # only the missing cells re-ran
+
+    def test_ci_columns_follow_metric_columns(self, tmp_path):
+        rows = figures.table1_rows(cache=None, **FIG_KWARGS)
+        cols = list(rows[0].keys())
+        assert cols.index("mse_before_recovery±") == cols.index("mse_before_recovery") + 1
+        assert all(row["mse_before_recovery±"] > 0 for row in rows)
+
+
+class TestStoreMaintenance:
+    def _fill(self, tmp_path, n=3):
+        cache = CellCache(tmp_path)
+        for seed in range(n):
+            evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                              trials=2, rng=seed, cache=cache)
+        return cache
+
+    def test_entries_and_summary_rows(self, tmp_path):
+        cache = self._fill(tmp_path)
+        entries = cache.entries()
+        assert len(entries) == 3
+        row = entries[0].summary_row()
+        assert row["dataset"] == "zipf" and row["trials"] == 2
+
+    def test_prune_all(self, tmp_path):
+        cache = self._fill(tmp_path)
+        assert cache.prune() == 3
+        assert cache.entries() == []
+
+    def test_prune_respects_age_horizon(self, tmp_path):
+        cache = self._fill(tmp_path)
+        assert cache.prune(older_than_days=1.0) == 0  # all entries are fresh
+        assert len(cache.entries()) == 3
+
+    def test_prune_rejects_negative_horizon(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            CellCache(tmp_path).prune(older_than_days=-1)
+
+    def test_prune_all_tags_sweeps_other_versions(self, tmp_path):
+        self._fill(tmp_path)
+        stale = CellCache(tmp_path, tag="v0-repro-0.9.9")
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=9, cache=stale)
+        fresh = CellCache(tmp_path)
+        assert fresh.prune() == 3  # current tag only
+        assert fresh.prune(all_tags=True) == 1  # the stale tag's entry
+
+    def test_corrupt_entry_is_a_miss_and_verify_flags_it(self, tmp_path):
+        cache = self._fill(tmp_path, n=1)
+        [entry] = cache.entries()
+        entry.path.write_text("{ truncated", encoding="utf-8")
+        TASK_COUNTER.reset()
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=0, cache=cache)
+        assert TASK_COUNTER.count > 0  # recomputed, not served from garbage
+        assert cache.stats.errors == 1
+
+        # The recompute healed the entry; corrupt it again and verify.
+        entry.path.write_text("{ truncated", encoding="utf-8")
+        problems = cache.verify()
+        assert len(problems) == 1 and "unreadable" in problems[0][1]
+        assert cache.verify(delete=True) == problems
+        assert cache.verify() == []
+
+    def test_stale_payload_shape_is_a_miss(self, tmp_path):
+        """A same-tag entry whose payload predates a RecoveryEvaluation
+        field rename is recomputed, not raised (the in-place-edit caveat
+        documented in the README)."""
+        cache = self._fill(tmp_path, n=1)
+        [entry] = cache.entries()
+        data = json.loads(entry.path.read_text(encoding="utf-8"))
+        data["payload"]["metric_from_the_future"] = data["payload"].pop("mse_before")
+        entry.path.write_text(json.dumps(data), encoding="utf-8")
+        TASK_COUNTER.reset()
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=0, cache=cache)
+        assert TASK_COUNTER.count > 0  # recomputed
+        assert cache.stats.hits == 0 and cache.stats.errors == 1
+
+    def test_verify_detects_tampered_spec(self, tmp_path):
+        cache = self._fill(tmp_path, n=1)
+        [entry] = cache.entries()
+        data = json.loads(entry.path.read_text(encoding="utf-8"))
+        data["spec"]["beta"] = 0.99
+        entry.path.write_text(json.dumps(data), encoding="utf-8")
+        problems = cache.verify()
+        assert len(problems) == 1 and "key does not match" in problems[0][1]
+
+    def test_version_tag_isolates_schema_changes(self, tmp_path):
+        old = CellCache(tmp_path, tag="v0-repro-0.0.1")
+        new = CellCache(tmp_path)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=old)
+        TASK_COUNTER.reset()
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=new)
+        assert TASK_COUNTER.count > 0  # other version's entries are invisible
+        assert new.stats.misses == 1
+
+
+class TestResolveCache:
+    def test_no_cache_wins(self, tmp_path):
+        assert resolve_cache(cache_dir=tmp_path, no_cache=True) is None
+
+    def test_explicit_dir(self, tmp_path):
+        cache = resolve_cache(cache_dir=tmp_path)
+        assert cache is not None and cache.cache_dir == tmp_path
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+        cache = resolve_cache()
+        assert cache is not None and cache.cache_dir == tmp_path / "env"

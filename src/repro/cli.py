@@ -6,6 +6,7 @@ Examples::
     ldprecover run --figure fig3 --dataset ipums --workers 4
     ldprecover run --figure fig5 --parameter beta --workers 0
     ldprecover run --figure fig7 --chunk-users 200000
+    ldprecover run --figure fig7 --chunk-users 200000 --olh-cohort 256
     ldprecover run --figure table1 --trials 3 --cache-stats
     ldprecover run --figure fig6 --no-cache
     ldprecover demo --protocol oue --beta 0.1
@@ -46,6 +47,7 @@ def _run_fig3(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict
         trials=args.trials,
         rng=args.seed,
         workers=args.workers,
+        olh_cohort=args.olh_cohort,
         cache=cache,
     )
 
@@ -57,6 +59,7 @@ def _run_fig4(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict
         trials=args.trials,
         rng=args.seed,
         workers=args.workers,
+        olh_cohort=args.olh_cohort,
         cache=cache,
     )
 
@@ -71,6 +74,7 @@ def _run_sweep(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dic
         rng=args.seed,
         workers=args.workers,
         chunk_users=args.chunk_users,
+        olh_cohort=args.olh_cohort,
         cache=cache,
     )
 
@@ -78,35 +82,39 @@ def _run_sweep(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dic
 def _run_fig7(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure7_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
+        workers=args.workers, chunk_users=args.chunk_users,
+        olh_cohort=args.olh_cohort, cache=cache,
     )
 
 
 def _run_fig8(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure8_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
+        workers=args.workers, chunk_users=args.chunk_users,
+        olh_cohort=args.olh_cohort, cache=cache,
     )
 
 
 def _run_fig9(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure9_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, cache=cache,
+        workers=args.workers, olh_cohort=args.olh_cohort, cache=cache,
     )
 
 
 def _run_fig10(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.figure10_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
+        workers=args.workers, chunk_users=args.chunk_users,
+        olh_cohort=args.olh_cohort, cache=cache,
     )
 
 
 def _run_table1(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
     return figures.table1_rows(
         num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users, cache=cache,
+        workers=args.workers, chunk_users=args.chunk_users,
+        olh_cohort=args.olh_cohort, cache=cache,
     )
 
 
@@ -220,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
                      help="run fast-mode exhibits through the bounded-memory "
                           "exact simulation, this many users per chunk")
+    run.add_argument("--olh-cohort", type=int, default=None, dest="olh_cohort",
+                     help="OLH cells draw hash keys from cohorts of this many "
+                          "shared seeds per chunk: report-level aggregation "
+                          "drops from O(n*d) to O(K*d + n); changes the report "
+                          "distribution, so cohort cells cache separately")
     run.add_argument("--cache-dir", default=None, dest="cache_dir",
                      help="cell cache directory (default: $REPRO_CACHE_DIR or "
                           "~/.cache/repro-ldprecover); completed cells are "

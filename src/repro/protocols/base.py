@@ -184,19 +184,37 @@ class FrequencyOracle(ABC):
         report that "matches the target items".
         """
 
+    #: Reports scanned per slice by the default :meth:`target_support_counts`
+    #: fallback, bounding each :meth:`reports_supporting_any` pass to one
+    #: slice of the batch regardless of the total report count.
+    SCAN_CHUNK_REPORTS: ClassVar[int] = 65_536
+
     def target_support_counts(self, reports: Any, items: Sequence[int]) -> np.ndarray:
         """Per-report count of how many of ``items`` the report supports.
 
         Backs the threshold-based Detection baseline: a report supporting
         many target items at once carries the signature of a crafted MGA
-        report.  The default implementation is ``O(|items|)`` passes of
-        :meth:`reports_supporting_any`; subclasses override with vector
+        report.  The default implementation scans the batch in slices of
+        at most :data:`SCAN_CHUNK_REPORTS` reports (via
+        :meth:`slice_reports`) and runs one :meth:`reports_supporting_any`
+        pass per item within each slice, so its transient memory is
+        bounded by one slice's scan even when a subclass's per-item pass
+        materializes per-report state; subclasses override with vector
         code.
         """
         idx = np.asarray(list(items), dtype=np.int64)
-        counts = np.zeros(self.num_reports(reports), dtype=np.int64)
-        for item in idx:
-            counts += self.reports_supporting_any(reports, [int(item)]).astype(np.int64)
+        n = self.num_reports(reports)
+        counts = np.zeros(n, dtype=np.int64)
+        if idx.size == 0 or n == 0:
+            return counts
+        chunk = max(1, self.SCAN_CHUNK_REPORTS)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            sub = self.slice_reports(reports, start, stop)
+            for item in idx:
+                counts[start:stop] += self.reports_supporting_any(
+                    sub, [int(item)]
+                ).astype(np.int64)
         return counts
 
     def select_reports(self, reports: Any, mask: np.ndarray) -> Any:

@@ -19,8 +19,16 @@ class BLH(OLH):
 
     name = "blh"
 
-    def __init__(self, epsilon: float, domain_size: int) -> None:
-        super().__init__(epsilon, domain_size, g=2)
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        cohort: int | None = None,
+        chunk_cells: int | None = None,
+    ) -> None:
+        super().__init__(
+            epsilon, domain_size, g=2, cohort=cohort, chunk_cells=chunk_cells
+        )
 
     def theoretical_variance(self, n: int, frequency: float = 0.0) -> float:
         """Low-frequency variance from the unified support model:

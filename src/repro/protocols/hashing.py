@@ -72,6 +72,71 @@ def hash_domain(seed: int, domain_size: int, g: int) -> np.ndarray:
     return hash_items(np.uint64(seed), items, g)
 
 
+def hash_domains(seeds: np.ndarray, domain_size: int, g: int) -> np.ndarray:
+    """Hash the full domain under each of several ``seeds`` at once.
+
+    The batched kernel behind cohort-mode OLH aggregation: the inner
+    ``mix64`` of the domain is evaluated once and broadcast against every
+    seed, so hashing ``K`` seeds costs one domain pre-mix plus ``K *
+    domain_size`` finalizer applications.
+
+    Parameters
+    ----------
+    seeds:
+        1-D uint64-convertible array of ``K`` hash-function keys.
+    domain_size:
+        Number of items ``0..domain_size-1`` to hash under every seed.
+    g:
+        Size of the hash range; must be >= 2.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint64 array of shape ``(K, domain_size)``; row ``i`` equals
+        ``hash_domain(seeds[i], domain_size, g)``.
+    """
+    s = np.asarray(seeds, dtype=np.uint64)
+    if s.ndim != 1:
+        raise ValueError(f"seeds must be 1-D, got shape {s.shape}")
+    items = np.arange(domain_size, dtype=np.uint64)
+    return hash_items(s[:, None], items[None, :], g)
+
+
+def value_histograms(
+    groups: np.ndarray, values: np.ndarray, num_groups: int, g: int
+) -> np.ndarray:
+    """Per-group histograms of hash values in ``[0, g)``.
+
+    One fused ``bincount`` over ``groups * g + values``: entry ``[k, y]``
+    counts the positions where ``groups == k`` and ``values == y``.  This
+    is the O(n) reported-value tally of cohort-mode OLH aggregation —
+    ``groups`` is each report's cohort-seed index, ``values`` its reported
+    hash value.
+
+    Parameters
+    ----------
+    groups:
+        Integer array of group indices in ``[0, num_groups)``.
+    values:
+        Integer array (same shape) of hash values in ``[0, g)``.
+    num_groups:
+        Number of histogram rows.
+    g:
+        Size of the hash range (histogram row width).
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 array of shape ``(num_groups, g)``.
+    """
+    keys = np.asarray(groups, dtype=np.int64) * np.int64(g) + np.asarray(
+        values, dtype=np.int64
+    )
+    return np.bincount(keys.ravel(), minlength=num_groups * g).reshape(
+        num_groups, g
+    ).astype(np.int64)
+
+
 def draw_seeds(n: int, rng: np.random.Generator) -> np.ndarray:
     """Draw ``n`` independent hash-function keys."""
     return rng.integers(0, SEED_SPACE, size=n, dtype=np.int64).astype(np.uint64)

@@ -8,13 +8,31 @@ perturbs the hash with GRR over the hashed domain.  The report is the pair
 Aggregation probabilities: ``p* = e^eps / (e^eps + g - 1)`` (the GRR keep
 probability on the hashed domain) and ``q* = 1/g`` (a fixed *other* item
 hashes to the reported value uniformly).
+
+Two seed-drawing policies are supported:
+
+* **Per-user seeds** (default, the paper's protocol): every user draws a
+  fresh hash key, so aggregation must hash the full (users x domain) grid
+  — O(n*d) splitmix64 evaluations, walked in bounded slices of at most
+  ``chunk_cells`` grid cells.
+* **Seed cohorts** (``cohort=K``): each ``perturb`` batch draws ``K``
+  fresh shared seeds and every user picks one uniformly.  A uniformly
+  chosen random seed is still a uniformly random family member, so
+  per-user report marginals (and hence estimates and their expectations)
+  are unchanged, but aggregation collapses to one domain hash per cohort
+  seed plus per-seed histograms of the reported values — O(K*d + n)
+  instead of O(n*d).  The trade-off: users sharing a seed (and item) have
+  correlated support sets, which mildly inflates estimate variance for
+  small ``K``; cohort mode therefore changes the report distribution and
+  is part of the protocol's cache fingerprint, unlike ``chunk_cells``.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import ClassVar, Optional, Sequence
 
 import numpy as np
 
@@ -45,33 +63,127 @@ class OLHReports:
 
 
 class OLH(FrequencyOracle):
-    """Optimized Local Hashing frequency oracle."""
+    """Optimized Local Hashing frequency oracle.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    domain_size:
+        Size of the item domain ``d``.
+    g:
+        Hash-range override (default ``ceil(e^eps + 1)``).
+    cohort:
+        Seed-cohort size ``K``: every ``perturb`` batch draws ``K`` fresh
+        shared hash seeds and each user picks one uniformly, enabling the
+        O(K*d + n) grouped aggregation path.  ``None`` (default) keeps the
+        paper's one-fresh-seed-per-user policy.  Changes the report
+        distribution (shared seeds correlate users' support sets), so it
+        is part of the protocol's cache fingerprint.
+    chunk_cells:
+        Grid-cell budget per support-scan slice (default
+        :data:`_CHUNK_CELLS`).  Execution-only: it bounds transient memory
+        but cannot change any aggregation result, so it is excluded from
+        the cache fingerprint like the engine's ``workers``/``chunk_users``.
+    """
 
     name = "olh"
 
-    #: Users per chunk when scanning the (user x domain) hash grid.
+    #: Grid-cell budget per support-scan slice: the transient boolean/hash
+    #: grids materialized by the aggregation paths never exceed this many
+    #: (report, item) cells.  NOT a user count — the number of users per
+    #: slice is ``chunk_cells // domain_size`` (or ``chunk_cells //
+    #: len(targets)`` in the target-scan paths).
     _CHUNK_CELLS = 4_000_000
 
-    def __init__(self, epsilon: float, domain_size: int, g: int | None = None) -> None:
+    #: Execution-only attributes excluded from cache fingerprints: they
+    #: bound transient memory but cannot change aggregation results, like
+    #: the engine's ``workers`` / ``chunk_users`` knobs.
+    FINGERPRINT_EXCLUDE: ClassVar[frozenset] = frozenset({"chunk_cells"})
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        g: int | None = None,
+        cohort: int | None = None,
+        chunk_cells: int | None = None,
+    ) -> None:
         super().__init__(epsilon, domain_size)
         e_eps = math.exp(self.epsilon)
         self.g = int(g) if g is not None else math.ceil(e_eps + 1.0)
         if self.g < 2:
             raise InvalidParameterError(f"hash range g must be >= 2, got {self.g}")
+        self.cohort = self._validate_cohort(cohort)
+        self.chunk_cells = self._validate_chunk_cells(
+            self._CHUNK_CELLS if chunk_cells is None else chunk_cells
+        )
         # Perturbation probabilities of GRR over the hashed domain.
         self._p_perturb = e_eps / (e_eps + self.g - 1.0)
         # Aggregation probabilities (support-based).
         self.p = self._p_perturb
         self.q = 1.0 / self.g
 
+    @staticmethod
+    def _validate_cohort(cohort: Optional[int]) -> Optional[int]:
+        if cohort is None:
+            return None
+        k = int(cohort)
+        if k < 1:
+            raise InvalidParameterError(f"cohort size must be >= 1, got {cohort}")
+        return k
+
+    @staticmethod
+    def _validate_chunk_cells(chunk_cells: int) -> int:
+        cells = int(chunk_cells)
+        if cells < 1:
+            raise InvalidParameterError(f"chunk_cells must be >= 1, got {chunk_cells}")
+        return cells
+
+    def with_cohort(self, cohort: Optional[int]) -> "OLH":
+        """A copy of this oracle in seed-cohort mode (``None`` = per-user).
+
+        Everything else (``epsilon``, ``domain_size``, ``g``,
+        ``chunk_cells``) is preserved — including the concrete subclass,
+        so :class:`~repro.protocols.blh.BLH` stays BLH.  ``cohort`` alters
+        the report distribution, hence the copy fingerprints (and caches)
+        differently from its parent.
+        """
+        clone = copy.copy(self)
+        clone.cohort = self._validate_cohort(cohort)
+        return clone
+
+    def with_chunk_cells(self, chunk_cells: int) -> "OLH":
+        """A copy with a different support-scan grid budget.
+
+        ``chunk_cells`` is execution-only (excluded from the cache
+        fingerprint), so the copy produces bit-identical results to its
+        parent with a different transient-memory bound — this is the hook
+        the engine uses to cap the scan at its own per-chunk cell budget.
+        """
+        clone = copy.copy(self)
+        clone.chunk_cells = self._validate_chunk_cells(chunk_cells)
+        return clone
+
     # ------------------------------------------------------------------
     # Report-level path
     # ------------------------------------------------------------------
     def perturb(self, items: np.ndarray, rng: RngLike = None) -> OLHReports:
+        """Perturb one item per user into an OLH ``(seed, value)`` report.
+
+        Per-user-seed mode draws one fresh hash key per user; cohort mode
+        draws ``self.cohort`` fresh shared keys for the whole batch and
+        assigns each user one uniformly (marginally identical — a
+        uniformly chosen random seed is a uniformly random family member).
+        """
         items = self._validate_items(items)
         gen = as_generator(rng)
         n = items.size
-        seeds = hashing.draw_seeds(n, gen)
+        if self.cohort is None:
+            seeds = hashing.draw_seeds(n, gen)
+        else:
+            pool = hashing.draw_seeds(self.cohort, gen)
+            seeds = pool[gen.integers(0, self.cohort, size=n)]
         hashed = hashing.hash_items(seeds, items.astype(np.uint64), self.g).astype(np.int64)
         keep = gen.random(n) < self._p_perturb
         other = gen.integers(0, self.g - 1, size=n, dtype=np.int64)
@@ -83,15 +195,52 @@ class OLH(FrequencyOracle):
             raise ProtocolError(f"expected OLHReports, got {type(reports)!r}")
         return reports
 
+    def _grouped_seeds(
+        self, reports: OLHReports
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """``(unique_seeds, inverse)`` when the cohort fast path applies.
+
+        The grouped aggregation is only attempted in cohort mode (per-user
+        batches would pay an O(n log n) sort for nothing), only pays off
+        when seeds actually repeat (a crafted/malicious batch aggregated
+        through a cohort-mode oracle still has one seed per report), and
+        requires in-range reported values (the histograms index by value).
+        Returns ``None`` whenever the per-user grid scan should run; both
+        paths count exactly, so the choice never changes results.
+        """
+        if self.cohort is None:
+            return None
+        values = reports.values
+        if values.size and (values.min() < 0 or values.max() >= self.g):
+            return None
+        unique_seeds, inverse = np.unique(reports.seeds, return_inverse=True)
+        if 2 * unique_seeds.size > len(reports):
+            return None
+        return unique_seeds, inverse
+
     def support_counts(self, reports: OLHReports) -> np.ndarray:
-        """``C(v) = #{j : H_j(v) = y_j}``, chunked over users for memory."""
+        """``C(v) = #{j : H_j(v) = y_j}``, scanned in bounded memory.
+
+        Per-user-seed batches walk the (users x domain) hash grid in
+        slices of at most ``chunk_cells`` cells.  Cohort batches instead
+        hash the domain once per distinct seed and fold per-seed
+        histograms of the reported values — O(K*d + n) rather than
+        O(n*d) — with bit-identical counts.
+        """
         reports = self._validate_olh(reports)
         d = self.domain_size
         counts = np.zeros(d, dtype=np.int64)
         n = len(reports)
         if n == 0:
             return counts
-        chunk = max(1, self._CHUNK_CELLS // d)
+        grouped = self._grouped_seeds(reports)
+        if grouped is not None:
+            unique_seeds, inverse = grouped
+            histograms = hashing.value_histograms(
+                inverse, reports.values, unique_seeds.size, self.g
+            )
+            return self._fold_seed_histograms(unique_seeds, histograms)
+        chunk = max(1, self.chunk_cells // d)
         domain = np.arange(d, dtype=np.uint64)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
@@ -102,13 +251,36 @@ class OLH(FrequencyOracle):
             counts += matches.sum(axis=0)
         return counts
 
+    def _fold_seed_histograms(
+        self, unique_seeds: np.ndarray, histograms: np.ndarray
+    ) -> np.ndarray:
+        """``counts[v] = sum_s histograms[s, H_s(v)]``, chunked over seeds.
+
+        One :func:`repro.protocols.hashing.hash_domains` grid per slice of
+        cohort seeds (at most ``chunk_cells`` cells live), gathered
+        through the per-seed reported-value histograms.
+        """
+        d = self.domain_size
+        counts = np.zeros(d, dtype=np.int64)
+        chunk = max(1, self.chunk_cells // d)
+        for start in range(0, unique_seeds.size, chunk):
+            stop = min(start + chunk, unique_seeds.size)
+            grid = hashing.hash_domains(unique_seeds[start:stop], d, self.g).astype(
+                np.int64
+            )
+            counts += np.take_along_axis(histograms[start:stop], grid, axis=1).sum(
+                axis=0
+            )
+        return counts
+
     def craft_supporting(self, items: np.ndarray, rng: RngLike = None) -> OLHReports:
         """Craft reports whose support contains each requested item.
 
         The attacker picks a fresh hash key and reports the item's own hash
         value, so the report deterministically supports the item (plus the
         ~``d/g`` other items colliding with it, which is unavoidable in
-        OLH's encoding).
+        OLH's encoding).  Crafted reports always use per-report fresh keys
+        — the attacker is not bound by the genuine cohort policy.
         """
         items = self._validate_items(items)
         gen = as_generator(rng)
@@ -128,20 +300,58 @@ class OLH(FrequencyOracle):
         return len(self._validate_olh(reports))
 
     def reports_supporting_any(self, reports: OLHReports, items: Sequence[int]) -> np.ndarray:
+        """Boolean mask of reports whose support intersects ``items``.
+
+        Delegates to :meth:`target_support_counts` (a report supports any
+        target iff it supports at least one), inheriting its bounded-memory
+        chunked scan and the cohort-grouped fast path.
+        """
         reports = self._validate_olh(reports)
-        idx = np.asarray(list(items), dtype=np.uint64)
-        if idx.size == 0 or len(reports) == 0:
+        idx = list(items)
+        if len(idx) == 0 or len(reports) == 0:
             return np.zeros(len(reports), dtype=bool)
-        grid = hashing.hash_items(reports.seeds[:, None], idx[None, :], self.g)
-        return (grid == reports.values[:, None].astype(np.uint64)).any(axis=1)
+        return self.target_support_counts(reports, idx) > 0
 
     def target_support_counts(self, reports: OLHReports, items: Sequence[int]) -> np.ndarray:
+        """Per-report count of supported target ``items``, in bounded memory.
+
+        The per-user-seed path scans the (reports x targets) hash grid in
+        slices of at most ``chunk_cells`` cells — never the unchunked
+        (n x targets) grid.  Cohort batches bucket the target hashes per
+        distinct seed instead and gather each report's count from its
+        seed's bucket row: O(K*t + n).
+        """
         reports = self._validate_olh(reports)
         idx = np.asarray(list(items), dtype=np.uint64)
-        if idx.size == 0 or len(reports) == 0:
-            return np.zeros(len(reports), dtype=np.int64)
-        grid = hashing.hash_items(reports.seeds[:, None], idx[None, :], self.g)
-        return (grid == reports.values[:, None].astype(np.uint64)).sum(axis=1).astype(np.int64)
+        n = len(reports)
+        if idx.size == 0 or n == 0:
+            return np.zeros(n, dtype=np.int64)
+        grouped = self._grouped_seeds(reports)
+        if grouped is not None:
+            unique_seeds, inverse = grouped
+            k = unique_seeds.size
+            buckets = np.zeros((k, self.g), dtype=np.int64)
+            chunk = max(1, self.chunk_cells // idx.size)
+            for start in range(0, k, chunk):
+                stop = min(start + chunk, k)
+                grid = hashing.hash_items(
+                    unique_seeds[start:stop, None], idx[None, :], self.g
+                )
+                rows = np.repeat(np.arange(stop - start), idx.size)
+                buckets[start:stop] = hashing.value_histograms(
+                    rows, grid.ravel(), stop - start, self.g
+                )
+            return buckets[inverse, reports.values]
+        out = np.empty(n, dtype=np.int64)
+        chunk = max(1, self.chunk_cells // idx.size)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            grid = hashing.hash_items(
+                reports.seeds[start:stop, None], idx[None, :], self.g
+            )
+            matches = grid == reports.values[start:stop, None].astype(np.uint64)
+            out[start:stop] = matches.sum(axis=1)
+        return out
 
     def select_reports(self, reports: OLHReports, mask: np.ndarray) -> OLHReports:
         reports = self._validate_olh(reports)
@@ -165,7 +375,10 @@ class OLH(FrequencyOracle):
         ``Pr[v in S] = 1/g`` for ``v != x`` (hash uniformity), so marginally
         ``C(v) = Binom(n_v, p*) + Binom(n - n_v, 1/g)``.  Cross-item
         correlations induced by shared hash keys are ignored; they do not
-        affect per-item estimates or their variances.
+        affect per-item estimates or their variances.  The cohort policy
+        does not change these marginals, so this path is identical with
+        and without ``cohort`` (the extra cross-user correlation of small
+        cohorts is likewise not modeled).
         """
         counts = self._validate_true_counts(true_counts)
         gen = as_generator(rng)

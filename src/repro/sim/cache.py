@@ -17,9 +17,11 @@ canonical hash of that spec, so:
 
 Layout: one JSON file per cell under
 ``<cache_dir>/<tag>/<key[:2]>/<key>.json`` where ``tag`` versions the
-cache by schema (:data:`CACHE_SCHEMA`) plus the ``repro`` package version
-— a release invalidates old entries wholesale instead of serving stale
-rows.  Writes are atomic (temp file + ``os.replace``) so a Ctrl-C never
+cache by schema (:data:`CACHE_SCHEMA`), the ``repro`` package version,
+and a content hash of the simulation-relevant source tree
+(:func:`source_digest`) — a release *or* an in-place code edit
+invalidates old entries wholesale instead of serving stale rows.
+Writes are atomic (temp file + ``os.replace``) so a Ctrl-C never
 leaves a truncated entry behind; unreadable entries are treated as misses
 and reported by :meth:`CellCache.verify`.
 
@@ -55,7 +57,7 @@ from repro.attacks.base import PoisoningAttack
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
-from repro.sim.engine import MetricStats
+from repro.sim.engine import DEFAULT_CHUNK_USERS, MetricStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment -> cache)
     from repro.sim.experiment import RecoveryEvaluation
@@ -73,7 +75,9 @@ __all__ = [
     "fingerprint_object",
     "fingerprint_seed_sequences",
     "resolve_cache",
+    "resolved_cohort_chunk",
     "row_cell_spec",
+    "source_digest",
 ]
 
 #: Cache schema version: bump whenever the entry layout, the spec
@@ -144,14 +148,23 @@ def fingerprint_object(obj: Any) -> dict[str, Any]:
     Walks ``obj``'s instance ``vars()``: scalars pass through, arrays are
     content-hashed, nested components (e.g. :class:`MultiAttacker`'s
     sub-attacks, IPA's inner attack) recurse, and RNG state is skipped
-    (see :func:`_fingerprint_value`).  The concrete class name is always
-    included so two classes with identical attributes cannot collide.
+    (see :func:`_fingerprint_value`).  Classes may declare a
+    ``FINGERPRINT_EXCLUDE`` set of execution-only attribute names that
+    cannot change results (e.g. OLH's ``chunk_cells`` support-scan
+    budget); those are omitted, exactly like the engine's ``workers`` /
+    ``chunk_users`` knobs are omitted from the cell spec.  Attributes that
+    *do* change the report distribution (e.g. OLH's ``cohort``) stay in.
+    The concrete class name is always included so two classes with
+    identical attributes cannot collide.
     """
     fp: dict[str, Any] = {"__type__": type(obj).__name__}
     describe = getattr(obj, "describe", None)
     if callable(describe):
         fp["describe"] = str(describe())
+    exclude = getattr(type(obj), "FINGERPRINT_EXCLUDE", frozenset())
     for key, value in sorted(vars(obj).items()):
+        if key in exclude:
+            continue
         printed = _fingerprint_value(value)
         if printed is not _SKIP:
             fp[key] = printed
@@ -197,6 +210,27 @@ def fingerprint_seed_sequences(
     return out
 
 
+def resolved_cohort_chunk(
+    protocol: FrequencyOracle, mode: str, chunk_users: Optional[int]
+) -> Optional[int]:
+    """The chunk size to include in a cell spec, or ``None``.
+
+    ``chunk_users`` is normally an execution-only knob excluded from cache
+    keys (chunked aggregation of per-user-seed reports is distributed
+    exactly as the unchunked path).  A seed-cohort ``protocol`` breaks
+    that premise in ``mode="chunked"``: every chunk draws one fresh cohort
+    of shared seeds, so the chunk schedule shapes the report correlation
+    structure (and hence estimate variance).  For those cells this returns
+    the *resolved* chunk size (``chunk_users`` or
+    :data:`~repro.sim.engine.DEFAULT_CHUNK_USERS`) so it enters the key;
+    for every other cell it returns ``None`` and the key stays
+    chunk-invariant.
+    """
+    if getattr(protocol, "cohort", None) is None or str(mode) != "chunked":
+        return None
+    return int(chunk_users) if chunk_users is not None else DEFAULT_CHUNK_USERS
+
+
 def evaluation_cell_spec(
     dataset: Dataset,
     protocol: FrequencyOracle,
@@ -210,6 +244,7 @@ def evaluation_cell_spec(
     with_detection: bool,
     aa_top_k: int,
     seeds: Sequence[np.random.SeedSequence],
+    cohort_chunk_users: Optional[int] = None,
 ) -> dict[str, Any]:
     """The full cell spec of one :func:`evaluate_recovery` call.
 
@@ -219,9 +254,12 @@ def evaluation_cell_spec(
     ``beta``, ``eta``, ``trials``, the *resolved* simulation ``mode``, the
     evaluation switches ``with_star`` / ``with_detection`` / ``aa_top_k``,
     and the per-trial ``seeds``.  Execution-only knobs (``workers``,
-    ``chunk_users``) are deliberately absent.
+    ``chunk_users``) are deliberately absent — except for cohort-mode
+    chunked cells, whose resolved chunk size arrives via
+    ``cohort_chunk_users`` (see :func:`resolved_cohort_chunk`) because
+    there it shapes the report distribution.
     """
-    return {
+    spec = {
         "kind": "evaluation",
         "dataset": fingerprint_dataset(dataset),
         "protocol": fingerprint_object(protocol),
@@ -235,6 +273,9 @@ def evaluation_cell_spec(
         "aa_top_k": int(aa_top_k),
         "seeds": fingerprint_seed_sequences(seeds),
     }
+    if cohort_chunk_users is not None:
+        spec["cohort_chunk_users"] = int(cohort_chunk_users)
+    return spec
 
 
 def row_cell_spec(
@@ -317,11 +358,65 @@ def payload_to_evaluation(payload: dict[str, Any]) -> "RecoveryEvaluation":
 # ----------------------------------------------------------------------
 # The on-disk store
 # ----------------------------------------------------------------------
+#: Sub-packages whose source content versions the cache tag: everything
+#: that can change a simulated cell's result.
+_SOURCE_PACKAGES = ("sim", "core", "protocols", "attacks")
+
+#: Memoized digest of the installed package (computed once per process).
+_DEFAULT_SOURCE_DIGEST: Optional[str] = None
+
+
+def _compute_source_digest(root: pathlib.Path) -> str:
+    """sha256 over (relative path, bytes) of every ``*.py`` under ``root``'s
+    :data:`_SOURCE_PACKAGES` sub-trees, truncated to 12 hex chars."""
+    digest = hashlib.sha256()
+    for package in _SOURCE_PACKAGES:
+        base = root / package
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            try:
+                data = path.read_bytes()
+            except OSError:  # pragma: no cover - unreadable file
+                continue
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(data)
+            digest.update(b"\0")
+    return digest.hexdigest()[:12]
+
+
+def source_digest(root: Optional[str | os.PathLike[str]] = None) -> str:
+    """Short content hash of the simulation-relevant source tree.
+
+    Hashes every ``*.py`` file (relative path plus raw bytes) under the
+    ``{sim,core,protocols,attacks}`` sub-packages of ``root`` — the
+    installed ``repro`` package by default, whose digest is computed once
+    per process.  Mixed into :func:`cache_tag`, this makes in-place source
+    edits invalidate the cell cache automatically: the edited tree writes
+    under a fresh tag instead of serving rows simulated by old code.
+    """
+    global _DEFAULT_SOURCE_DIGEST
+    if root is not None:
+        return _compute_source_digest(pathlib.Path(root))
+    if _DEFAULT_SOURCE_DIGEST is None:
+        _DEFAULT_SOURCE_DIGEST = _compute_source_digest(
+            pathlib.Path(__file__).resolve().parent.parent
+        )
+    return _DEFAULT_SOURCE_DIGEST
+
+
 def cache_tag() -> str:
-    """The versioned subdirectory name isolating incompatible caches."""
+    """The versioned subdirectory name isolating incompatible caches.
+
+    Combines the cache schema, the installed ``repro`` version, and the
+    :func:`source_digest` of the simulation-relevant source tree, so both
+    releases *and* in-place code edits invalidate old entries wholesale
+    (no manual ``cache prune`` needed after editing simulation code).
+    """
     from repro import __version__  # deferred: repro/__init__ imports repro.sim
 
-    return f"v{CACHE_SCHEMA}-repro-{__version__}"
+    return f"v{CACHE_SCHEMA}-repro-{__version__}-{source_digest()}"
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -423,7 +518,8 @@ class CellCache:
         Entries live under the versioned :func:`cache_tag` subdirectory.
     tag:
         Override the version tag (tests only; the default ties entries to
-        the cache schema and the installed ``repro`` version).
+        the cache schema, the installed ``repro`` version, and the
+        :func:`source_digest` of the simulation source tree).
     """
 
     def __init__(

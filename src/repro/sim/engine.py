@@ -229,6 +229,27 @@ def _validate_chunk(chunk_users: Optional[int]) -> int:
     return chunk
 
 
+def _bound_scan(protocol: FrequencyOracle, chunk_users: int) -> FrequencyOracle:
+    """Cap a protocol's internal support-scan budget at the engine's chunk.
+
+    Protocols whose support counting walks a (reports x domain) grid
+    expose a ``chunk_cells`` budget plus a ``with_chunk_cells`` copy hook
+    (OLH); the engine caps that budget at ``chunk_users * d`` cells so the
+    scan's transient grid never exceeds the per-chunk memory the engine
+    already budgets for — this is how the ``chunk_users`` knob reaches
+    OLH's internal grid slicing.  ``chunk_cells`` is execution-only (it
+    cannot change results), and protocols without the hook pass through
+    unchanged.
+    """
+    with_cells = getattr(protocol, "with_chunk_cells", None)
+    if with_cells is None:
+        return protocol
+    budget = min(protocol.chunk_cells, chunk_users * protocol.domain_size)
+    if budget >= protocol.chunk_cells:
+        return protocol
+    return with_cells(budget)
+
+
 def chunked_support_counts(
     protocol: FrequencyOracle, reports: Any, chunk_users: Optional[int] = None
 ) -> np.ndarray:
@@ -240,6 +261,7 @@ def chunked_support_counts(
     transient memory is one chunk's worth.
     """
     chunk = _validate_chunk(chunk_users)
+    protocol = _bound_scan(protocol, chunk)
     n = protocol.num_reports(reports)
     total = np.zeros(protocol.domain_size, dtype=np.int64)
     for start in range(0, n, chunk):
@@ -262,13 +284,25 @@ def chunked_genuine_counts(
     (multivariate hypergeometric), perturbs each chunk's users with
     ``protocol`` and accumulates ``support_counts`` partial sums.  Because
     aggregation is permutation-invariant and the chunks partition the
-    population uniformly at random, the result is distributed exactly as
-    the unchunked ``support_counts(perturb(items))`` while the live
-    report batch never exceeds ``chunk_users`` rows (default
-    :data:`DEFAULT_CHUNK_USERS`).
+    population uniformly at random, for per-user-seed protocols the
+    result is distributed exactly as the unchunked
+    ``support_counts(perturb(items))`` while the live report batch never
+    exceeds ``chunk_users`` rows (default :data:`DEFAULT_CHUNK_USERS`).
+    The exception is a cohort-mode oracle (``OLH(cohort=K)``): each chunk
+    draws its own fresh cohort, so the chunk schedule shapes the report
+    correlation structure (per-user marginals are unchanged, joint
+    distribution is not) — which is why
+    :func:`repro.sim.cache.resolved_cohort_chunk` puts the resolved chunk
+    size into those cells' cache keys.  Protocols with an internal support-scan
+    budget (OLH's ``chunk_cells``) have it capped at the chunk's cell
+    count, so ``chunk_users`` bounds their transient grids too; for a
+    cohort-mode OLH oracle every chunk draws a fresh cohort of shared
+    seeds, which is what makes its grouped O(K*d + n) aggregation apply
+    per chunk.
     """
     gen = as_generator(rng)
     chunk = _validate_chunk(chunk_users)
+    protocol = _bound_scan(protocol, chunk)
     remaining = np.asarray(true_counts, dtype=np.int64).copy()
     d = remaining.size
     total = np.zeros(d, dtype=np.int64)
@@ -300,12 +334,16 @@ def chunked_malicious_counts(
     crafted batch.  Attacks
     that declare ``iid_reports = False`` (e.g. :class:`MultiAttacker`'s
     deterministic weight split, which re-rounds shares per call and would
-    starve low-weight attackers) are crafted in a single batch instead —
-    only the support counting is chunked, so the reports do materialize
-    once, but ``m`` is a ``beta`` fraction of the population.
+    starve low-weight attackers) are crafted in a **single batch** instead
+    and only the support counting is chunked: the crafted reports
+    materialize once, so the memory high-water mark for those attacks is
+    the full ``m``-report batch itself (``m x d`` booleans for OUE, O(m)
+    pairs for OLH/GRR) plus one chunk's scan — *not* bounded by
+    ``chunk_users``.  ``m`` is a ``beta`` fraction of the population.
     """
     gen = as_generator(rng)
     chunk = _validate_chunk(chunk_users)
+    protocol = _bound_scan(protocol, chunk)
     if not getattr(attack, "iid_reports", True):
         return chunked_support_counts(protocol, attack.craft(protocol, m, gen), chunk)
     total = np.zeros(protocol.domain_size, dtype=np.int64)
@@ -330,8 +368,14 @@ def run_chunked_trial(
     malicious fraction ``beta``) genuinely crafts, all drawing off ``rng``
     — but reports are aggregated chunk by chunk and never retained, so
     the memory high-water mark is ``O(chunk_users * d)`` instead of
-    ``O(n * d)``.  Raw reports are consequently unavailable
-    (``reports is None``), which rules out report-level defenses.
+    ``O(n * d)`` for the genuine phase and for i.i.d.-crafting attacks.
+    Attacks with ``iid_reports = False`` (e.g. ``MultiAttacker``) craft
+    their full ``m``-report batch up front (see
+    :func:`chunked_malicious_counts`), so the malicious phase of those
+    cells peaks at the crafted batch size — ``m x d`` booleans for OUE —
+    before chunked aggregation resumes the bound.  Raw reports are
+    consequently unavailable (``reports is None``), which rules out
+    report-level defenses.
     """
     if dataset.domain_size != protocol.domain_size:
         raise InvalidParameterError(

@@ -32,7 +32,7 @@ from repro.attacks.base import PoisoningAttack
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
-from repro.sim.cache import CellCache, evaluation_cell_spec
+from repro.sim.cache import CellCache, evaluation_cell_spec, resolved_cohort_chunk
 from repro.sim.engine import (
     MetricStats,
     TrialTask,
@@ -135,6 +135,7 @@ def evaluate_recovery(
     rng: RngLike = None,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     strict_beta: bool = False,
     cache: Optional[CellCache] = None,
 ) -> RecoveryEvaluation:
@@ -176,6 +177,17 @@ def evaluate_recovery(
         Users simulated per chunk in the bounded-memory exact path;
         passing it upgrades ``mode="fast"`` to ``"chunked"``.  Like
         ``workers`` it is an execution knob excluded from the cache key.
+    olh_cohort:
+        Run a cohort-capable protocol (OLH) in seed-cohort mode: each
+        perturb batch draws this many shared hash seeds, enabling the
+        O(K*d + n) grouped aggregation.  Unlike ``workers`` /
+        ``chunk_users`` this *changes the report distribution* (shared
+        seeds correlate users' support sets), so for report-level cells
+        the cohort size — and, in chunked mode, the resolved chunk size,
+        which sets the cohort schedule — is part of the cell's cache key.
+        A no-op in ``mode="fast"``, whose distributional sampler is
+        cohort-independent (those cells keep their per-user-seed cache
+        entry).  Raises for protocols without cohort support.
     strict_beta:
         Turn the "beta rounds to zero malicious users" warning into an
         error before any trial runs.
@@ -195,6 +207,24 @@ def evaluate_recovery(
             "chunk_users is incompatible with mode='sampled' (chunked simulation "
             "does not retain reports); use mode='chunked' without detection"
         )
+    if olh_cohort is not None:
+        with_cohort = getattr(protocol, "with_cohort", None)
+        if with_cohort is None:
+            raise InvalidParameterError(
+                f"olh_cohort requires a cohort-capable protocol (OLH/BLH), "
+                f"got {protocol.name!r}"
+            )
+        # The cohort-configured copy is used everywhere below, including
+        # the cache spec: cohort mode changes the report distribution, so
+        # it must (and does, via the protocol fingerprint) change the key.
+        # In mode="fast" the distributional sampler is cohort-independent,
+        # so the knob is a deliberate no-op there: fast cells keep sharing
+        # the per-user-seed cache entry instead of re-simulating identical
+        # rows under a forked key.  The copy is still built first so an
+        # invalid cohort size raises in every mode.
+        cohorted = with_cohort(olh_cohort)
+        if mode != "fast":
+            protocol = cohorted
     if attack is not None:
         # Surface the m=0 rounding problem at the cell level — under
         # strict_beta this fails fast before any worker spawns, and the
@@ -220,6 +250,7 @@ def evaluate_recovery(
             with_detection=with_detection,
             aa_top_k=aa_top_k,
             seeds=seeds,
+            cohort_chunk_users=resolved_cohort_chunk(protocol, mode, chunk_users),
         )
         cached = cache.get_evaluation(spec)
         if cached is not None:

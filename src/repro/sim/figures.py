@@ -15,7 +15,11 @@ reports) run at a scaled population, pure-aggregate exhibits run in
 Every exhibit takes ``workers=`` (trial fan-out over the process pool of
 :mod:`repro.sim.engine`; ``None``/``0`` = all cores, results bit-identical
 to ``workers=1``), and the fast-mode exhibits take ``chunk_users=`` to
-switch to the bounded-memory exact simulation path.
+switch to the bounded-memory exact simulation path.  Every exhibit also
+takes ``olh_cohort=``: its OLH cells then draw hash keys from cohorts of
+that many shared seeds, collapsing report-level aggregation from O(n*d)
+to O(K*d + n) per chunk (a different report distribution, hence a
+different cache key — see :class:`repro.protocols.OLH`).
 
 Every exhibit also takes ``cache=`` (a
 :class:`repro.sim.cache.CellCache`): completed cells are keyed by the
@@ -46,7 +50,7 @@ from repro.core.recover import recover_frequencies
 from repro.datasets import Dataset, fire_like, ipums_like
 from repro.exceptions import InvalidParameterError
 from repro.protocols import PROTOCOL_NAMES, make_protocol
-from repro.sim.cache import CellCache, row_cell_spec
+from repro.sim.cache import CellCache, resolved_cohort_chunk, row_cell_spec
 from repro.sim.engine import MetricStats, aggregate_metrics, parallel_map
 from repro.sim.experiment import RecoveryEvaluation, evaluate_recovery
 from repro.sim.metrics import mse
@@ -72,6 +76,59 @@ def load_dataset(name: str, num_users: Optional[int]) -> Dataset:
     if key in ("fire", "fire-like"):
         return fire_like(num_users=num_users)
     raise InvalidParameterError(f"unknown dataset {name!r}; use 'ipums' or 'fire'")
+
+
+def _cell_protocol(
+    name: str, epsilon: float, domain_size: int, olh_cohort: Optional[int] = None
+) -> object:
+    """Build one cell's protocol; ``olh_cohort`` applies to OLH cells only.
+
+    The cohort knob is meaningless for GRR/OUE, so exhibits that iterate
+    every protocol forward it here and only the hashing-based cells pick
+    it up (entering their cache keys through the protocol fingerprint).
+    Used directly by the report-level (``sampled``-mode) exhibits; the
+    fast-capable exhibits instead pass :func:`_cohort_for` through
+    :func:`~repro.sim.experiment.evaluate_recovery`, which applies the
+    cohort only when the cell actually materializes reports.
+    """
+    protocol = make_protocol(name, epsilon=epsilon, domain_size=domain_size)
+    cohort = _cohort_for(protocol, olh_cohort)
+    if cohort is not None:
+        protocol = protocol.with_cohort(cohort)
+    return protocol
+
+
+def _cohort_for(protocol: object, olh_cohort: Optional[int]) -> Optional[int]:
+    """``olh_cohort`` when ``protocol`` supports seed cohorts, else ``None``.
+
+    Capability-based (``with_cohort`` hook) rather than a name list, so a
+    newly registered cohort-capable protocol picks the knob up without
+    touching the exhibit generators.
+    """
+    if olh_cohort is None or not hasattr(protocol, "with_cohort"):
+        return None
+    return olh_cohort
+
+
+def _row_cell_params(
+    protocol: object,
+    mode: SimulationMode,
+    chunk_users: Optional[int],
+    /,
+    **base: object,
+) -> dict[str, object]:
+    """Spec params of one row cell (Figure 8 / Table I), cohort-aware.
+
+    Adds ``cohort_chunk_users`` (the resolved chunk schedule) exactly when
+    :func:`repro.sim.cache.resolved_cohort_chunk` says it shapes the
+    cell's report distribution.  The leading arguments are positional-only
+    so ``base`` may itself carry a ``mode`` spec field.
+    """
+    params: dict[str, object] = dict(base)
+    cohort_chunk = resolved_cohort_chunk(protocol, mode, chunk_users)
+    if cohort_chunk is not None:
+        params["cohort_chunk_users"] = cohort_chunk
+    return params
 
 
 def _make_attack(kind: str, domain_size: int, rng: RngLike) -> object:
@@ -153,6 +210,7 @@ def figure3_rows(
     eta: float = DEFAULT_ETA,
     rng: RngLike = 3,
     workers: Optional[int] = 1,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell.
@@ -176,6 +234,9 @@ def figure3_rows(
         Seed or generator; one independent child per cell.
     workers:
         Trial-level process fan-out (``None``/``0`` = all cores).
+    olh_cohort:
+        Seed-cohort size for the OLH cells (shared hash seeds per perturb
+        batch; changes those cells' cache keys).
     cache:
         Optional cell cache; completed cells are reused across runs.
     """
@@ -184,7 +245,7 @@ def figure3_rows(
     rngs = spawn(rng, len(FIG3_CELLS))
     for (attack_kind, protocol_name), cell_rng in zip(FIG3_CELLS, rngs):
         gen = as_generator(cell_rng)
-        protocol = make_protocol(protocol_name, epsilon=epsilon, domain_size=dataset.domain_size)
+        protocol = _cell_protocol(protocol_name, epsilon, dataset.domain_size, olh_cohort)
         attack = _make_attack(attack_kind, dataset.domain_size, gen)
         evaluation = evaluate_recovery(
             dataset,
@@ -226,6 +287,7 @@ def figure4_rows(
     eta: float = DEFAULT_ETA,
     rng: RngLike = 4,
     workers: Optional[int] = 1,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 4: frequency gain of MGA per protocol, before/after.
@@ -234,7 +296,8 @@ def figure4_rows(
     ``num_users`` pick and rescale the workload, ``trials`` rounds are
     averaged per cell at privacy budget ``epsilon`` with malicious
     fraction ``beta`` and recovery threshold ``eta``; ``rng`` seeds the
-    cells, ``workers`` fans trials out, and ``cache`` reuses completed
+    cells, ``workers`` fans trials out, ``olh_cohort`` switches the OLH
+    cell to seed-cohort perturbation, and ``cache`` reuses completed
     cells.
     """
     dataset = load_dataset(dataset_name, num_users)
@@ -242,7 +305,7 @@ def figure4_rows(
     rngs = spawn(rng, len(PROTOCOL_NAMES))
     for protocol_name, cell_rng in zip(PROTOCOL_NAMES, rngs):
         gen = as_generator(cell_rng)
-        protocol = make_protocol(protocol_name, epsilon=epsilon, domain_size=dataset.domain_size)
+        protocol = _cell_protocol(protocol_name, epsilon, dataset.domain_size, olh_cohort)
         attack = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
         evaluation = evaluate_recovery(
             dataset,
@@ -289,6 +352,7 @@ def sweep_rows(
     rng: RngLike = 5,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figures 5-6: MSE under AA while one of (beta, epsilon, eta) varies.
@@ -313,6 +377,9 @@ def sweep_rows(
     chunk_users:
         Switch the ``fast`` cells to the bounded-memory exact simulation,
         this many users per chunk.
+    olh_cohort:
+        Seed-cohort size for the OLH cells (shared hash seeds per perturb
+        batch; changes those cells' cache keys).
     cache:
         Optional cell cache — this is the exhibit where resumable sweeps
         pay off most: an interrupted grid rerun skips completed cells.
@@ -334,9 +401,7 @@ def sweep_rows(
             beta = value if parameter == "beta" else DEFAULT_BETA
             epsilon = value if parameter == "epsilon" else DEFAULT_EPSILON
             eta = value if parameter == "eta" else DEFAULT_ETA
-            protocol = make_protocol(
-                protocol_name, epsilon=epsilon, domain_size=dataset.domain_size
-            )
+            protocol = _cell_protocol(protocol_name, epsilon, dataset.domain_size)
             attack = AdaptiveAttack(domain_size=dataset.domain_size, rng=gen)
             evaluation = evaluate_recovery(
                 dataset,
@@ -350,6 +415,7 @@ def sweep_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
             )
             rows.append(
@@ -378,6 +444,7 @@ def figure7_rows(
     rng: RngLike = 7,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS).
@@ -385,7 +452,8 @@ def figure7_rows(
     ``num_users`` rescales the population, ``trials`` rounds are averaged
     per (protocol, beta) cell, ``rng`` seeds the cells, ``workers`` fans
     trials over a process pool, ``chunk_users`` selects the bounded-memory
-    exact path, and ``cache`` reuses completed cells across runs.
+    exact path, ``olh_cohort`` switches the OLH cells to seed-cohort
+    perturbation, and ``cache`` reuses completed cells across runs.
     """
     dataset = load_dataset("ipums", num_users)
     rows = []
@@ -395,9 +463,7 @@ def figure7_rows(
         for beta in FIG7_BETAS:
             gen = as_generator(rngs[idx])
             idx += 1
-            protocol = make_protocol(
-                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
-            )
+            protocol = _cell_protocol(protocol_name, DEFAULT_EPSILON, dataset.domain_size)
             attack = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             evaluation = evaluate_recovery(
                 dataset,
@@ -410,6 +476,7 @@ def figure7_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
             )
             rows.append(
@@ -468,6 +535,7 @@ def figure8_rows(
     rng: RngLike = 8,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery).
@@ -475,7 +543,8 @@ def figure8_rows(
     ``num_users`` rescales the IPUMS population, ``trials`` MGA+IPA round
     pairs are averaged per (protocol, beta) cell, ``rng`` seeds the cells,
     ``workers`` fans trials out, ``chunk_users`` selects the chunked exact
-    simulation, and ``cache`` reuses completed cells.
+    simulation, ``olh_cohort`` switches the OLH cells to seed-cohort
+    perturbation, and ``cache`` reuses completed cells.
     """
     dataset = load_dataset("ipums", num_users)
     mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
@@ -487,21 +556,22 @@ def figure8_rows(
         for beta in FIG8_BETAS:
             gen = as_generator(rngs[idx])
             idx += 1
-            protocol = make_protocol(
-                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            # Cohort mode only exists at the report level: fast-mode cells
+            # sample marginals, so the knob is a no-op (and key-neutral).
+            protocol = _cell_protocol(
+                protocol_name,
+                DEFAULT_EPSILON,
+                dataset.domain_size,
+                olh_cohort if mode == "chunked" else None,
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             ipa = InputPoisoningAttack(mga)
             seeds = spawn_sequences(gen, trials)
             spec = None
             if cache is not None:
+                params = _row_cell_params(protocol, mode, chunk_users, beta=beta, mode=mode)
                 spec = row_cell_spec(
-                    "figure8",
-                    dataset,
-                    protocol,
-                    (mga, ipa),
-                    {"beta": beta, "mode": mode},
-                    seeds,
+                    "figure8", dataset, protocol, (mga, ipa), params, seeds
                 )
 
             def compute() -> dict[str, object]:
@@ -562,6 +632,7 @@ def figure9_rows(
     beta: float = DEFAULT_BETA,
     rng: RngLike = 9,
     workers: Optional[int] = 1,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS).
@@ -569,7 +640,8 @@ def figure9_rows(
     ``num_users`` rescales the population (sampled mode, so reduced by
     default), ``trials`` rounds are averaged per (protocol, xi) cell at
     malicious fraction ``beta``, ``rng`` seeds the cells, ``workers``
-    fans trials out, and ``cache`` reuses completed cells.
+    fans trials out, ``olh_cohort`` switches the OLH cells to seed-cohort
+    perturbation, and ``cache`` reuses completed cells.
     """
     dataset = load_dataset("ipums", num_users)
     columns = ("mse_before", "mse_kmeans", "mse_ldprecover_km")
@@ -580,8 +652,8 @@ def figure9_rows(
         for xi in FIG9_XIS:
             gen = as_generator(rngs[idx])
             idx += 1
-            protocol = make_protocol(
-                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            protocol = _cell_protocol(
+                protocol_name, DEFAULT_EPSILON, dataset.domain_size, olh_cohort
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             attack = InputPoisoningAttack(mga)
@@ -630,6 +702,7 @@ def figure10_rows(
     rng: RngLike = 10,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Figure 10: LDPRecover against 5 independent adaptive attackers.
@@ -637,7 +710,8 @@ def figure10_rows(
     ``num_users`` rescales the IPUMS population, ``trials`` rounds are
     averaged per (protocol, beta) cell, ``rng`` seeds the cells (and the
     independent attackers), ``workers`` fans trials out, ``chunk_users``
-    selects the chunked exact simulation, and ``cache`` reuses completed
+    selects the chunked exact simulation, ``olh_cohort`` switches the OLH
+    cells to seed-cohort perturbation, and ``cache`` reuses completed
     cells.
     """
     dataset = load_dataset("ipums", num_users)
@@ -648,9 +722,7 @@ def figure10_rows(
         for beta in FIG10_BETAS:
             gen = as_generator(rngs[idx])
             idx += 1
-            protocol = make_protocol(
-                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
-            )
+            protocol = _cell_protocol(protocol_name, DEFAULT_EPSILON, dataset.domain_size)
             attackers = [
                 AdaptiveAttack(domain_size=dataset.domain_size, rng=child)
                 for child in spawn(gen, FIG10_NUM_ATTACKERS)
@@ -668,6 +740,7 @@ def figure10_rows(
                 rng=gen,
                 workers=workers,
                 chunk_users=chunk_users,
+                olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
             )
             rows.append(
@@ -719,6 +792,7 @@ def table1_rows(
     rng: RngLike = 1,
     workers: Optional[int] = 1,
     chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
 ) -> list[dict[str, object]]:
     """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0).
@@ -726,6 +800,7 @@ def table1_rows(
     ``num_users`` rescales both workloads, ``trials`` rounds are averaged
     per (dataset, protocol) cell, ``rng`` seeds the cells, ``workers``
     fans trials out, ``chunk_users`` selects the chunked exact simulation,
+    ``olh_cohort`` switches the OLH cells to seed-cohort perturbation,
     and ``cache`` reuses completed cells.
     """
     rows = []
@@ -738,20 +813,20 @@ def table1_rows(
         for protocol_name in PROTOCOL_NAMES:
             gen = as_generator(rngs[idx])
             idx += 1
-            protocol = make_protocol(
-                protocol_name, epsilon=DEFAULT_EPSILON, domain_size=dataset.domain_size
+            # Cohort mode only exists at the report level (see figure8_rows).
+            protocol = _cell_protocol(
+                protocol_name,
+                DEFAULT_EPSILON,
+                dataset.domain_size,
+                olh_cohort if mode == "chunked" else None,
             )
             seeds = spawn_sequences(gen, trials)
             spec = None
             if cache is not None:
-                spec = row_cell_spec(
-                    "table1",
-                    dataset,
-                    protocol,
-                    (),
-                    {"beta": 0.0, "eta": DEFAULT_ETA, "mode": mode},
-                    seeds,
+                params = _row_cell_params(
+                    protocol, mode, chunk_users, beta=0.0, eta=DEFAULT_ETA, mode=mode
                 )
+                spec = row_cell_spec("table1", dataset, protocol, (), params, seeds)
 
             def compute() -> dict[str, object]:
                 tasks = [

@@ -31,6 +31,13 @@ class TestParser:
         assert args.protocol == "grr"
         assert args.beta == 0.05
 
+    def test_olh_cohort_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--figure", "fig7", "--olh-cohort", "256"]
+        )
+        assert args.olh_cohort == 256
+        assert build_parser().parse_args(["run", "--figure", "fig7"]).olh_cohort is None
+
     def test_cache_flags(self):
         args = build_parser().parse_args(
             ["run", "--figure", "fig5", "--cache-dir", "/tmp/x", "--cache-stats"]
@@ -84,6 +91,17 @@ class TestMain:
         )
         assert code == 0
         assert "eta" in capsys.readouterr().out
+
+    def test_run_table1_with_olh_cohort(self, capsys):
+        code = main(
+            [
+                "run", "--figure", "table1", "--trials", "1",
+                "--num-users", "4000", "--chunk-users", "2000",
+                "--olh-cohort", "16", "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "mse_after_recovery" in capsys.readouterr().out
 
     def test_demo_runs(self, capsys):
         code = main(["demo", "--num-users", "5000", "--seed", "1"])

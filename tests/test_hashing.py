@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 from scipy import stats
 
-from repro.protocols.hashing import draw_seeds, hash_domain, hash_items, mix64
+from repro.protocols.hashing import (
+    draw_seeds,
+    hash_domain,
+    hash_domains,
+    hash_items,
+    mix64,
+    value_histograms,
+)
 
 
 class TestMix64:
@@ -84,6 +91,42 @@ class TestHashDomain:
     def test_matches_hash_items(self):
         direct = hash_items(np.uint64(7), np.arange(123, dtype=np.uint64), g=3)
         np.testing.assert_array_equal(hash_domain(7, 123, 3), direct)
+
+
+class TestHashDomains:
+    """The batched cohort kernel: one (K, d) grid call."""
+
+    def test_rows_match_hash_domain(self):
+        seeds = np.array([0, 7, 2**62, 12345], dtype=np.uint64)
+        grid = hash_domains(seeds, domain_size=37, g=4)
+        assert grid.shape == (4, 37)
+        for i, seed in enumerate(seeds):
+            np.testing.assert_array_equal(grid[i], hash_domain(int(seed), 37, 4))
+
+    def test_rejects_non_1d_seeds(self):
+        with pytest.raises(ValueError):
+            hash_domains(np.zeros((2, 2), dtype=np.uint64), domain_size=4, g=3)
+
+    def test_empty_seeds(self):
+        assert hash_domains(np.empty(0, dtype=np.uint64), 5, 3).shape == (0, 5)
+
+
+class TestValueHistograms:
+    def test_matches_manual_tally(self):
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, 6, size=1000)
+        values = rng.integers(0, 4, size=1000)
+        hist = value_histograms(groups, values, num_groups=6, g=4)
+        assert hist.shape == (6, 4) and hist.dtype == np.int64
+        for k in range(6):
+            np.testing.assert_array_equal(
+                hist[k], np.bincount(values[groups == k], minlength=4)
+            )
+        assert int(hist.sum()) == 1000
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert value_histograms(empty, empty, num_groups=3, g=2).sum() == 0
 
 
 class TestDrawSeeds:

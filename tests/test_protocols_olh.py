@@ -73,9 +73,11 @@ class TestAggregation:
         items = rng.integers(0, proto.domain_size, size=1000)
         reports = proto.perturb(items, rng)
         full = proto.support_counts(reports)
-        proto_small = OLH(epsilon=1.0, domain_size=12)
-        proto_small._CHUNK_CELLS = 37  # tiny chunks
+        proto_small = OLH(epsilon=1.0, domain_size=12, chunk_cells=37)  # tiny chunks
         np.testing.assert_array_equal(proto_small.support_counts(reports), full)
+        np.testing.assert_array_equal(
+            proto.with_chunk_cells(37).support_counts(reports), full
+        )
 
     def test_empty_reports(self, proto):
         empty = OLHReports(
@@ -135,6 +137,80 @@ class TestCrafting:
         assert other.mean() == pytest.approx(200 / proto.g, rel=0.3)
 
 
+class TestSeedCohorts:
+    """Seed-cohort mode: shared seeds, grouped aggregation, copies."""
+
+    def test_perturb_draws_from_cohort_pool(self, rng):
+        proto = OLH(epsilon=1.0, domain_size=12, cohort=8)
+        reports = proto.perturb(rng.integers(0, 12, size=5000), rng)
+        assert np.unique(reports.seeds).size <= 8
+        assert reports.values.min() >= 0 and reports.values.max() < proto.g
+
+    def test_cohort_keep_rate_marginal(self, rng):
+        # Marginals are unchanged: the GRR keep rate on the hashed domain
+        # is the same p* as in per-user-seed mode.
+        proto = OLH(epsilon=1.0, domain_size=12, cohort=16)
+        n = 200_000
+        reports = proto.perturb(np.full(n, 2, dtype=np.int64), rng)
+        true_hashes = hashing.hash_items(reports.seeds, np.uint64(2), proto.g)
+        keep_rate = float(np.mean(true_hashes == reports.values.astype(np.uint64)))
+        assert keep_rate == pytest.approx(proto.p, abs=0.005)
+
+    def test_grouped_support_counts_equal_grid_scan(self, rng):
+        cohort = OLH(epsilon=1.0, domain_size=31, cohort=8)
+        per_user = OLH(epsilon=1.0, domain_size=31)
+        reports = cohort.perturb(rng.integers(0, 31, size=4000), rng)
+        np.testing.assert_array_equal(
+            cohort.support_counts(reports), per_user.support_counts(reports)
+        )
+
+    def test_grouped_target_counts_equal_grid_scan(self, rng):
+        cohort = OLH(epsilon=1.0, domain_size=31, cohort=8)
+        per_user = OLH(epsilon=1.0, domain_size=31)
+        reports = cohort.perturb(rng.integers(0, 31, size=4000), rng)
+        targets = [0, 7, 30]
+        np.testing.assert_array_equal(
+            cohort.target_support_counts(reports, targets),
+            per_user.target_support_counts(reports, targets),
+        )
+        np.testing.assert_array_equal(
+            cohort.reports_supporting_any(reports, targets),
+            per_user.reports_supporting_any(reports, targets),
+        )
+
+    def test_grouped_path_skipped_for_fresh_seed_batches(self, rng):
+        # Crafted reports have one fresh seed each; aggregating them
+        # through a cohort-mode oracle must fall back to the grid scan.
+        cohort = OLH(epsilon=1.0, domain_size=12, cohort=4)
+        crafted = cohort.craft_supporting(rng.integers(0, 12, size=300), rng)
+        assert np.unique(crafted.seeds).size == 300
+        np.testing.assert_array_equal(
+            cohort.support_counts(crafted),
+            OLH(epsilon=1.0, domain_size=12).support_counts(crafted),
+        )
+
+    def test_with_cohort_preserves_params_and_subclass(self):
+        from repro.protocols import BLH
+
+        base = OLH(epsilon=0.7, domain_size=20, g=6, chunk_cells=99)
+        cohorted = base.with_cohort(32)
+        assert cohorted.cohort == 32 and base.cohort is None
+        assert (cohorted.epsilon, cohorted.g, cohorted.chunk_cells) == (0.7, 6, 99)
+        assert cohorted.with_cohort(None).cohort is None
+        blh = BLH(epsilon=0.5, domain_size=10).with_cohort(4)
+        assert isinstance(blh, BLH) and blh.g == 2 and blh.cohort == 4
+
+    def test_validation(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            OLH(epsilon=1.0, domain_size=12, cohort=0)
+        with pytest.raises(InvalidParameterError):
+            OLH(epsilon=1.0, domain_size=12, chunk_cells=0)
+        with pytest.raises(InvalidParameterError):
+            OLH(epsilon=1.0, domain_size=12).with_cohort(-3)
+
+
 class TestReportOps:
     def test_concat(self, proto, rng):
         a = proto.craft_supporting(np.array([0, 1]), rng)
@@ -156,6 +232,35 @@ class TestReportOps:
             proto.reports_supporting_any(reports, [t]).astype(int) for t in targets
         )
         np.testing.assert_array_equal(fast, slow)
+
+    def test_target_support_counts_chunked_matches_unchunked(self, proto, rng):
+        """The bounded-memory target scan is bit-identical to the single
+        (n x targets) grid it replaces, across ragged chunk boundaries."""
+        items = rng.integers(0, proto.domain_size, size=501)
+        reports = proto.perturb(items, rng)
+        targets = [1, 4, 8, 11]
+        idx = np.asarray(targets, dtype=np.uint64)
+        grid = hashing.hash_items(reports.seeds[:, None], idx[None, :], proto.g)
+        unchunked = (
+            (grid == reports.values[:, None].astype(np.uint64)).sum(axis=1)
+        ).astype(np.int64)
+        for cells in (1, 7, 501 * len(targets), 10**9):
+            chunked = proto.with_chunk_cells(cells)
+            np.testing.assert_array_equal(
+                chunked.target_support_counts(reports, targets), unchunked
+            )
+            np.testing.assert_array_equal(
+                chunked.reports_supporting_any(reports, targets), unchunked > 0
+            )
+
+    def test_empty_targets_and_reports(self, proto, rng):
+        reports = proto.perturb(rng.integers(0, proto.domain_size, size=5), rng)
+        assert proto.target_support_counts(reports, []).shape == (5,)
+        assert not proto.reports_supporting_any(reports, []).any()
+        empty = OLHReports(
+            seeds=np.empty(0, dtype=np.uint64), values=np.empty(0, dtype=np.int64)
+        )
+        assert proto.target_support_counts(empty, [1, 2]).shape == (0,)
 
     def test_select_reports(self, proto, rng):
         reports = proto.perturb(rng.integers(0, proto.domain_size, size=10), rng)

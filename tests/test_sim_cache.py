@@ -27,6 +27,7 @@ from repro.protocols import GRR, OLH, OUE
 from repro.sim import figures
 from repro.sim.cache import (
     CellCache,
+    cache_tag,
     canonical_key,
     default_cache_dir,
     evaluation_cell_spec,
@@ -34,6 +35,7 @@ from repro.sim.cache import (
     fingerprint_object,
     fingerprint_seed_sequences,
     resolve_cache,
+    source_digest,
 )
 from repro.sim.engine import TASK_COUNTER
 from repro.sim.experiment import evaluate_recovery
@@ -325,6 +327,67 @@ class TestStoreMaintenance:
                           trials=2, rng=1, cache=new)
         assert TASK_COUNTER.count > 0  # other version's entries are invisible
         assert new.stats.misses == 1
+
+
+class TestSourceDigest:
+    """In-place source edits auto-invalidate the cache (ROADMAP PR 2
+    follow-up): the version tag mixes in a content hash of the
+    simulation-relevant source tree."""
+
+    def test_tag_carries_source_digest(self):
+        digest = source_digest()
+        assert len(digest) == 12
+        assert cache_tag().endswith(f"-{digest}")
+
+    def test_default_digest_is_memoized(self):
+        assert source_digest() == source_digest()
+
+    def test_digest_tracks_file_content(self, tmp_path):
+        module = tmp_path / "sim" / "engine.py"
+        module.parent.mkdir()
+        module.write_text("A = 1\n", encoding="utf-8")
+        original = source_digest(tmp_path)
+        module.write_text("A = 2\n", encoding="utf-8")
+        assert source_digest(tmp_path) != original
+        module.write_text("A = 1\n", encoding="utf-8")
+        assert source_digest(tmp_path) == original
+
+    def test_digest_tracks_new_files_in_every_package(self, tmp_path):
+        seen = {source_digest(tmp_path)}
+        for package in ("sim", "core", "protocols", "attacks"):
+            sub = tmp_path / package
+            sub.mkdir()
+            (sub / "x.py").write_text(f"# {package}\n", encoding="utf-8")
+            digest = source_digest(tmp_path)
+            assert digest not in seen
+            seen.add(digest)
+
+    def test_digest_ignores_non_python_and_foreign_dirs(self, tmp_path):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "a.py").write_text("A = 1\n", encoding="utf-8")
+        original = source_digest(tmp_path)
+        (tmp_path / "sim" / "notes.txt").write_text("x", encoding="utf-8")
+        (tmp_path / "datasets").mkdir()
+        (tmp_path / "datasets" / "b.py").write_text("B = 1\n", encoding="utf-8")
+        assert source_digest(tmp_path) == original
+
+    def test_digest_change_invalidates_entries(self, tmp_path, monkeypatch):
+        import repro.sim.cache as cache_module
+
+        warm = CellCache(tmp_path)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=warm)
+        # Simulate an in-place source edit: the memoized default digest
+        # changes, so a fresh CellCache resolves to a different tag and
+        # the old entry is invisible.
+        monkeypatch.setattr(cache_module, "_DEFAULT_SOURCE_DIGEST", "deadbeef0123")
+        edited = CellCache(tmp_path)
+        assert edited.tag != warm.tag
+        TASK_COUNTER.reset()
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=edited)
+        assert TASK_COUNTER.count > 0
+        assert edited.stats.misses == 1
 
 
 class TestResolveCache:

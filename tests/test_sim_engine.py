@@ -247,6 +247,39 @@ class TestChunkedTrial:
         # The 1%-weight attacker keeps its 10 users despite 10-user chunks.
         assert counts[2] == 10 and counts[1] == 990
 
+    def test_non_iid_crafted_batch_then_chunked_grid(self, oue):
+        """Regression pin (ISSUE 3): an ``iid_reports=False`` attack is
+        crafted in exactly ONE batch of all ``m`` reports — only the
+        support counting is chunked — so the result is bit-identical to
+        aggregating the single crafted batch directly."""
+        from repro.attacks import MultiAttacker
+
+        calls: list[int] = []
+
+        class _Recording(MultiAttacker):
+            """MultiAttacker that logs every craft batch size."""
+
+            def craft(self, protocol, m, rng=None):
+                """Record ``m`` then delegate."""
+                calls.append(m)
+                return super().craft(protocol, m, rng)
+
+        def make():
+            return _Recording(
+                [
+                    MGAAttack(domain_size=D, targets=[1], rng=0),
+                    MGAAttack(domain_size=D, targets=[2], rng=0),
+                ],
+                weights=[0.99, 0.01],
+            )
+
+        counts = chunked_malicious_counts(oue, make(), 1_000, rng=5, chunk_users=64)
+        assert calls == [1_000], "non-iid attack must be crafted exactly once"
+        expected = oue.support_counts(
+            make().craft(oue, 1_000, np.random.default_rng(5))
+        )
+        np.testing.assert_array_equal(counts, expected)
+
     def test_ipa_inherits_iid_flag(self):
         from repro.attacks import InputPoisoningAttack, MultiAttacker
 
@@ -285,6 +318,28 @@ class TestStrictBeta:
             evaluate_recovery(
                 tiny, grr, attack, beta=0.005, trials=1, rng=0, strict_beta=True
             )
+
+
+class TestBoundScan:
+    """The engine's chunk_users knob caps OLH's internal grid budget."""
+
+    def test_caps_olh_scan_budget(self, olh):
+        bounded = engine._bound_scan(olh, 10)
+        assert bounded.chunk_cells == 10 * olh.domain_size
+        assert olh.chunk_cells == olh._CHUNK_CELLS  # original untouched
+
+    def test_no_op_when_chunk_is_larger(self, olh):
+        assert engine._bound_scan(olh, 10**9) is olh
+
+    def test_pass_through_for_protocols_without_hook(self, grr):
+        assert engine._bound_scan(grr, 10) is grr
+
+    def test_bounded_scan_results_identical(self, olh):
+        items = np.random.default_rng(3).integers(0, D, size=1_037)
+        reports = olh.perturb(items, np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            chunked_support_counts(olh, reports, 5), olh.support_counts(reports)
+        )
 
 
 class TestEngineDefaults:

@@ -1,0 +1,89 @@
+"""Shard scaling: cells/sec of one sweep as the shard count grows.
+
+Simulates an N-machine cluster on one host by running the N shards of a
+Figure 8 sweep sequentially against a shared cache directory, then
+merging.  Two numbers matter:
+
+* the *cluster wall clock* a real deployment would see — the slowest
+  shard, since shards run concurrently on separate machines — which
+  should shrink roughly linearly in the shard count;
+* correctness — every shard count must merge to rows bit-identical to
+  the single-shard reference, with each cell simulated exactly once
+  (pinned via the shard reports and the engine task counter).
+
+Scale knobs: ``REPRO_BENCH_USERS`` / ``REPRO_BENCH_TRIALS`` /
+``REPRO_BENCH_WORKERS`` as everywhere in this suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_trials, bench_users, bench_workers, show
+from repro.sim.cache import CellCache
+from repro.sim.engine import TASK_COUNTER
+from repro.sim.shard import SweepConfig, enumerate_cells, merge_sweep, run_shard
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_shard_scaling(run_once, tmp_path):
+    config = SweepConfig(
+        figure="fig8",
+        num_users=bench_users(40_000),
+        trials=bench_trials(4),
+        seed=8,
+        workers=bench_workers(1),
+    )
+    cells = len(enumerate_cells(config))
+
+    def sweep_all_shard_counts():
+        results = []
+        for shard_count in SHARD_COUNTS:
+            cache = CellCache(tmp_path / f"cache-{shard_count}")
+            TASK_COUNTER.reset()
+            started = time.perf_counter()
+            reports = [
+                run_shard(config, cache, shard_index=i, shard_count=shard_count)
+                for i in range(shard_count)
+            ]
+            sequential = time.perf_counter() - started
+            tasks = TASK_COUNTER.count
+            TASK_COUNTER.reset()
+            merged = merge_sweep(config, cache)
+            assert TASK_COUNTER.count == 0, "merge must not simulate"
+            results.append(
+                {
+                    "shards": shard_count,
+                    "cells": cells,
+                    "cells_run": sum(r.cells_run for r in reports),
+                    "tasks": tasks,
+                    "sequential_s": sequential,
+                    "cluster_wall_s": max(r.seconds for r in reports),
+                    "cells_per_s": cells / max(r.seconds for r in reports),
+                    "rows": merged,
+                }
+            )
+        return results
+
+    results = run_once(sweep_all_shard_counts)
+
+    reference = results[0]["rows"]
+    for result in results:
+        assert result["rows"] == reference, (
+            f"shards={result['shards']} must merge bit-identically to shards=1"
+        )
+        assert result["cells_run"] == cells, "each cell simulated exactly once"
+        assert result["tasks"] == cells * config.trials
+
+    table = [{k: v for k, v in r.items() if k != "rows"} for r in results]
+    show("Shard scaling (Figure 8 sweep; cluster wall = slowest shard)", table)
+
+    # The cluster wall clock must actually benefit from sharding: with 4
+    # shards of ~4 cells each out of 15, the slowest shard does well under
+    # the whole sweep's work (loose 0.7 bar absorbs partition imbalance).
+    one = results[0]["cluster_wall_s"]
+    four = [r for r in results if r["shards"] == 4][0]["cluster_wall_s"]
+    assert four < 0.7 * one, (
+        f"4-way sharding must beat 1-way: {four:.2f}s vs {one:.2f}s"
+    )

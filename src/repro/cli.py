@@ -13,6 +13,10 @@ Examples::
     ldprecover cache ls
     ldprecover cache verify
     ldprecover cache prune --older-than-days 30
+    ldprecover shard run --figure fig8 --shard-index 0 --shard-count 2
+    ldprecover shard run --figure fig8 --claims
+    ldprecover shard status --figure fig8
+    ldprecover shard merge --figure fig8 --output fig8.json
 
 Completed experiment cells are cached on disk (see
 :mod:`repro.sim.cache`) under ``--cache-dir`` — by default
@@ -23,6 +27,13 @@ prints the hit/miss summary after a run, and the ``cache`` subcommand
 inspects (``ls``), garbage-collects (``prune``) and integrity-checks
 (``verify``) the store.
 
+The ``shard`` subcommand splits one sweep across machines that share a
+cache directory (see :mod:`repro.sim.shard`): ``shard run`` executes one
+shard's cells — statically partitioned via ``--shard-index/--shard-count``
+or work-stealing via ``--claims`` — ``shard status`` reports progress,
+and ``shard merge`` renders the final rows from the fully populated
+cache, bit-identical to an unsharded run.
+
 The same functions back the ``benchmarks/`` suite; the CLI simply prints
 the row tables.
 """
@@ -31,104 +42,36 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.sim import figures
-from repro.sim.cache import CellCache, resolve_cache
+from repro.exceptions import InvalidParameterError, ShardIncompleteError
+from repro.sim.cache import resolve_cache
 from repro.sim.experiment import format_table
+from repro.sim.shard import (
+    DEFAULT_CLAIM_TTL,
+    SweepConfig,
+    merge_sweep,
+    run_shard,
+    sweep_status,
+)
 
-_FigureFn = Callable[..., list[dict[str, object]]]
-
-
-def _run_fig3(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure3_rows(
-        dataset_name=args.dataset,
-        num_users=args.num_users,
-        trials=args.trials,
-        rng=args.seed,
-        workers=args.workers,
-        olh_cohort=args.olh_cohort,
-        cache=cache,
-    )
+#: The regenerable exhibits (``--figure`` choices of ``run`` and ``shard``).
+_FIGURES: tuple[str, ...] = SweepConfig.FIGURES
 
 
-def _run_fig4(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure4_rows(
-        dataset_name=args.dataset,
-        num_users=args.num_users,
-        trials=args.trials,
-        rng=args.seed,
-        workers=args.workers,
-        olh_cohort=args.olh_cohort,
-        cache=cache,
-    )
-
-
-def _run_sweep(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    dataset = {"fig5": "ipums", "fig6": "fire"}[args.figure]
-    return figures.sweep_rows(
-        dataset_name=dataset,
+def _sweep_config(args: argparse.Namespace) -> SweepConfig:
+    """The :class:`SweepConfig` described by parsed ``run``/``shard`` flags."""
+    return SweepConfig(
+        figure=args.figure,
+        dataset=args.dataset,
         parameter=args.parameter,
         num_users=args.num_users,
         trials=args.trials,
-        rng=args.seed,
+        seed=args.seed,
         workers=args.workers,
         chunk_users=args.chunk_users,
         olh_cohort=args.olh_cohort,
-        cache=cache,
     )
-
-
-def _run_fig7(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure7_rows(
-        num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
-        olh_cohort=args.olh_cohort, cache=cache,
-    )
-
-
-def _run_fig8(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure8_rows(
-        num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
-        olh_cohort=args.olh_cohort, cache=cache,
-    )
-
-
-def _run_fig9(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure9_rows(
-        num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, olh_cohort=args.olh_cohort, cache=cache,
-    )
-
-
-def _run_fig10(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.figure10_rows(
-        num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
-        olh_cohort=args.olh_cohort, cache=cache,
-    )
-
-
-def _run_table1(args: argparse.Namespace, cache: Optional[CellCache]) -> list[dict[str, object]]:
-    return figures.table1_rows(
-        num_users=args.num_users, trials=args.trials, rng=args.seed,
-        workers=args.workers, chunk_users=args.chunk_users,
-        olh_cohort=args.olh_cohort, cache=cache,
-    )
-
-
-_FIGURES: dict[str, Callable[[argparse.Namespace, Optional[CellCache]], list[dict[str, object]]]] = {
-    "fig3": _run_fig3,
-    "fig4": _run_fig4,
-    "fig5": _run_sweep,
-    "fig6": _run_sweep,
-    "fig7": _run_fig7,
-    "fig8": _run_fig8,
-    "fig9": _run_fig9,
-    "fig10": _run_fig10,
-    "table1": _run_table1,
-}
 
 _DESCRIPTIONS = {
     "fig3": "MSE of LDPRecover / LDPRecover* / Detection per attack-protocol cell",
@@ -146,6 +89,7 @@ _DESCRIPTIONS = {
 def _demo(args: argparse.Namespace) -> int:
     """Single end-to-end poisoning + recovery round, verbosely."""
     import repro
+    from repro.sim import figures
 
     data = figures.load_dataset(args.dataset, args.num_users or 50_000)
     protocol = repro.make_protocol(args.protocol, epsilon=args.epsilon, domain_size=data.domain_size)
@@ -203,6 +147,96 @@ def _cache_command(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache action {args.action!r}")  # pragma: no cover
 
 
+def _shard_command(args: argparse.Namespace) -> int:
+    """The ``shard`` subcommand: run / status / merge a sharded sweep."""
+    config = _sweep_config(args)
+    cache = resolve_cache(cache_dir=args.cache_dir)
+    assert cache is not None  # no_cache is not offered on this subcommand
+    if args.action == "run":
+        try:
+            report = run_shard(
+                config,
+                cache,
+                shard_index=args.shard_index,
+                shard_count=args.shard_count,
+                claims=args.claims,
+                claim_ttl=args.claim_ttl,
+                label=args.label,
+            )
+        except InvalidParameterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.summary())
+        if args.cache_stats:
+            print(cache.stats.summary())
+        return 0
+    if args.action == "status":
+        try:
+            status = sweep_status(config, cache, claim_ttl=args.claim_ttl)
+        except InvalidParameterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(status.summary())
+        for report in status.reports:
+            print(f"  {report.summary()}")
+        return 0 if status.complete else 1
+    if args.action == "merge":
+        try:
+            rows = merge_sweep(config, cache, require_complete=not args.allow_missing)
+        except ShardIncompleteError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except InvalidParameterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_table(rows))
+        if args.cache_stats:
+            print(cache.stats.summary())
+        if args.output:
+            _write_rows(rows, args.output)
+        return 0
+    raise AssertionError(f"unhandled shard action {args.action!r}")  # pragma: no cover
+
+
+def _write_rows(rows: list[dict[str, object]], path: str) -> None:
+    """Persist ``rows`` to ``path`` (.json or .csv, by extension)."""
+    from repro.sim.reporting import write_csv, write_json
+
+    writer = write_json if str(path).endswith(".json") else write_csv
+    written = writer(rows, path)
+    print(f"rows written to {written}")
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep-defining flags shared by ``run`` and ``shard``."""
+    parser.add_argument("--figure", required=True, choices=sorted(_FIGURES))
+    parser.add_argument("--dataset", default="ipums", choices=["ipums", "fire"])
+    parser.add_argument("--parameter", default="beta", choices=["beta", "epsilon", "eta"],
+                        help="swept parameter (fig5/fig6 only)")
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--num-users", type=int, default=None, dest="num_users",
+                        help="override population (default: exhibit-specific)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="trial-level process parallelism (0 = all cores "
+                             "available to this process); results are "
+                             "bit-identical to --workers 1")
+    parser.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
+                        help="run fast-mode exhibits through the bounded-memory "
+                             "exact simulation, this many users per chunk")
+    parser.add_argument("--olh-cohort", type=int, default=None, dest="olh_cohort",
+                        help="OLH cells draw hash keys from cohorts of this many "
+                             "shared seeds per chunk: report-level aggregation "
+                             "drops from O(n*d) to O(K*d + n); changes the report "
+                             "distribution, so cohort cells cache separately")
+    parser.add_argument("--cache-dir", default=None, dest="cache_dir",
+                        help="cell cache directory (default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-ldprecover); completed cells are "
+                             "reused across runs")
+    parser.add_argument("--cache-stats", action="store_true", dest="cache_stats",
+                        help="print cache hit/miss statistics after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``ldprecover`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -214,35 +248,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible figures/tables")
 
     run = sub.add_parser("run", help="regenerate one figure/table")
-    run.add_argument("--figure", required=True, choices=sorted(_FIGURES))
-    run.add_argument("--dataset", default="ipums", choices=["ipums", "fire"])
-    run.add_argument("--parameter", default="beta", choices=["beta", "epsilon", "eta"],
-                     help="swept parameter (fig5/fig6 only)")
-    run.add_argument("--trials", type=int, default=5)
-    run.add_argument("--num-users", type=int, default=None, dest="num_users",
-                     help="override population (default: exhibit-specific)")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--workers", type=int, default=1,
-                     help="trial-level process parallelism (0 = all cores); "
-                          "results are bit-identical to --workers 1")
-    run.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
-                     help="run fast-mode exhibits through the bounded-memory "
-                          "exact simulation, this many users per chunk")
-    run.add_argument("--olh-cohort", type=int, default=None, dest="olh_cohort",
-                     help="OLH cells draw hash keys from cohorts of this many "
-                          "shared seeds per chunk: report-level aggregation "
-                          "drops from O(n*d) to O(K*d + n); changes the report "
-                          "distribution, so cohort cells cache separately")
-    run.add_argument("--cache-dir", default=None, dest="cache_dir",
-                     help="cell cache directory (default: $REPRO_CACHE_DIR or "
-                          "~/.cache/repro-ldprecover); completed cells are "
-                          "reused across runs")
+    _add_sweep_arguments(run)
     run.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="neither read nor write the cell cache")
-    run.add_argument("--cache-stats", action="store_true", dest="cache_stats",
-                     help="print cache hit/miss statistics after the run")
     run.add_argument("--output", default=None,
                      help="also write the rows to this .csv or .json file")
+
+    shard = sub.add_parser(
+        "shard",
+        help="split one sweep across machines sharing a cache directory",
+    )
+    shard.add_argument("action", choices=["run", "status", "merge"],
+                       help="run: execute this shard's cells; status: report "
+                            "done/claimed/missing cells; merge: render the "
+                            "final rows from the fully populated cache")
+    _add_sweep_arguments(shard)
+    shard.add_argument("--shard-index", type=int, default=None, dest="shard_index",
+                       help="static partitioning: this shard's index in "
+                            "[0, shard-count)")
+    shard.add_argument("--shard-count", type=int, default=None, dest="shard_count",
+                       help="static partitioning: total number of shards "
+                            "(cells are assigned by canonical-key hash mod N)")
+    shard.add_argument("--claims", action="store_true",
+                       help="dynamic partitioning: claim cells first-come-"
+                            "first-served via atomic .claim files in the "
+                            "shared cache dir (work stealing)")
+    shard.add_argument("--claim-ttl", type=float, default=DEFAULT_CLAIM_TTL,
+                       dest="claim_ttl",
+                       help="seconds after which an unreleased claim counts "
+                            "as crashed and may be stolen (pick larger than "
+                            "the slowest cell)")
+    shard.add_argument("--label", default=None,
+                       help="shard identity for claims and the status report "
+                            "(default: static index or host-pid; in claims "
+                            "mode the process identity is appended, so "
+                            "duplicate labels still contend correctly)")
+    shard.add_argument("--allow-missing", action="store_true", dest="allow_missing",
+                       help="merge only: compute missing cells locally instead "
+                            "of failing when the cache is incomplete")
+    shard.add_argument("--output", default=None,
+                       help="merge only: also write the rows to this .csv or "
+                            ".json file")
 
     demo = sub.add_parser("demo", help="one verbose poisoning+recovery round")
     demo.add_argument("--protocol", default="grr", choices=["grr", "oue", "olh"])
@@ -289,18 +335,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(report-level defenses need materialized reports)",
             file=sys.stderr,
         )
+    if args.command == "shard":
+        return _shard_command(args)
     cache = resolve_cache(cache_dir=args.cache_dir, no_cache=args.no_cache)
-    rows = _FIGURES[args.figure](args, cache)
+    rows = _sweep_config(args).run(cache)
     print(format_table(rows))
     if cache is not None and args.cache_stats:
         print(cache.stats.summary())
     if args.output:
-        from repro.sim.reporting import write_csv, write_json
-
-        path = args.output
-        writer = write_json if str(path).endswith(".json") else write_csv
-        written = writer(rows, path)
-        print(f"rows written to {written}")
+        _write_rows(rows, args.output)
     return 0
 
 

@@ -26,3 +26,12 @@ class AttackError(ReproError):
 
 class RecoveryError(ReproError):
     """Frequency recovery could not be performed on the given input."""
+
+
+class ShardIncompleteError(ReproError, RuntimeError):
+    """A sharded sweep cannot merge: the shared cache is missing cells.
+
+    Raised by :func:`repro.sim.shard.merge_sweep` when some of the
+    sweep's enumerated cells have not been completed (run, claimed by a
+    crashed peer whose claim has not yet expired, or never assigned).
+    """

@@ -542,11 +542,13 @@ class CellCache:
         """The canonical content key of a cell spec."""
         return canonical_key(spec)
 
-    def get(self, spec: dict[str, Any]) -> Optional[dict[str, Any]]:
-        """Return the cached payload for ``spec``, or ``None`` on a miss.
+    def _load(self, spec: dict[str, Any]) -> tuple[Optional[dict[str, Any]], bool]:
+        """Read ``spec``'s payload from disk without touching the counters.
 
-        Unreadable or mismatched entries (truncated files, foreign kinds)
-        count as misses and bump :attr:`CacheStats.errors`.
+        Returns ``(payload, had_error)``: ``(None, False)`` for a clean
+        miss (no entry file), ``(None, True)`` for an unreadable or
+        mismatched entry.  The typed lookup wrappers layer decoding on top
+        and count each lookup's outcome exactly once.
         """
         path = self._path(self.key_for(spec))
         try:
@@ -554,16 +556,36 @@ class CellCache:
                 entry = json.load(handle)
             if entry.get("kind") != spec.get("kind"):
                 raise ValueError("cached kind does not match requested kind")
-            payload = entry["payload"]
+            return entry["payload"], False
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            return None, False
         except (ValueError, KeyError, OSError):
+            return None, True
+
+    def get(self, spec: dict[str, Any]) -> Optional[dict[str, Any]]:
+        """Return the cached payload for ``spec``, or ``None`` on a miss.
+
+        Unreadable or mismatched entries (truncated files, foreign kinds)
+        count as misses and bump :attr:`CacheStats.errors`.
+        """
+        payload, had_error = self._load(spec)
+        if payload is None:
             self.stats.misses += 1
-            self.stats.errors += 1
+            if had_error:
+                self.stats.errors += 1
             return None
         self.stats.hits += 1
         return payload
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file for ``key`` exists (readability unchecked).
+
+        The shard runner's completeness checks
+        (:func:`repro.sim.shard.sweep_status` /
+        :func:`repro.sim.shard.merge_sweep`) use this to test cell
+        presence without paying a JSON parse per cell.
+        """
+        return self._path(key).is_file()
 
     def put(self, spec: dict[str, Any], payload: dict[str, Any]) -> pathlib.Path:
         """Store ``payload`` under ``spec``'s key (atomic write); return path."""
@@ -599,18 +621,24 @@ class CellCache:
         A payload that no longer matches the current
         :class:`RecoveryEvaluation` shape (e.g. a field was renamed by an
         in-place code edit under the same cache tag) is treated as a miss
-        and recomputed, not raised.
+        and recomputed, not raised.  The lookup outcome is counted once,
+        *after* decoding — a first-access shape mismatch is one miss plus
+        one error, never a negative hit count.
         """
-        payload = self.get(spec)
-        if payload is None:
-            return None
-        try:
-            return payload_to_evaluation(payload)
-        except (KeyError, TypeError, ValueError):
-            self.stats.hits -= 1
+        payload, had_error = self._load(spec)
+        evaluation = None
+        if payload is not None:
+            try:
+                evaluation = payload_to_evaluation(payload)
+            except (KeyError, TypeError, ValueError):
+                had_error = True
+        if evaluation is None:
             self.stats.misses += 1
-            self.stats.errors += 1
+            if had_error:
+                self.stats.errors += 1
             return None
+        self.stats.hits += 1
+        return evaluation
 
     def put_evaluation(
         self, spec: dict[str, Any], evaluation: "RecoveryEvaluation"
@@ -619,11 +647,52 @@ class CellCache:
         return self.put(spec, evaluation_to_payload(evaluation))
 
     # -- maintenance (the `repro cache` subcommand) --------------------
+    #
+    # Maintenance may run while other processes (shard peers sharing this
+    # cache directory) are writing and pruning concurrently.  Two rules
+    # keep it race-free: in-flight temp files (``*.tmp``, non-atomic by
+    # definition) are never treated as entries, and a file that vanishes
+    # between listing and stat/open/unlink is already-gone, not an error.
+
+    #: Age (seconds) past which a ``*.tmp`` file is considered orphaned —
+    #: left behind by a SIGKILLed writer rather than an in-flight
+    #: :meth:`CellCache.put` — and swept by :meth:`CellCache.prune`.
+    TMP_ORPHAN_SECONDS = 3600.0
+
     def _entry_files(self, all_tags: bool = False) -> Iterator[pathlib.Path]:
         base = self.cache_dir if all_tags else self.root
         if not base.is_dir():
             return
+        # rglob("*.json") never matches the ".tmp"-suffixed temp files of
+        # in-flight writers, so concurrent puts are invisible here until
+        # their atomic os.replace lands.
         yield from sorted(base.rglob("*.json"))
+
+    def _sweep_orphan_tmp(self, all_tags: bool = False) -> int:
+        """Delete orphaned writer temp files; return the number removed.
+
+        A crashed (SIGKILLed) :meth:`put` cannot reach its cleanup
+        handler, leaving a ``*.tmp`` file behind forever.  Files younger
+        than :attr:`TMP_ORPHAN_SECONDS` are left alone — they may belong
+        to a live writer on this or another machine.  ``all_tags``
+        extends the sweep beyond the current version tag.
+        """
+        base = self.cache_dir if all_tags else self.root
+        if not base.is_dir():
+            return 0
+        horizon = time.time() - self.TMP_ORPHAN_SECONDS
+        removed = 0
+        for path in sorted(base.rglob("*.tmp")):
+            try:
+                if path.stat().st_mtime > horizon:
+                    continue
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue  # a concurrent sweep (or the writer) got there first
+            except OSError:  # pragma: no cover - permission problems etc.
+                continue
+        return removed
 
     def count(self, all_tags: bool = False) -> int:
         """Number of entry files on disk (readable or not)."""
@@ -646,6 +715,8 @@ class CellCache:
                         spec=entry.get("spec", {}),
                     )
                 )
+            except FileNotFoundError:
+                continue  # pruned by a concurrent process: already gone
             except (ValueError, KeyError, OSError):
                 continue
         return out
@@ -658,7 +729,11 @@ class CellCache:
         ``older_than_days`` keeps entries younger than the horizon;
         ``None`` removes everything.  ``all_tags`` extends the sweep to
         entries written by other schema/package versions (the usual way to
-        reclaim space after upgrades).
+        reclaim space after upgrades).  Every prune also sweeps orphaned
+        writer temp files (``*.tmp`` older than
+        :attr:`TMP_ORPHAN_SECONDS`, left by SIGKILLed writers); those
+        count toward the returned total.  Entries deleted concurrently by
+        another process are treated as already gone, not errors.
         """
         if older_than_days is not None and older_than_days < 0:
             raise InvalidParameterError(
@@ -667,12 +742,14 @@ class CellCache:
         horizon = (
             None if older_than_days is None else time.time() - 86_400.0 * older_than_days
         )
-        removed = 0
+        removed = self._sweep_orphan_tmp(all_tags)
         for path in list(self._entry_files(all_tags)):
             if horizon is not None:
                 try:
                     with path.open("r", encoding="utf-8") as handle:
                         created = float(json.load(handle).get("created_at", 0.0))
+                except FileNotFoundError:
+                    continue  # pruned by a concurrent process: already gone
                 except (ValueError, OSError):
                     created = 0.0  # unreadable: always eligible
                 if created > horizon:
@@ -680,7 +757,9 @@ class CellCache:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
+            except FileNotFoundError:
+                continue  # pruned by a concurrent process: already gone
+            except OSError:  # pragma: no cover - permission problems etc.
                 continue
         return removed
 
@@ -690,7 +769,9 @@ class CellCache:
         An entry is healthy when it parses as JSON, carries a payload, and
         its stored key equals the canonical hash recomputed from its
         stored spec (i.e. the file content was not tampered with or
-        half-written).  ``delete`` removes the offenders.
+        half-written).  ``delete`` removes the offenders.  Entries pruned
+        by a concurrent process mid-check are skipped, not reported — a
+        vanished file is not a corrupt file.
         """
         problems = []
         for path in self._entry_files():
@@ -704,6 +785,8 @@ class CellCache:
                     problem = "key does not match stored spec"
                 elif path.stem != entry.get("key"):
                     problem = "filename does not match stored key"
+            except FileNotFoundError:
+                continue  # pruned by a concurrent process: nothing to verify
             except (ValueError, OSError) as exc:
                 problem = f"unreadable: {exc}"
             if problem is not None:

@@ -171,10 +171,78 @@ class CallCounter:
 TASK_COUNTER = CallCounter()
 
 
+def _cgroup_cpu_quota(root: str = "/sys/fs/cgroup") -> Optional[int]:
+    """CPU ceiling imposed by the cgroup CFS quota, or ``None`` if unlimited.
+
+    Containers limited by quota (``docker run --cpus=2``, Kubernetes CPU
+    limits) keep a full affinity mask, so the quota must be read
+    separately.  Understands cgroup v2 (``cpu.max``: ``"<quota> <period>"``
+    or ``"max ..."``) and v1 (``cpu/cpu.cfs_quota_us`` over
+    ``cpu/cpu.cfs_period_us``, quota ``-1`` meaning unlimited) under
+    ``root``; any read or parse problem means "no known quota".
+    """
+    def read(*parts: str) -> str:
+        with open(os.path.join(root, *parts), encoding="ascii") as handle:
+            return handle.read()
+
+    try:
+        quota_s, period_s = read("cpu.max").split()[:2]
+        if quota_s == "max":
+            return None
+        quota, period = int(quota_s), int(period_s)
+    except (OSError, ValueError, IndexError):
+        try:
+            quota = int(read("cpu", "cpu.cfs_quota_us"))
+            period = int(read("cpu", "cpu.cfs_period_us"))
+        except (OSError, ValueError):
+            return None
+        if quota < 0:
+            return None
+    if period <= 0:
+        return None
+    return max(1, math.ceil(quota / period))
+
+
+def available_cpu_count() -> int:
+    """Number of CPUs actually usable by *this* process (always >= 1).
+
+    ``os.cpu_count()`` reports the machine's cores, which oversubscribes
+    processes confined to fewer CPUs — CI containers, ``taskset``/cpuset
+    restrictions, and shared shard hosts.  The affinity-aware count —
+    ``os.process_cpu_count`` (Python 3.13+), else the size of the
+    scheduling affinity mask (``os.sched_getaffinity``), else
+    ``os.cpu_count`` — is additionally capped by the cgroup CFS quota
+    (:func:`_cgroup_cpu_quota` — a ``--cpus=2`` container keeps a full
+    affinity mask, so the mask alone is not enough).
+    """
+    process_count = getattr(os, "process_cpu_count", None)
+    if process_count is not None:
+        count = process_count() or 1
+    else:
+        count = 0
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                count = len(affinity(0))
+            except OSError:  # pragma: no cover - affinity unsupported at runtime
+                count = 0
+        if not count:
+            count = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        count = min(count, quota)
+    return max(1, count)
+
+
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a ``workers`` argument: ``None``/``0`` means all cores."""
+    """Normalize a ``workers`` argument: ``None``/``0`` means all cores.
+
+    "All cores" is :func:`available_cpu_count` — the CPUs this process may
+    actually run on — not the machine total, so affinity-restricted
+    containers and shard hosts are never oversubscribed.
+    """
     if workers is None or workers == 0:
-        return os.cpu_count() or 1
+        return available_cpu_count()
     if workers < 0:
         raise InvalidParameterError(f"workers must be >= 0 or None, got {workers}")
     return int(workers)
@@ -524,6 +592,7 @@ __all__ = [
     "TrialTask",
     "Welford",
     "aggregate_metrics",
+    "available_cpu_count",
     "chunked_genuine_counts",
     "chunked_malicious_counts",
     "chunked_support_counts",

@@ -25,9 +25,13 @@ Every exhibit also takes ``cache=`` (a
 :class:`repro.sim.cache.CellCache`): completed cells are keyed by the
 canonical hash of their full spec and served from disk on repeat runs, so
 an interrupted sweep resumes from where it stopped and warm regeneration
-performs zero simulation trials.  Each metric column is accompanied by a
-``<column>±`` companion holding the 95% confidence half-width of the
-trial average (``None``/``-`` when a single trial contributed).
+performs zero simulation trials.  That warm path is also how
+:mod:`repro.sim.shard` merges multi-machine sweeps: against a fully
+populated cache every generator renders its rows purely from cached
+payloads, bit-identical to the run that produced them.  Each metric
+column is accompanied by a ``<column>±`` companion holding the 95%
+confidence half-width of the trial average (``None``/``-`` when a single
+trial contributed).
 """
 
 from __future__ import annotations

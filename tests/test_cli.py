@@ -156,3 +156,72 @@ class TestCacheWorkflow:
         assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
         err = capsys.readouterr().err
         assert "BAD" in err and "1 bad entries found" in err and "5 healthy" in err
+
+
+class TestShardWorkflow:
+    """End-to-end `shard run` / `status` / `merge` over a shared cache dir."""
+
+    SWEEP = ["--figure", "table1", "--trials", "2", "--num-users", "4000"]
+
+    def _flags(self, tmp_path):
+        return self.SWEEP + ["--cache-dir", str(tmp_path)]
+
+    def test_static_two_shard_merge_equals_unsharded_run(self, capsys, tmp_path):
+        flags = self._flags(tmp_path / "shared")
+        assert main(["shard", "run"] + flags + ["--shard-index", "0", "--shard-count", "2"]) == 0
+        assert "static-0of2" in capsys.readouterr().out
+        # Incomplete: status exits 1 and merge refuses.
+        assert main(["shard", "status"] + flags) == 1
+        capsys.readouterr()
+        assert main(["shard", "merge"] + flags) == 1
+        assert "cannot merge" in capsys.readouterr().err
+        assert main(["shard", "run"] + flags + ["--shard-index", "1", "--shard-count", "2"]) == 0
+        assert main(["shard", "status"] + flags) == 0
+        capsys.readouterr()
+
+        merged = tmp_path / "merged.json"
+        single = tmp_path / "single.json"
+        assert main(["shard", "merge"] + flags + ["--output", str(merged)]) == 0
+        capsys.readouterr()
+        # The unsharded reference, computed in a *separate* cache dir.
+        assert main(
+            ["run"] + self.SWEEP
+            + ["--cache-dir", str(tmp_path / "solo"), "--output", str(single)]
+        ) == 0
+        capsys.readouterr()
+        assert merged.read_text() == single.read_text(), (
+            "merged shard rows must be byte-identical to the unsharded run"
+        )
+
+    def test_claims_mode_and_cache_stats(self, capsys, tmp_path):
+        flags = self._flags(tmp_path)
+        assert main(["shard", "run"] + flags + ["--claims", "--label", "host-a"]) == 0
+        out = capsys.readouterr().out
+        assert "host-a" in out and "[claims]" in out and "6 run" in out
+        assert main(["shard", "run"] + flags + ["--claims", "--label", "host-b",
+                                                "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "0 run, 6 served" in out and "6 hits" in out
+
+    def test_mode_validation_exit_code(self, capsys, tmp_path):
+        flags = self._flags(tmp_path)
+        assert main(["shard", "run"] + flags) == 2
+        assert "assignment mode" in capsys.readouterr().err
+        assert main(["shard", "run"] + flags + ["--shard-index", "5",
+                                                "--shard-count", "2"]) == 2
+
+    def test_invalid_ttl_is_an_error_not_a_traceback(self, capsys, tmp_path):
+        flags = self._flags(tmp_path) + ["--claim-ttl", "0"]
+        assert main(["shard", "status"] + flags) == 2
+        assert "ttl" in capsys.readouterr().err
+        assert main(["shard", "run", "--claims"] + flags) == 2
+        capsys.readouterr()
+
+    def test_shard_shares_run_cache_entries(self, capsys, tmp_path):
+        """`run` warms the cache; a later shard run serves everything."""
+        flags = self._flags(tmp_path)
+        assert main(["run"] + flags) == 0
+        capsys.readouterr()
+        assert main(["shard", "run"] + flags + ["--shard-index", "0",
+                                                "--shard-count", "1"]) == 0
+        assert "0 run, 6 served" in capsys.readouterr().out

@@ -16,6 +16,8 @@ The contract under test (ISSUE 2 acceptance criteria):
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import numpy as np
 import pytest
@@ -388,6 +390,153 @@ class TestSourceDigest:
                           trials=2, rng=1, cache=edited)
         assert TASK_COUNTER.count > 0
         assert edited.stats.misses == 1
+
+
+class TestGetEvaluationStatsCounting:
+    """Shape-mismatch lookups count once, after decoding — never the
+    hits-then-rollback dance that could report negative hit counts."""
+
+    def test_first_access_mismatch_never_goes_negative(self, tmp_path):
+        warm = CellCache(tmp_path)
+        spec = _spec()
+        evaluation = evaluate_recovery(
+            DATASET, GRR(epsilon=0.5, domain_size=D),
+            MGAAttack(domain_size=D, r=3, rng=0),
+            beta=0.05, eta=0.2, trials=3, rng=1, cache=warm,
+        )
+        assert evaluation is not None
+        # Corrupt the payload shape of the stored entry (field renamed by
+        # a hypothetical in-place edit under the same tag).
+        [entry] = warm.entries()
+        data = json.loads(entry.path.read_text(encoding="utf-8"))
+        data["payload"]["renamed"] = data["payload"].pop("trials")
+        entry.path.write_text(json.dumps(data), encoding="utf-8")
+        # A *fresh* cache whose very first access is the mismatch: the old
+        # rollback produced hits == -1 here.
+        fresh = CellCache(tmp_path)
+        assert fresh.get_evaluation(data["spec"]) is None
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == 1
+        assert fresh.stats.errors == 1
+        assert fresh.stats.hit_rate == 0.0
+        assert "-" not in fresh.stats.summary().split("(")[0]
+
+    def test_clean_hit_still_counts_once(self, tmp_path):
+        cache = CellCache(tmp_path)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=cache)
+        evaluate_recovery(DATASET, GRR(epsilon=0.5, domain_size=D), None,
+                          trials=2, rng=1, cache=cache)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.errors) == (1, 1, 0)
+
+
+class TestOrphanTmpSweep:
+    def _orphan(self, cache, age_seconds):
+        cache.root.mkdir(parents=True, exist_ok=True)
+        path = cache.root / "ab" / "tmp_killed_writer.tmp"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ half-written", encoding="utf-8")
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_prune_sweeps_old_tmp_files(self, tmp_path):
+        cache = CellCache(tmp_path)
+        orphan = self._orphan(cache, age_seconds=2 * cache.TMP_ORPHAN_SECONDS)
+        assert cache.prune() == 1
+        assert not orphan.exists()
+
+    def test_fresh_tmp_files_survive(self, tmp_path):
+        """A young .tmp may belong to a live writer mid-put."""
+        cache = CellCache(tmp_path)
+        inflight = self._orphan(cache, age_seconds=0)
+        assert cache.prune() == 0
+        assert inflight.exists()
+
+    def test_tmp_files_are_invisible_to_entries_and_verify(self, tmp_path):
+        cache = CellCache(tmp_path)
+        self._orphan(cache, age_seconds=0)
+        assert cache.entries() == []
+        assert cache.verify() == []
+        assert cache.count() == 0
+
+
+def _cache_churn_worker(cache_dir, tag, worker_id, cells, failures_path):
+    """One process of the concurrent-access test: interleaves puts, gets,
+    and every maintenance operation against the shared store, recording
+    any broken invariant into ``failures_path``."""
+    import pathlib
+
+    failures = []
+    cache = CellCache(cache_dir, tag=tag)
+    for i in range(cells):
+        spec = {"kind": "row", "worker": worker_id, "i": i}
+        cache.put(spec, {"worker": worker_id, "i": i})
+        got = cache.get(spec)
+        if got != {"worker": worker_id, "i": i}:
+            failures.append(f"lost own cell {worker_id}/{i}: {got!r}")
+        # Maintenance racing the other worker's writes: must neither
+        # crash nor flag healthy entries.
+        if i % 3 == 0:
+            problems = cache.verify()
+            if problems:
+                failures.append(f"verify flagged {problems!r}")
+        if i % 4 == 0:
+            cache.entries()
+            cache.prune(older_than_days=1.0)  # fresh entries: removes none
+        # Churn: delete one of our own older entries directly, simulating
+        # a peer's prune racing the other process's iteration.
+        if i % 5 == 4:
+            victim = {"kind": "row", "worker": worker_id, "i": i - 2}
+            try:
+                cache._path(cache.key_for(victim)).unlink()
+            except FileNotFoundError:
+                pass
+    pathlib.Path(failures_path).write_text("\n".join(failures), encoding="utf-8")
+
+
+class TestConcurrentAccess:
+    """Two processes put/get/prune/verify against one cache directory —
+    the invariant multi-machine sharding relies on: no corrupt entries,
+    no lost completed cells, maintenance races are invisible."""
+
+    CELLS = 40
+
+    def test_two_process_churn_keeps_store_consistent(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        outputs = [tmp_path / f"failures-{i}.txt" for i in range(2)]
+        workers = [
+            ctx.Process(
+                target=_cache_churn_worker,
+                args=(str(tmp_path / "store"), "shared", i, self.CELLS, str(out)),
+            )
+            for i, out in enumerate(outputs)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        for out in outputs:
+            assert out.read_text(encoding="utf-8") == ""
+
+        # Every cell that was not deliberately deleted is intact.
+        cache = CellCache(tmp_path / "store", tag="shared")
+        assert cache.verify() == []
+        deleted = {
+            (w, i - 2) for w in range(2) for i in range(self.CELLS) if i % 5 == 4
+        }
+        for worker_id in range(2):
+            for i in range(self.CELLS):
+                if (worker_id, i) in deleted:
+                    continue
+                spec = {"kind": "row", "worker": worker_id, "i": i}
+                assert cache.get(spec) == {"worker": worker_id, "i": i}, (
+                    f"completed cell {worker_id}/{i} was lost"
+                )
+        assert cache.stats.errors == 0
 
 
 class TestResolveCache:

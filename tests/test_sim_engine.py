@@ -108,6 +108,103 @@ class TestParallelMap:
             resolve_workers(-2)
 
 
+class TestAvailableCpuCount:
+    """``workers=0`` must mean the CPUs *available to this process* —
+    affinity and cgroup-quota aware — not the machine total, so CI
+    containers and shared shard hosts are never oversubscribed."""
+
+    @pytest.fixture(autouse=True)
+    def _no_host_quota(self, monkeypatch):
+        """Pin the host's own cgroup quota out of these tests."""
+        monkeypatch.setattr(engine, "_cgroup_cpu_quota", lambda root="": None)
+
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(
+            engine.os, "process_cpu_count", lambda: 3, raising=False
+        )
+        assert engine.available_cpu_count() == 3
+        assert resolve_workers(0) == 3
+        assert resolve_workers(None) == 3
+
+    def test_affinity_mask_beats_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(engine.os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            engine.os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 64)
+        assert engine.available_cpu_count() == 2, (
+            "a taskset/cpuset-restricted process must not claim every core"
+        )
+        assert resolve_workers(0) == 2
+
+    def test_cgroup_quota_caps_the_affinity_count(self, monkeypatch):
+        """A --cpus=2 container keeps a full affinity mask: the CFS quota
+        must bound the count anyway."""
+        monkeypatch.delattr(engine.os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            engine.os, "sched_getaffinity", lambda pid: set(range(64)), raising=False
+        )
+        monkeypatch.setattr(engine, "_cgroup_cpu_quota", lambda root="": 2)
+        assert engine.available_cpu_count() == 2
+        assert resolve_workers(0) == 2
+
+    def test_cpu_count_is_the_last_resort(self, monkeypatch):
+        monkeypatch.delattr(engine.os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(engine.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 5)
+        assert engine.available_cpu_count() == 5
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(engine.os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(engine.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: None)
+        assert engine.available_cpu_count() == 1
+
+    def test_explicit_workers_bypass_detection(self, monkeypatch):
+        monkeypatch.setattr(
+            engine.os, "process_cpu_count", lambda: 2, raising=False
+        )
+        assert resolve_workers(7) == 7
+
+
+class TestCgroupCpuQuota:
+    """Parsing of the cgroup v2 / v1 CFS quota files."""
+
+    def _v2(self, tmp_path, content):
+        (tmp_path / "cpu.max").write_text(content, encoding="ascii")
+        return engine._cgroup_cpu_quota(root=str(tmp_path))
+
+    def test_v2_quota(self, tmp_path):
+        assert self._v2(tmp_path, "200000 100000\n") == 2
+
+    def test_v2_fractional_quota_rounds_up(self, tmp_path):
+        assert self._v2(tmp_path, "150000 100000\n") == 2
+        assert self._v2(tmp_path, "50000 100000\n") == 1
+
+    def test_v2_unlimited(self, tmp_path):
+        assert self._v2(tmp_path, "max 100000\n") is None
+
+    def test_v2_garbage_is_no_quota(self, tmp_path):
+        assert self._v2(tmp_path, "not-a-number\n") is None
+
+    def test_v1_quota(self, tmp_path):
+        base = tmp_path / "cpu"
+        base.mkdir()
+        (base / "cpu.cfs_quota_us").write_text("300000\n", encoding="ascii")
+        (base / "cpu.cfs_period_us").write_text("100000\n", encoding="ascii")
+        assert engine._cgroup_cpu_quota(root=str(tmp_path)) == 3
+
+    def test_v1_unlimited(self, tmp_path):
+        base = tmp_path / "cpu"
+        base.mkdir()
+        (base / "cpu.cfs_quota_us").write_text("-1\n", encoding="ascii")
+        (base / "cpu.cfs_period_us").write_text("100000\n", encoding="ascii")
+        assert engine._cgroup_cpu_quota(root=str(tmp_path)) is None
+
+    def test_missing_files_is_no_quota(self, tmp_path):
+        assert engine._cgroup_cpu_quota(root=str(tmp_path)) is None
+
+
 class TestParallelDeterminism:
     """workers=1 and workers=N must produce bit-identical evaluations."""
 

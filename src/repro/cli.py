@@ -9,6 +9,8 @@ Examples::
     ldprecover run --figure fig7 --chunk-users 200000 --olh-cohort 256
     ldprecover run --figure table1 --trials 3 --cache-stats
     ldprecover run --figure fig6 --no-cache
+    ldprecover run --exhibit kv --trials 3
+    ldprecover run --exhibit heavyhitter --workers 0
     ldprecover demo --protocol oue --beta 0.1
     ldprecover cache ls
     ldprecover cache verify
@@ -34,6 +36,11 @@ or work-stealing via ``--claims`` — ``shard status`` reports progress,
 and ``shard merge`` renders the final rows from the fully populated
 cache, bit-identical to an unsharded run.
 
+Beyond the paper's figures, registered *scenario exhibits*
+(:mod:`repro.sim.scenarios`) — key-value recovery (``--exhibit kv``) and
+heavy-hitter promotion/repair (``--exhibit heavyhitter``) — dispatch
+through the same ``run``/``shard`` machinery, caches included.
+
 The same functions back the ``benchmarks/`` suite; the CLI simply prints
 the row tables.
 """
@@ -47,6 +54,7 @@ from typing import Optional, Sequence
 from repro.exceptions import InvalidParameterError, ShardIncompleteError
 from repro.sim.cache import resolve_cache
 from repro.sim.experiment import format_table
+from repro.sim.scenarios import SCENARIOS
 from repro.sim.shard import (
     DEFAULT_CLAIM_TTL,
     SweepConfig,
@@ -55,8 +63,12 @@ from repro.sim.shard import (
     sweep_status,
 )
 
-#: The regenerable exhibits (``--figure`` choices of ``run`` and ``shard``).
-_FIGURES: tuple[str, ...] = SweepConfig.FIGURES
+def _exhibits() -> tuple[str, ...]:
+    """The regenerable exhibits (``--figure``/``--exhibit`` choices of
+    ``run`` and ``shard``): the paper figures plus the scenario sweeps
+    registered *at call time* — computed lazily so a scenario registered
+    after this module imported still dispatches through the CLI."""
+    return SweepConfig.exhibit_names()
 
 
 def _sweep_config(args: argparse.Namespace) -> SweepConfig:
@@ -73,7 +85,7 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         olh_cohort=args.olh_cohort,
     )
 
-_DESCRIPTIONS = {
+_FIGURE_DESCRIPTIONS = {
     "fig3": "MSE of LDPRecover / LDPRecover* / Detection per attack-protocol cell",
     "fig4": "frequency gain of MGA before/after recovery",
     "fig5": "parameter sweeps (beta / epsilon / eta) under AA on IPUMS",
@@ -84,6 +96,23 @@ _DESCRIPTIONS = {
     "fig10": "multi-attacker adaptive attacks",
     "table1": "LDPRecover on unpoisoned frequencies",
 }
+
+
+def _descriptions() -> dict[str, str]:
+    """One-line descriptions per exhibit (``list`` output), registry-fresh."""
+    return {
+        **_FIGURE_DESCRIPTIONS,
+        **{name: exhibit.description for name, exhibit in SCENARIOS.items()},
+    }
+
+
+def _chunkless() -> tuple[str, ...]:
+    """Exhibits for which ``--chunk-users`` cannot apply: the report-level
+    figures (materialized reports required) plus scenario sweeps that do
+    not declare the knob."""
+    return ("fig3", "fig4", "fig9") + tuple(
+        name for name, exhibit in SCENARIOS.items() if not exhibit.uses_chunk_users
+    )
 
 
 def _demo(args: argparse.Namespace) -> int:
@@ -209,7 +238,11 @@ def _write_rows(rows: list[dict[str, object]], path: str) -> None:
 
 def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the sweep-defining flags shared by ``run`` and ``shard``."""
-    parser.add_argument("--figure", required=True, choices=sorted(_FIGURES))
+    parser.add_argument("--figure", "--exhibit", dest="figure", required=True,
+                        choices=sorted(_exhibits()),
+                        help="paper figure or scenario exhibit to regenerate "
+                             "(--exhibit is an alias: scenario sweeps like "
+                             "'kv'/'heavyhitter' dispatch identically)")
     parser.add_argument("--dataset", default="ipums", choices=["ipums", "fire"])
     parser.add_argument("--parameter", default="beta", choices=["beta", "epsilon", "eta"],
                         help="swept parameter (fig5/fig6 only)")
@@ -322,17 +355,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(_FIGURES):
-            print(f"{name:8s} {_DESCRIPTIONS[name]}")
+        descriptions = _descriptions()
+        for name in sorted(_exhibits()):
+            print(f"{name:12s} {descriptions.get(name, '(registered scenario)')}")
         return 0
     if args.command == "demo":
         return _demo(args)
     if args.command == "cache":
         return _cache_command(args)
-    if args.chunk_users is not None and args.figure in ("fig3", "fig4", "fig9"):
+    if args.chunk_users is not None and args.figure in _chunkless():
         print(
             f"note: --chunk-users is ignored for {args.figure} "
-            f"(report-level defenses need materialized reports)",
+            f"(this exhibit never runs the chunked report-level simulation)",
             file=sys.stderr,
         )
     if args.command == "shard":

@@ -7,6 +7,8 @@ items] as popular items".  This module provides the top-k layer plus the
 set metrics needed to quantify that promotion and its repair:
 
 * :func:`top_k_items` — the estimated heavy hitters of a frequency vector;
+* :func:`tail_items` — the least frequent items (deterministic attack
+  targets for promotion scenarios);
 * :func:`top_k_precision` / :func:`top_k_recall` — overlap with the true
   heavy-hitter set;
 * :func:`promoted_items` — items an attack pushed *into* the top-k;
@@ -39,6 +41,27 @@ def top_k_items(frequencies: np.ndarray, k: int) -> np.ndarray:
     # argsort on (-freq, id) via stable sort of negated values.
     order = np.argsort(-freq, kind="stable")
     return np.sort(order[:k].astype(np.int64))
+
+
+def tail_items(frequencies: np.ndarray, r: int) -> np.ndarray:
+    """The ``r`` items with the *smallest* frequencies (sorted by item id).
+
+    Ties break toward the smaller item id — the same deterministic rule
+    as :func:`top_k_items`, so on tie-heavy (near-flat) profiles the two
+    selections can overlap rather than complement each other.  Used to
+    pick attack targets whose promotion into the top-k is maximally
+    visible on skewed workloads (and whose identity never depends on an
+    RNG, so experiment cells cache stably).
+    """
+    freq = np.asarray(frequencies, dtype=np.float64)
+    if freq.ndim != 1 or freq.size == 0:
+        raise InvalidParameterError(
+            f"frequencies must be a non-empty 1-D vector, got shape {freq.shape}"
+        )
+    if not 0 < r <= freq.size:
+        raise InvalidParameterError(f"r must be in [1, {freq.size}], got {r}")
+    order = np.argsort(freq, kind="stable")
+    return np.sort(order[:r].astype(np.int64))
 
 
 def top_k_precision(true_freq: np.ndarray, estimated_freq: np.ndarray, k: int) -> float:

@@ -46,6 +46,10 @@ class KVPoisoningAttack:
         """The attacker-selected keys."""
         return self._targets
 
+    def describe(self) -> str:
+        """One-line human description for experiment rows and logs."""
+        return f"{self.name}(r={self._targets.size},bit={self.target_bit})"
+
     def craft(self, protocol: KeyValueProtocol, m: int, rng: RngLike = None) -> KVReports:
         """Craft ``m`` malicious (key, bit) reports."""
         if m < 0:

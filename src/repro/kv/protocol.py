@@ -66,6 +66,9 @@ class KVAggregate:
 class KeyValueProtocol:
     """Key-value LDP collection with a GRR/RR budget split."""
 
+    #: Short protocol name for experiment rows and cache fingerprints.
+    name = "privkv"
+
     def __init__(self, eps_key: float, eps_value: float, num_keys: int) -> None:
         if num_keys < 2:
             raise InvalidParameterError(f"num_keys must be >= 2, got {num_keys}")

@@ -67,22 +67,32 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CellCache",
+    "SHARD_PLACEHOLDER_KEY",
     "cache_tag",
     "canonical_key",
     "default_cache_dir",
     "evaluation_cell_spec",
     "fingerprint_dataset",
+    "fingerprint_kv_population",
     "fingerprint_object",
     "fingerprint_seed_sequences",
     "resolve_cache",
     "resolved_cohort_chunk",
     "row_cell_spec",
+    "scenario_cell_spec",
     "source_digest",
 ]
 
 #: Cache schema version: bump whenever the entry layout, the spec
 #: fingerprints, or the payload serialization change incompatibly.
 CACHE_SCHEMA = 1
+
+#: Marker key present on every placeholder row payload produced by the
+#: shard / enumeration cache adapters (:mod:`repro.sim.shard`).  Row
+#: generators that post-process their cached payloads (rather than
+#: returning them verbatim) must pass marked payloads through untouched —
+#: the callers that produce them discard the rows.
+SHARD_PLACEHOLDER_KEY = "__shard_placeholder__"
 
 #: Environment variable that overrides the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -305,6 +315,62 @@ def row_cell_spec(
     }
 
 
+def fingerprint_kv_population(population: Any) -> dict[str, Any]:
+    """Canonical identity of a key-value population.
+
+    Captures everything that determines the genuine report distribution
+    of a :class:`repro.sim.scenarios.KVPopulation` (duck-typed so the
+    cache stays import-light): the ``name``, content hashes of the
+    key-frequency and per-key-mean vectors, and the population size.
+    """
+    return {
+        "name": str(population.name),
+        "frequencies": _fingerprint_array(np.asarray(population.frequencies)),
+        "means": _fingerprint_array(np.asarray(population.means)),
+        "num_users": int(population.num_users),
+    }
+
+
+def scenario_cell_spec(
+    scenario: str,
+    source: Any,
+    protocol: Any,
+    attacks: Iterable[Any],
+    params: dict[str, Any],
+    seeds: Sequence[np.random.SeedSequence],
+) -> dict[str, Any]:
+    """The cell spec of one scenario-exhibit row (:mod:`repro.sim.scenarios`).
+
+    The scenario analogue of :func:`row_cell_spec`, relaxed so workloads
+    beyond plain frequency oracles fit: ``scenario`` names the registered
+    exhibit (e.g. ``"kv"``), ``source`` is the population the cell draws
+    from — a :class:`~repro.datasets.base.Dataset`, a key-value
+    population (anything with ``means``, via
+    :func:`fingerprint_kv_population`), or any fingerprintable object —
+    ``protocol`` and ``attacks`` are the (possibly non-``FrequencyOracle``
+    / non-``PoisoningAttack``) instances involved, ``params`` the
+    remaining cell parameters, and ``seeds`` the per-trial seed
+    sequences.  The payload kind stays ``"row"`` so scenario cells flow
+    through the same cache / enumeration / shard machinery as the custom
+    figure rows.
+    """
+    if isinstance(source, Dataset):
+        fingerprint: Any = fingerprint_dataset(source)
+    elif hasattr(source, "means"):
+        fingerprint = fingerprint_kv_population(source)
+    else:
+        fingerprint = _fingerprint_value(source)
+    return {
+        "kind": "row",
+        "exhibit": f"scenario-{scenario}",
+        "source": fingerprint,
+        "protocol": None if protocol is None else fingerprint_object(protocol),
+        "attacks": [fingerprint_object(a) for a in attacks],
+        "params": _fingerprint_value(dict(params)),
+        "seeds": fingerprint_seed_sequences(seeds),
+    }
+
+
 def canonical_key(spec: dict[str, Any]) -> str:
     """SHA-256 over the canonical (sorted, compact) JSON form of a spec."""
     encoded = json.dumps(spec, sort_keys=True, separators=(",", ":"))
@@ -479,7 +545,10 @@ class CacheEntry:
     def summary_row(self) -> dict[str, object]:
         """Flat row for ``cache ls`` tables (best-effort spec highlights)."""
         spec = self.spec
-        dataset = (spec.get("dataset") or {}).get("name", "-")
+        # Scenario rows carry their population under "source" instead of
+        # "dataset" (it need not be a Dataset); show whichever is present.
+        source = spec.get("dataset") or spec.get("source")
+        dataset = source.get("name", "-") if isinstance(source, dict) else "-"
         protocol = (spec.get("protocol") or {}).get("describe") or (
             spec.get("protocol") or {}
         ).get("__type__", "-")

@@ -82,6 +82,11 @@ def load_dataset(name: str, num_users: Optional[int]) -> Dataset:
     raise InvalidParameterError(f"unknown dataset {name!r}; use 'ipums' or 'fire'")
 
 
+# NOTE: the cell-row toolkit below (_cell_protocol, _cohort_for,
+# _row_cell_params, _metric_columns, _stat_columns, _cached_cell_row) is
+# shared infrastructure: repro.sim.scenarios builds its registered
+# scenario exhibits on these helpers, so renames/signature changes must
+# update both modules (the scenario test suite pins the contract).
 def _cell_protocol(
     name: str, epsilon: float, domain_size: int, olh_cohort: Optional[int] = None
 ) -> object:

@@ -1,0 +1,665 @@
+"""Scenario exhibits: first-class sweeps beyond the paper's figures.
+
+The paper's conclusion names poisoning of "more complex tasks, such as
+key-value pairs collection" as future work, and heavy hitters are what
+targeted promotion actually attacks (MGA's stated goal is promoting its
+targets into the popular list).  This module promotes both workloads
+from library sketches to first-class *scenario exhibits* that ride the
+full experiment stack:
+
+* **Engine** — every cell fans its trials out as picklable tasks through
+  :func:`repro.sim.engine.parallel_map` with per-trial
+  :class:`~numpy.random.SeedSequence` streams (``workers=N`` is
+  bit-identical to ``workers=1``), and metrics accumulate through
+  streaming Welford statistics into
+  :class:`~repro.sim.engine.MetricStats`, so every column carries a
+  ``±`` 95%-CI companion.
+* **Cache** — each cell emits one cacheable row payload keyed by a
+  canonical :func:`repro.sim.cache.scenario_cell_spec`, so interrupted
+  sweeps resume and warm reruns execute zero simulation tasks.
+* **Sharding** — scenarios register in the :data:`SCENARIOS` registry
+  consumed by :class:`repro.sim.shard.SweepConfig`, so ``ldprecover run
+  --exhibit kv|heavyhitter`` and ``shard run|status|merge`` dispatch
+  them exactly like any paper figure, and a sharded scenario sweep
+  merges bit-identical to the unsharded run.
+
+Adding a new workload is one :class:`ScenarioExhibit` registration
+(:func:`register_scenario`), not a fork of :mod:`repro.sim.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import RngLike, as_generator, spawn, spawn_sequences
+from repro.attacks import MGAAttack
+from repro.core.heavyhitters import promoted_items, tail_items, top_k_precision
+from repro.core.recover import DEFAULT_ETA, recover_frequencies
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.kv import KeyValueProtocol, KVPoisoningAttack, recover_key_value
+from repro.sim.cache import SHARD_PLACEHOLDER_KEY, CellCache, scenario_cell_spec
+from repro.sim.engine import MetricStats, aggregate_metrics, parallel_map
+from repro.sim.figures import (
+    DEFAULT_EPSILON,
+    _cached_cell_row,
+    _cell_protocol,
+    _row_cell_params,
+    _stat_columns,
+    load_dataset,
+)
+from repro.sim.metrics import frequency_gain, mse
+from repro.sim.pipeline import SimulationMode, malicious_count, run_trial
+from repro.protocols import PROTOCOL_NAMES
+
+__all__ = [
+    "HH_BETAS",
+    "HH_KS",
+    "HH_TARGET_COUNT",
+    "KV_BETAS",
+    "KV_EPSILONS",
+    "KV_NUM_KEYS",
+    "KV_TARGET_COUNT",
+    "KVPopulation",
+    "KVTrialTask",
+    "SCENARIOS",
+    "ScenarioExhibit",
+    "evaluate_kv_recovery",
+    "heavyhitter_rows",
+    "kv_population",
+    "kv_rows",
+    "kv_trial_metrics",
+    "register_scenario",
+    "scenario_names",
+]
+
+
+# ----------------------------------------------------------------------
+# Key-value population model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVPopulation:
+    """A key-value population: key frequencies plus per-key value means.
+
+    Each user holds one ``(key, value)`` pair.  Keys follow
+    ``frequencies``; the value of a key-``k`` user is a two-point draw
+    ``+1`` with probability ``(1 + means[k]) / 2`` else ``-1``, so the
+    per-key expected value equals ``means[k]`` *exactly* (the extreme
+    -point decomposition every ``[-1, 1]``-valued distribution reduces
+    to under stochastic rounding).  That keeps the population's ``means``
+    an analytic ground truth for unbiasedness tests and recovery error
+    metrics — no clipping bias, no empirical re-estimation per trial.
+    """
+
+    #: Population name (enters the cache fingerprint).
+    name: str
+    #: Key-frequency vector (sums to one).
+    frequencies: np.ndarray
+    #: Per-key expected values in ``[-1, 1]``.
+    means: np.ndarray
+    #: Number of genuine users.
+    num_users: int
+
+    def __post_init__(self) -> None:
+        freq = np.asarray(self.frequencies, dtype=np.float64)
+        means = np.asarray(self.means, dtype=np.float64)
+        if freq.ndim != 1 or freq.size < 2 or freq.shape != means.shape:
+            raise InvalidParameterError(
+                f"frequencies/means must be equal-length 1-D vectors with >= 2 "
+                f"keys, got shapes {freq.shape} and {means.shape}"
+            )
+        if freq.min() < 0 or not np.isclose(freq.sum(), 1.0):
+            raise InvalidParameterError("frequencies must be non-negative and sum to 1")
+        if means.min() < -1.0 or means.max() > 1.0:
+            raise InvalidParameterError("means must lie in [-1, 1]")
+        if self.num_users < 1:
+            raise InvalidParameterError(f"num_users must be >= 1, got {self.num_users}")
+        object.__setattr__(self, "frequencies", freq)
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "num_users", int(self.num_users))
+
+    @property
+    def num_keys(self) -> int:
+        """Size of the key domain."""
+        return int(self.frequencies.size)
+
+    def sample(self, rng: RngLike = None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one population of ``(keys, values)`` user pairs off ``rng``."""
+        gen = as_generator(rng)
+        keys = gen.choice(self.num_keys, size=self.num_users, p=self.frequencies)
+        up = gen.random(self.num_users) < (1.0 + self.means[keys]) / 2.0
+        return keys.astype(np.int64), np.where(up, 1.0, -1.0)
+
+
+def kv_population(
+    num_keys: int = 32,
+    num_users: int = 100_000,
+    exponent: float = 1.0,
+    name: str = "kv-zipf",
+) -> KVPopulation:
+    """The deterministic synthetic key-value workload of the ``kv`` exhibit.
+
+    Key frequencies follow a Zipf profile over ``num_keys`` keys with the
+    given ``exponent`` (rank equals key id — no shuffle, so the same
+    arguments always produce the same population and hence the same cache
+    fingerprints); per-key means fall linearly from ``+0.9`` (the hottest
+    key) to ``-0.9`` (the coldest), so the tail keys the canonical attack
+    targets have strongly negative means for ``target_bit=1`` to drag
+    upward.  ``num_users`` sizes the genuine population and ``name``
+    labels it in rows and cache fingerprints.
+    """
+    profile = zipf_dataset(
+        domain_size=num_keys, num_users=max(num_keys, 10_000),
+        exponent=exponent, shuffle=False,
+    )
+    return KVPopulation(
+        name=name,
+        frequencies=profile.frequencies,
+        means=np.linspace(0.9, -0.9, num_keys),
+        num_users=num_users,
+    )
+
+
+# ----------------------------------------------------------------------
+# Key-value recovery: the engine path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVTrialTask:
+    """One picklable trial of a key-value poisoning + recovery cell.
+
+    Carries the population, protocol, attack, the cell parameters and the
+    trial's own :class:`~numpy.random.SeedSequence` child, so pool workers
+    share no state and placement cannot change results.
+    """
+
+    population: KVPopulation
+    protocol: KeyValueProtocol
+    attack: KVPoisoningAttack
+    seed: np.random.SeedSequence
+    beta: float = 0.05
+    eta: float = DEFAULT_ETA
+
+
+def kv_trial_metrics(task: KVTrialTask) -> dict[str, float]:
+    """Run one key-value trial ``task`` and compute every cell metric.
+
+    One round: sample the genuine population, perturb it through the
+    protocol, craft the ``beta``-fraction of malicious reports, aggregate,
+    then recover both without attack knowledge and with the attacker's
+    target keys (the LDPRecover* analogue).  Returns a flat
+    ``{metric: value}`` dict — key-frequency MSE and per-key mean error
+    (mean absolute error against the population's analytic means, over
+    all keys and over the attacked keys alone) for the poisoned /
+    recovered / target-aware estimates, plus the target-key frequency
+    gain relative to the clean aggregate before and after recovery.
+    """
+    gen = np.random.default_rng(task.seed)
+    population, protocol, attack = task.population, task.protocol, task.attack
+    n = population.num_users
+    m = malicious_count(n, task.beta)
+    keys, values = population.sample(gen)
+    genuine = protocol.perturb(keys, values, gen)
+    clean = protocol.aggregate(genuine)
+    if m > 0:
+        malicious = attack.craft(protocol, m, gen)
+        poisoned = protocol.aggregate(KeyValueProtocol.concat(genuine, malicious))
+    else:
+        poisoned = clean
+    total = n + m
+
+    recovered = recover_key_value(protocol, poisoned, total, eta=task.eta)
+    star = recover_key_value(
+        protocol,
+        poisoned,
+        total,
+        eta=task.eta,
+        target_keys=attack.target_keys,
+        malicious_bit=attack.target_bit,
+    )
+
+    truth_freq, truth_means = population.frequencies, population.means
+    targets = attack.target_keys
+
+    def target_mae(estimate: np.ndarray) -> float:
+        return float(np.abs(estimate[targets] - truth_means[targets]).mean())
+
+    return {
+        "freq_mse_before": mse(truth_freq, poisoned.frequencies),
+        "freq_mse_recover": mse(truth_freq, recovered.frequencies),
+        "freq_mse_recover_star": mse(truth_freq, star.frequencies),
+        "mean_mae_before": float(np.abs(poisoned.means - truth_means).mean()),
+        "mean_mae_recover": float(np.abs(recovered.means - truth_means).mean()),
+        "mean_mae_recover_star": float(np.abs(star.means - truth_means).mean()),
+        "target_mean_mae_before": target_mae(poisoned.means),
+        "target_mean_mae_recover": target_mae(recovered.means),
+        "target_mean_mae_recover_star": target_mae(star.means),
+        "fg_before": frequency_gain(clean.frequencies, poisoned.frequencies, targets),
+        "fg_recover": frequency_gain(clean.frequencies, recovered.frequencies, targets),
+        "fg_recover_star": frequency_gain(clean.frequencies, star.frequencies, targets),
+    }
+
+
+def evaluate_kv_recovery(
+    population: KVPopulation,
+    protocol: KeyValueProtocol,
+    attack: KVPoisoningAttack,
+    beta: float = 0.05,
+    eta: float = DEFAULT_ETA,
+    trials: int = 10,
+    rng: RngLike = None,
+    workers: Optional[int] = 1,
+    seeds: Optional[Sequence[np.random.SeedSequence]] = None,
+) -> dict[str, MetricStats]:
+    """Run one key-value recovery cell and average over ``trials``.
+
+    The key-value analogue of
+    :func:`repro.sim.experiment.evaluate_recovery`: ``trials``
+    independent poisoning rounds of ``attack`` against ``protocol`` over
+    ``population`` at malicious fraction ``beta`` become picklable
+    :class:`KVTrialTask` units — each owning a
+    :class:`~numpy.random.SeedSequence` child spawned from ``rng`` (or
+    taken from ``seeds``, which overrides ``rng``/``trials`` when the
+    caller pre-spawned them for a cache spec) — fanned out through
+    :func:`repro.sim.engine.parallel_map` over ``workers`` processes and
+    folded into streaming per-metric statistics.  ``eta`` is the
+    server-side ratio knob of both recovery variants.  Returns the
+    ``{metric: MetricStats}`` aggregation of
+    :func:`kv_trial_metrics` (mean / variance / stderr / count per
+    metric); results are bit-identical for any ``workers``.
+    """
+    if seeds is None:
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        seeds = spawn_sequences(rng, trials)
+    elif not len(seeds):
+        raise InvalidParameterError("seeds must be non-empty when provided")
+    malicious_count(population.num_users, beta)  # surface m == 0 rounding early
+    tasks = [
+        KVTrialTask(
+            population=population,
+            protocol=protocol,
+            attack=attack,
+            seed=seed,
+            beta=beta,
+            eta=eta,
+        )
+        for seed in seeds
+    ]
+    return aggregate_metrics(parallel_map(kv_trial_metrics, tasks, workers=workers))
+
+
+#: Total privacy budgets of the ``kv`` sweep (split evenly key/value).
+KV_EPSILONS = (2.0, 4.0)
+#: Malicious fractions of the ``kv`` sweep.
+KV_BETAS = (0.01, 0.05, 0.1, 0.15, 0.2)
+#: Key-domain size of the ``kv`` sweep's population.
+KV_NUM_KEYS = 32
+#: Number of (least frequent) target keys the canonical attack promotes.
+KV_TARGET_COUNT = 3
+
+#: Default genuine population of the ``kv`` exhibit (``num_users=None``).
+_KV_DEFAULT_USERS = 100_000
+
+_KV_COLUMNS = (
+    "freq_mse_before",
+    "freq_mse_recover",
+    "freq_mse_recover_star",
+    "mean_mae_before",
+    "mean_mae_recover",
+    "mean_mae_recover_star",
+    "target_mean_mae_before",
+    "target_mean_mae_recover",
+    "target_mean_mae_recover_star",
+    "fg_before",
+    "fg_recover",
+    "fg_recover_star",
+)
+
+
+def kv_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 11,
+    workers: Optional[int] = 1,
+    cache: Optional[CellCache] = None,
+) -> list[dict[str, object]]:
+    """Scenario ``kv``: key-value recovery across privacy budget and beta.
+
+    One cell per (epsilon, beta) on the :data:`KV_EPSILONS` ×
+    :data:`KV_BETAS` grid: the canonical targeted key-value attack (fake
+    users report a tail key with the maximal value bit) poisons a
+    PrivKV-style protocol over the deterministic :func:`kv_population`
+    workload, and both recovery variants run —
+    :func:`repro.kv.recover_key_value` without attack knowledge and with
+    the attacker's target keys.  ``num_users`` sizes the genuine
+    population (``None`` = 100k), ``trials`` rounds are averaged per cell
+    through :func:`evaluate_kv_recovery`, ``rng`` seeds the cells
+    independently, ``workers`` fans trials over the process pool, and
+    ``cache`` serves completed cells across runs (row payloads keyed by
+    :func:`repro.sim.cache.scenario_cell_spec`).
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    population = kv_population(
+        num_keys=KV_NUM_KEYS,
+        num_users=_KV_DEFAULT_USERS if num_users is None else int(num_users),
+    )
+    targets = tail_items(population.frequencies, KV_TARGET_COUNT)
+    rows = []
+    rngs = spawn(rng, len(KV_EPSILONS) * len(KV_BETAS))
+    idx = 0
+    for epsilon in KV_EPSILONS:
+        for beta in KV_BETAS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            protocol = KeyValueProtocol(
+                eps_key=epsilon / 2.0, eps_value=epsilon / 2.0, num_keys=KV_NUM_KEYS
+            )
+            attack = KVPoisoningAttack(
+                num_keys=KV_NUM_KEYS, targets=targets, target_bit=1
+            )
+            seeds = spawn_sequences(gen, trials)
+            spec = None
+            if cache is not None:
+                spec = scenario_cell_spec(
+                    "kv",
+                    population,
+                    protocol,
+                    (attack,),
+                    {"beta": beta, "epsilon": epsilon, "eta": DEFAULT_ETA},
+                    seeds,
+                )
+
+            def compute() -> dict[str, object]:
+                stats = evaluate_kv_recovery(
+                    population,
+                    protocol,
+                    attack,
+                    beta=beta,
+                    eta=DEFAULT_ETA,
+                    seeds=seeds,
+                    workers=workers,
+                )
+                return {
+                    "cell": attack.describe(),
+                    "epsilon": epsilon,
+                    "beta": beta,
+                    **_stat_columns(stats, _KV_COLUMNS),
+                }
+
+            rows.append(_cached_cell_row(cache, spec, compute))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Heavy-hitter promotion / repair sweep
+# ----------------------------------------------------------------------
+#: Malicious fractions of the ``heavyhitter`` sweep.
+HH_BETAS = (0.05, 0.1, 0.15)
+#: Top-k sizes of the ``heavyhitter`` sweep.
+HH_KS = (5, 10)
+#: Number of (least frequent) items the attack tries to promote.
+HH_TARGET_COUNT = 5
+
+_HH_COLUMNS = (
+    "precision_poisoned",
+    "precision_recovered",
+    "precision_recovered_star",
+    "promoted_poisoned",
+    "promoted_recovered",
+    "promoted_recovered_star",
+)
+
+
+@dataclass(frozen=True)
+class _HHTask:
+    """Picklable per-trial unit of the heavy-hitter scenario.
+
+    One simulated trial serves *every* ``ks`` entry: the poisoning round
+    and both recoveries are independent of ``k``, which only selects
+    which top-k metrics are read off the recovered vectors.
+    """
+
+    dataset: Dataset
+    protocol: object
+    attack: MGAAttack
+    beta: float
+    ks: tuple[int, ...]
+    eta: float
+    mode: SimulationMode
+    chunk_users: Optional[int]
+    seed: np.random.SeedSequence
+
+
+def _heavyhitter_trial(task: _HHTask) -> dict[str, float]:
+    """One heavy-hitter trial: top-k quality before/after recovery.
+
+    ``precision_*`` is top-k precision against the true heavy hitters
+    (equal to recall for equal-size sets — one column reports both);
+    ``promoted_*`` counts non-heavy-hitter items occupying the estimated
+    top-k (the attacker's planted items when the attack succeeds).  Each
+    metric is emitted once per ``k`` in ``task.ks`` under a ``_k<k>``
+    suffix — simulation and recovery run once regardless of how many
+    ``k`` values the sweep reports.
+    """
+    gen = np.random.default_rng(task.seed)
+    trial = run_trial(
+        task.dataset, task.protocol, task.attack, beta=task.beta, mode=task.mode,
+        rng=gen, chunk_users=task.chunk_users,
+    )
+    truth = trial.true_frequencies
+    recovery = recover_frequencies(trial.poisoned_frequencies, task.protocol, eta=task.eta)
+    star = recover_frequencies(
+        trial.poisoned_frequencies, task.protocol, eta=task.eta,
+        target_items=task.attack.target_items,
+    )
+    estimates = {
+        "poisoned": trial.poisoned_frequencies,
+        "recovered": recovery.frequencies,
+        "recovered_star": star.frequencies,
+    }
+    out: dict[str, float] = {}
+    for k in task.ks:
+        for label, estimate in estimates.items():
+            out[f"precision_{label}_k{k}"] = top_k_precision(truth, estimate, k)
+            out[f"promoted_{label}_k{k}"] = float(promoted_items(truth, estimate, k).size)
+    return out
+
+
+def heavyhitter_rows(
+    num_users: Optional[int] = None,
+    trials: int = 5,
+    rng: RngLike = 12,
+    workers: Optional[int] = 1,
+    chunk_users: Optional[int] = None,
+    olh_cohort: Optional[int] = None,
+    cache: Optional[CellCache] = None,
+) -> list[dict[str, object]]:
+    """Scenario ``heavyhitter``: top-k promotion and repair per cell.
+
+    One simulated cell per (protocol, beta) over all three frequency
+    oracles and :data:`HH_BETAS` — the trials do not depend on ``k``, so
+    every :data:`HH_KS` entry is read off the same recovered vectors and
+    the cell expands into one output row per ``k``.  MGA targets the
+    :data:`HH_TARGET_COUNT` least frequent IPUMS items (deterministic
+    targets, so cells cache stably) and each row reports top-k
+    precision (= recall for equal-size sets) and promoted-item counts of
+    the poisoned, LDPRecover and LDPRecover* estimates.  ``num_users``
+    rescales the population (``None`` = paper scale), ``trials`` rounds
+    average per cell, ``rng`` seeds the cells, ``workers`` fans trials
+    out, ``chunk_users`` switches to the bounded-memory exact simulation,
+    ``olh_cohort`` applies seed-cohort perturbation to the OLH cells in
+    chunked mode, and ``cache`` serves completed cells across runs.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    dataset = load_dataset("ipums", num_users)
+    mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
+    targets = tail_items(dataset.frequencies, HH_TARGET_COUNT)
+    rows = []
+    rngs = spawn(rng, len(PROTOCOL_NAMES) * len(HH_BETAS))
+    idx = 0
+    for protocol_name in PROTOCOL_NAMES:
+        for beta in HH_BETAS:
+            gen = as_generator(rngs[idx])
+            idx += 1
+            # Cohort mode only exists at the report level (see figure8_rows).
+            protocol = _cell_protocol(
+                protocol_name,
+                DEFAULT_EPSILON,
+                dataset.domain_size,
+                olh_cohort if mode == "chunked" else None,
+            )
+            attack = MGAAttack(domain_size=dataset.domain_size, targets=targets)
+            seeds = spawn_sequences(gen, trials)
+            spec = None
+            if cache is not None:
+                params = _row_cell_params(
+                    protocol, mode, chunk_users,
+                    beta=beta, ks=list(HH_KS), eta=DEFAULT_ETA, mode=mode,
+                )
+                spec = scenario_cell_spec(
+                    "heavyhitter", dataset, protocol, (attack,), params, seeds
+                )
+
+            def compute() -> dict[str, object]:
+                # One cell per (protocol, beta): the simulation does not
+                # depend on k, so every HH_KS entry is read off the same
+                # trials and the cached payload carries all of them.
+                tasks = [
+                    _HHTask(
+                        dataset, protocol, attack, beta, HH_KS, DEFAULT_ETA,
+                        mode, chunk_users, seed,
+                    )
+                    for seed in seeds
+                ]
+                stats = aggregate_metrics(
+                    parallel_map(_heavyhitter_trial, tasks, workers=workers)
+                )
+                per_k = {
+                    str(k): _stat_columns(
+                        {metric: stats[f"{metric}_k{k}"] for metric in _HH_COLUMNS},
+                        _HH_COLUMNS,
+                    )
+                    for k in HH_KS
+                }
+                return {"cell": f"mga-{protocol_name}", "beta": beta, "per_k": per_k}
+
+            payload = _cached_cell_row(cache, spec, compute)
+            if SHARD_PLACEHOLDER_KEY in payload:
+                # Placeholder payload from the shard/enumeration cache
+                # adapters (the cell belongs to another shard, or only its
+                # spec is being recorded): those callers discard the rows,
+                # so pass it through instead of expanding.  Any other
+                # payload must carry the per-k schema — fail loudly if not.
+                rows.append(payload)
+                continue
+            per_k = payload["per_k"]
+            for k in HH_KS:
+                rows.append(
+                    {"cell": payload["cell"], "beta": beta, "k": k, **per_k[str(k)]}
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The scenario registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioExhibit:
+    """One registered scenario sweep: a generator plus its engine knobs.
+
+    ``name`` is the registry key (the CLI's ``--exhibit`` value),
+    ``description`` the one-liner shown by ``ldprecover list``, and
+    ``rows`` the generator callable (``kv_rows``-shaped: it must accept
+    ``num_users``, ``trials``, ``rng``, ``workers`` and ``cache``
+    keywords).  ``uses_chunk_users`` / ``uses_olh_cohort`` declare which
+    optional engine knobs the generator additionally accepts — the sweep
+    dispatch (:meth:`run`) forwards only declared knobs, and
+    :meth:`repro.sim.shard.SweepConfig.digest` drops undeclared ones so
+    workers passing an inapplicable flag still report under the same
+    sweep digest.
+    """
+
+    name: str
+    description: str
+    rows: Callable[..., list[dict[str, object]]]
+    uses_chunk_users: bool = False
+    uses_olh_cohort: bool = False
+
+    def run(
+        self,
+        *,
+        num_users: Optional[int] = None,
+        trials: int = 5,
+        rng: RngLike = None,
+        workers: Optional[int] = 1,
+        chunk_users: Optional[int] = None,
+        olh_cohort: Optional[int] = None,
+        cache: Optional[CellCache] = None,
+    ) -> list[dict[str, object]]:
+        """Execute the scenario sweep and return its exhibit rows.
+
+        ``num_users`` / ``trials`` / ``rng`` / ``workers`` / ``cache``
+        forward to the generator unconditionally; ``chunk_users`` and
+        ``olh_cohort`` forward only when the exhibit declares support for
+        them (undeclared knobs are dropped — they cannot shape the
+        cells, exactly like the figure generators that ignore them).
+        """
+        kwargs: dict[str, object] = {
+            "num_users": num_users,
+            "trials": trials,
+            "rng": rng,
+            "workers": workers,
+            "cache": cache,
+        }
+        if self.uses_chunk_users:
+            kwargs["chunk_users"] = chunk_users
+        if self.uses_olh_cohort:
+            kwargs["olh_cohort"] = olh_cohort
+        return self.rows(**kwargs)
+
+
+#: Registered scenario exhibits by name; :class:`repro.sim.shard.SweepConfig`
+#: and the CLI dispatch any name in here exactly like a paper figure.
+SCENARIOS: dict[str, ScenarioExhibit] = {
+    "kv": ScenarioExhibit(
+        name="kv",
+        description="key-value poisoning recovery across epsilon and beta",
+        rows=kv_rows,
+    ),
+    "heavyhitter": ScenarioExhibit(
+        name="heavyhitter",
+        description="top-k heavy-hitter promotion and repair across protocols, beta and k",
+        rows=heavyhitter_rows,
+        uses_chunk_users=True,
+        uses_olh_cohort=True,
+    ),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario exhibit names, in registration order."""
+    return tuple(SCENARIOS)
+
+
+def register_scenario(exhibit: ScenarioExhibit) -> None:
+    """Add ``exhibit`` to the :data:`SCENARIOS` registry.
+
+    The name must not collide with an existing scenario or with a paper
+    figure (:attr:`repro.sim.shard.SweepConfig.FIGURES`); once
+    registered, ``SweepConfig(figure=exhibit.name)`` — and therefore
+    ``ldprecover run|shard --exhibit <name>`` — dispatches it like any
+    built-in exhibit.
+    """
+    from repro.sim.shard import SweepConfig  # deferred: shard imports this module
+
+    if exhibit.name in SCENARIOS or exhibit.name in SweepConfig.FIGURES:
+        raise InvalidParameterError(
+            f"scenario name {exhibit.name!r} is already taken"
+        )
+    SCENARIOS[exhibit.name] = exhibit

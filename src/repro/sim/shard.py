@@ -53,8 +53,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Optional
 
 from repro.exceptions import InvalidParameterError, ShardIncompleteError
-from repro.sim import figures
-from repro.sim.cache import CellCache, canonical_key
+from repro.sim import figures, scenarios
+from repro.sim.cache import SHARD_PLACEHOLDER_KEY, CellCache, canonical_key
 from repro.sim.engine import TASK_COUNTER, Welford
 from repro.sim.experiment import RecoveryEvaluation
 
@@ -87,7 +87,9 @@ class SweepConfig:
     """One exhibit sweep: which figure to regenerate, with which knobs.
 
     Mirrors the CLI's ``run``/``shard`` flags — ``figure`` picks the
-    generator, ``dataset``/``parameter`` apply to the exhibits that take
+    generator (a paper figure from :attr:`FIGURES` or a registered
+    scenario exhibit from :data:`repro.sim.scenarios.SCENARIOS`),
+    ``dataset``/``parameter`` apply to the exhibits that take
     them, ``num_users``/``trials``/``seed`` shape the cells, and
     ``workers``/``chunk_users``/``olh_cohort`` are forwarded to the
     engine.  Only ``workers`` is a pure execution knob that shards may
@@ -108,15 +110,24 @@ class SweepConfig:
     chunk_users: Optional[int] = None
     olh_cohort: Optional[int] = None
 
-    #: Exhibits runnable as sharded sweeps (the CLI's ``--figure`` names).
+    #: Paper figures runnable as sharded sweeps (the CLI's ``--figure``
+    #: names); scenario exhibits (:data:`repro.sim.scenarios.SCENARIOS`)
+    #: dispatch through the same machinery — see :meth:`exhibit_names`.
     FIGURES = (
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
     )
 
+    @classmethod
+    def exhibit_names(cls) -> tuple[str, ...]:
+        """Every dispatchable exhibit: paper figures plus registered
+        scenario sweeps (``--figure`` / ``--exhibit`` choices)."""
+        return cls.FIGURES + scenarios.scenario_names()
+
     def __post_init__(self) -> None:
-        if self.figure not in self.FIGURES:
+        if self.figure not in self.exhibit_names():
             raise InvalidParameterError(
-                f"figure must be one of {list(self.FIGURES)}, got {self.figure!r}"
+                f"figure must be one of {list(self.exhibit_names())}, "
+                f"got {self.figure!r}"
             )
 
     def run(self, cache: Optional[CellCache]) -> list[dict[str, object]]:
@@ -126,6 +137,17 @@ class SweepConfig:
         subcommand, shard execution, enumeration, and merging — so every
         one of them reproduces the exact same cells.
         """
+        scenario = scenarios.SCENARIOS.get(self.figure)
+        if scenario is not None:
+            return scenario.run(
+                num_users=self.num_users,
+                trials=self.trials,
+                rng=self.seed,
+                workers=self.workers,
+                chunk_users=self.chunk_users,
+                olh_cohort=self.olh_cohort,
+                cache=cache,
+            )
         common: dict[str, Any] = dict(
             num_users=self.num_users,
             trials=self.trials,
@@ -168,6 +190,17 @@ class SweepConfig:
         """
         spec = asdict(self)
         spec.pop("workers")
+        scenario = scenarios.SCENARIOS.get(self.figure)
+        if scenario is not None:
+            # Scenario generators never take dataset/parameter; the other
+            # engine knobs participate only when the exhibit declares them.
+            spec.pop("dataset")
+            spec.pop("parameter")
+            if not scenario.uses_chunk_users:
+                spec.pop("chunk_users")
+            if not scenario.uses_olh_cohort:
+                spec.pop("olh_cohort")
+            return canonical_key(spec)[:12]
         if self.figure not in ("fig3", "fig4"):
             spec.pop("dataset")
         if self.figure not in ("fig5", "fig6"):
@@ -203,8 +236,11 @@ def _placeholder_evaluation(spec: dict[str, Any]) -> RecoveryEvaluation:
     )
 
 
-#: Marker key identifying placeholder rows produced for skipped cells.
-_PLACEHOLDER = "__shard_placeholder__"
+#: Marker key identifying placeholder rows produced for skipped cells
+#: (the shared :data:`repro.sim.cache.SHARD_PLACEHOLDER_KEY`, so row
+#: generators can recognize pass-through payloads without importing this
+#: module).
+_PLACEHOLDER = SHARD_PLACEHOLDER_KEY
 
 
 class _RecordingCache(CellCache):

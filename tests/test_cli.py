@@ -51,6 +51,17 @@ class TestParser:
         assert args.action == "prune"
         assert args.older_than_days == 7.0
 
+    def test_exhibit_is_an_alias_of_figure(self):
+        args = build_parser().parse_args(["run", "--exhibit", "kv"])
+        assert args.figure == "kv"
+        args = build_parser().parse_args(["shard", "run", "--exhibit", "heavyhitter"])
+        assert args.figure == "heavyhitter"
+
+    def test_scenario_names_are_figure_choices_too(self):
+        assert build_parser().parse_args(["run", "--figure", "kv"]).figure == "kv"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--exhibit", "nope"])
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -102,6 +113,38 @@ class TestMain:
         )
         assert code == 0
         assert "mse_after_recovery" in capsys.readouterr().out
+
+    def test_list_includes_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kv" in out and "heavyhitter" in out
+
+    def test_run_kv_exhibit(self, capsys):
+        code = main(
+            ["run", "--exhibit", "kv", "--trials", "1", "--num-users", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "freq_mse_recover_star" in out
+        assert "kv-mga" in out
+
+    def test_run_heavyhitter_exhibit(self, capsys):
+        code = main(
+            ["run", "--exhibit", "heavyhitter", "--trials", "1",
+             "--num-users", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision_recovered_star" in out
+        assert "promoted_poisoned" in out
+
+    def test_chunk_users_note_for_kv(self, capsys):
+        code = main(
+            ["run", "--exhibit", "kv", "--trials", "1", "--num-users", "2000",
+             "--chunk-users", "1000"]
+        )
+        assert code == 0
+        assert "--chunk-users is ignored" in capsys.readouterr().err
 
     def test_demo_runs(self, capsys):
         code = main(["demo", "--num-users", "5000", "--seed", "1"])

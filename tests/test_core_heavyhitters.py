@@ -9,6 +9,7 @@ from repro.core.heavyhitters import (
     HeavyHitterReport,
     heavy_hitter_report,
     promoted_items,
+    tail_items,
     top_k_items,
     top_k_precision,
     top_k_recall,
@@ -40,6 +41,39 @@ class TestTopK:
         with pytest.raises(InvalidParameterError):
             top_k_items(np.array([]), 1)
 
+    def test_k_equals_domain_returns_every_item(self):
+        freq = np.array([0.1, 0.5, 0.05, 0.35])
+        np.testing.assert_array_equal(top_k_items(freq, 4), [0, 1, 2, 3])
+        assert top_k_precision(freq, np.zeros(4) + 0.25, 4) == 1.0
+        assert promoted_items(freq, np.array([0.4, 0.1, 0.1, 0.4]), 4).size == 0
+
+    def test_all_tied_breaks_toward_smaller_ids(self):
+        freq = np.full(6, 1.0 / 6.0)
+        for k in (1, 3, 6):
+            np.testing.assert_array_equal(top_k_items(freq, k), np.arange(k))
+
+
+class TestTailItems:
+    def test_least_frequent_sorted_by_id(self):
+        freq = np.array([0.1, 0.5, 0.05, 0.35])
+        np.testing.assert_array_equal(tail_items(freq, 2), [0, 2])
+
+    def test_ties_break_toward_smaller_ids(self):
+        freq = np.full(5, 0.2)
+        np.testing.assert_array_equal(tail_items(freq, 3), [0, 1, 2])
+
+    def test_r_equals_domain_is_complement_of_top_k(self):
+        freq = np.array([0.4, 0.1, 0.3, 0.2])
+        np.testing.assert_array_equal(tail_items(freq, 4), top_k_items(freq, 4))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            tail_items(np.array([0.5, 0.5]), 0)
+        with pytest.raises(InvalidParameterError):
+            tail_items(np.array([0.5, 0.5]), 3)
+        with pytest.raises(InvalidParameterError):
+            tail_items(np.array([]), 1)
+
 
 class TestPrecisionRecall:
     def test_perfect_match(self):
@@ -67,6 +101,14 @@ class TestPromotedItems:
     def test_empty_when_clean(self):
         truth = np.array([0.5, 0.3, 0.15, 0.05])
         assert promoted_items(truth, truth, 2).size == 0
+
+    def test_empty_when_attack_fails_to_break_in(self):
+        """A boost that reorders the top-k without displacing a true heavy
+        hitter promotes nothing — the attack failed."""
+        truth = np.array([0.5, 0.3, 0.15, 0.05])
+        failed = np.array([0.35, 0.4, 0.2, 0.05])  # item 3 boosted, still last
+        assert promoted_items(truth, failed, 2).size == 0
+        assert promoted_items(truth, failed, 3).size == 0
 
 
 class TestReport:

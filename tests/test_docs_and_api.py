@@ -151,11 +151,20 @@ class TestDocsSkeleton:
 
     def test_exhibits_md_names_every_cli_figure(self):
         text = self.EXHIBITS.read_text(encoding="utf-8")
-        from repro.cli import _FIGURES
+        from repro.sim.shard import SweepConfig
 
-        for figure in _FIGURES:
-            assert f"--figure {figure}" in text, (
+        for figure in SweepConfig.exhibit_names():
+            assert f"--figure {figure}" in text or f"--exhibit {figure}" in text, (
                 f"docs/exhibits.md misses the CLI invocation for {figure}"
+            )
+
+    def test_exhibits_md_names_every_scenario_generator(self):
+        text = self.EXHIBITS.read_text(encoding="utf-8")
+        from repro.sim.scenarios import SCENARIOS
+
+        for name, exhibit in SCENARIOS.items():
+            assert exhibit.rows.__name__ in text, (
+                f"docs/exhibits.md misses the generator of scenario {name!r}"
             )
 
     def test_api_pages_cover_required_packages(self):
@@ -165,9 +174,36 @@ class TestDocsSkeleton:
             ("protocols.rst", "repro.protocols"),
             ("attacks.rst", "repro.attacks"),
             ("sim.rst", "repro.sim.cache"),
+            ("sim.rst", "repro.sim.scenarios"),
+            ("kv.rst", "repro.kv"),
         ]:
             text = (api / page).read_text(encoding="utf-8")
             assert f".. automodule:: {module}" in text, f"{page} misses {module}"
+
+    def test_every_subpackage_has_an_autodoc_page(self):
+        """Each ``repro`` subpackage must own a docs/api page that autodocs
+        it (and that page must be reachable from the api toctree), so the
+        next subpackage someone adds without docs fails CI instead of
+        silently missing from the rendered API reference."""
+        api = REPO_ROOT / "docs" / "api"
+        toctree = (api / "index.rst").read_text(encoding="utf-8")
+        subpackages = [
+            name
+            for _, name, is_pkg in pkgutil.iter_modules(repro.__path__, prefix="repro.")
+            if is_pkg
+        ]
+        assert subpackages, "no repro subpackages found"
+        for module_name in subpackages:
+            short = module_name.rsplit(".", 1)[-1]
+            page = api / f"{short}.rst"
+            assert page.is_file(), f"docs/api/{short}.rst missing for {module_name}"
+            text = page.read_text(encoding="utf-8")
+            assert f".. automodule:: {module_name}" in text, (
+                f"docs/api/{short}.rst does not autodoc {module_name}"
+            )
+            assert re.search(rf"^\s*{short}\s*$", toctree, re.MULTILINE), (
+                f"docs/api/index.rst toctree misses {short}"
+            )
 
     def test_sphinx_build_is_warning_clean(self, tmp_path):
         pytest.importorskip("sphinx")

@@ -52,6 +52,17 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             protocol.perturb(np.array([0, 1]), np.array([0.5]), rng=0)
 
+    def test_reports_shape_validation(self):
+        with pytest.raises(ProtocolError):
+            KVReports(keys=np.array([0, 1]), bits=np.array([1]))
+        with pytest.raises(ProtocolError):
+            KVReports(keys=np.array([[0, 1]]), bits=np.array([[1, 0]]))
+
+    def test_describe_and_name(self, protocol):
+        assert protocol.name == "privkv"
+        attack = KVPoisoningAttack(num_keys=K, targets=[6, 7], target_bit=1)
+        assert attack.describe() == "kv-mga(r=2,bit=1)"
+
     def test_frequency_estimates_unbiased(self, protocol):
         keys, values, freq, _ = _population()
         reports = protocol.perturb(keys, values, rng=1)
@@ -162,9 +173,17 @@ class TestRecovery:
         with pytest.raises(RecoveryError):
             recover_key_value(protocol, poisoned, 0)
         with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, -5)
+        with pytest.raises(RecoveryError):
             recover_key_value(protocol, poisoned, total, malicious_bit=3)
         with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, total, malicious_bit=-1)
+        with pytest.raises(RecoveryError):
             recover_key_value(protocol, poisoned, total, target_keys=[K + 1])
+        with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, total, target_keys=[-1])
+        with pytest.raises(RecoveryError):
+            recover_key_value(protocol, poisoned, total, target_keys=[])
 
     def test_recovered_frequencies_are_probability_vector(self, protocol):
         from repro.core.projection import is_probability_vector

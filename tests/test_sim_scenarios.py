@@ -1,0 +1,294 @@
+"""Tests for the scenario-exhibit subsystem (repro.sim.scenarios).
+
+The contract under test (ISSUE 5 acceptance criteria):
+
+* the kv and heavyhitter sweeps run through the ordinary engine —
+  per-trial ``SeedSequence`` streams, ``workers=N`` bit-identical to
+  ``workers=1``, Welford ±CI columns on every metric;
+* every cell is one cacheable row: a warm rerun reports 100% hits and
+  executes **zero** simulation tasks (:data:`TASK_COUNTER`);
+* scenarios dispatch through :class:`repro.sim.shard.SweepConfig` (and
+  therefore ``run`` / ``shard run|status|merge``) exactly like figures,
+  with sweep digests that ignore inapplicable flags;
+* the registry is extensible: one :func:`register_scenario` call makes a
+  new workload a first-class exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.kv import KeyValueProtocol, KVPoisoningAttack
+from repro.sim.cache import CellCache, canonical_key, scenario_cell_spec
+from repro.sim.engine import TASK_COUNTER
+from repro.sim.scenarios import (
+    HH_BETAS,
+    HH_KS,
+    KV_BETAS,
+    KV_EPSILONS,
+    SCENARIOS,
+    KVPopulation,
+    ScenarioExhibit,
+    evaluate_kv_recovery,
+    heavyhitter_rows,
+    kv_population,
+    kv_rows,
+    register_scenario,
+    scenario_names,
+)
+from repro.sim.shard import SweepConfig, enumerate_cells
+
+KV_CELLS = len(KV_EPSILONS) * len(KV_BETAS)
+#: Simulated/cached cells vs emitted rows: the heavy-hitter sweep runs one
+#: cell per (protocol, beta) and expands it into one row per k.
+HH_CELLS = 3 * len(HH_BETAS)
+HH_ROWS = HH_CELLS * len(HH_KS)
+
+
+class TestKVPopulation:
+    def test_kv_population_is_deterministic(self):
+        a = kv_population(num_keys=16, num_users=5_000)
+        b = kv_population(num_keys=16, num_users=5_000)
+        np.testing.assert_array_equal(a.frequencies, b.frequencies)
+        np.testing.assert_array_equal(a.means, b.means)
+        assert a.num_keys == 16 and a.num_users == 5_000
+
+    def test_sample_is_two_point_with_matching_means(self):
+        population = kv_population(num_keys=8, num_users=60_000)
+        keys, values = population.sample(rng=3)
+        assert set(np.unique(values)).issubset({-1.0, 1.0})
+        # Hot keys have enough users for a loose moment check.
+        for k in range(3):
+            sampled = values[keys == k]
+            assert abs(sampled.mean() - population.means[k]) < 4.0 / np.sqrt(sampled.size)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KVPopulation("x", np.array([0.5, 0.5]), np.array([0.0]), 10)
+        with pytest.raises(InvalidParameterError):
+            KVPopulation("x", np.array([0.7, 0.5]), np.array([0.0, 0.0]), 10)
+        with pytest.raises(InvalidParameterError):
+            KVPopulation("x", np.array([0.5, 0.5]), np.array([0.0, 1.5]), 10)
+        with pytest.raises(InvalidParameterError):
+            KVPopulation("x", np.array([0.5, 0.5]), np.array([0.0, 0.0]), 0)
+
+
+class TestEvaluateKVRecovery:
+    def _cell(self):
+        population = kv_population(num_keys=8, num_users=2_000)
+        protocol = KeyValueProtocol(eps_key=1.0, eps_value=1.0, num_keys=8)
+        attack = KVPoisoningAttack(num_keys=8, targets=[6, 7])
+        return population, protocol, attack
+
+    def test_metrics_present_with_stats(self):
+        stats = evaluate_kv_recovery(*self._cell(), beta=0.1, trials=3, rng=5)
+        for metric in ("freq_mse_before", "mean_mae_recover_star", "fg_recover"):
+            assert stats[metric].count == 3
+            assert stats[metric].stderr is not None
+
+    def test_workers_bit_identical(self):
+        serial = evaluate_kv_recovery(*self._cell(), beta=0.1, trials=3, rng=5, workers=1)
+        pooled = evaluate_kv_recovery(*self._cell(), beta=0.1, trials=3, rng=5, workers=2)
+        assert serial == pooled
+
+    def test_trials_validated(self):
+        with pytest.raises(InvalidParameterError):
+            evaluate_kv_recovery(*self._cell(), trials=0)
+
+
+class TestKVRows:
+    def test_grid_shape_and_columns(self):
+        rows = kv_rows(num_users=2_000, trials=2, rng=11)
+        assert len(rows) == KV_CELLS
+        assert [r["beta"] for r in rows[: len(KV_BETAS)]] == list(KV_BETAS)
+        for column in ("freq_mse_recover_star", "mean_mae_before", "fg_recover_star"):
+            assert column in rows[0] and f"{column}±" in rows[0]
+
+    def test_deterministic_under_seed(self):
+        assert kv_rows(num_users=2_000, trials=2, rng=11) == kv_rows(
+            num_users=2_000, trials=2, rng=11
+        )
+
+    def test_trials_validated(self):
+        with pytest.raises(InvalidParameterError):
+            kv_rows(num_users=2_000, trials=0)
+        with pytest.raises(InvalidParameterError):
+            heavyhitter_rows(num_users=2_000, trials=0)
+
+    def test_warm_cache_serves_all_cells_with_zero_tasks(self, tmp_path):
+        cold = CellCache(tmp_path)
+        first = kv_rows(num_users=2_000, trials=2, rng=11, cache=cold)
+        assert cold.stats.misses == KV_CELLS and cold.stats.stores == KV_CELLS
+        warm = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        second = kv_rows(num_users=2_000, trials=2, rng=11, cache=warm)
+        assert TASK_COUNTER.count == 0, "warm cells must execute zero trials"
+        assert warm.stats.hits == KV_CELLS and warm.stats.misses == 0
+        assert second == first
+
+
+class TestHeavyHitterRows:
+    def test_grid_shape_and_columns(self):
+        rows = heavyhitter_rows(num_users=5_000, trials=1, rng=12)
+        assert len(rows) == HH_ROWS
+        cells = {r["cell"] for r in rows}
+        assert cells == {"mga-grr", "mga-oue", "mga-olh"}
+        for row in rows:
+            assert row["k"] in HH_KS and row["beta"] in HH_BETAS
+            for column in (
+                "precision_poisoned",
+                "precision_recovered_star",
+                "promoted_poisoned",
+                "promoted_recovered_star",
+            ):
+                assert column in row and f"{column}±" in row
+            assert 0.0 <= row["precision_poisoned"] <= 1.0
+            assert 0.0 <= row["promoted_poisoned"] <= row["k"]
+
+    def test_attack_actually_promotes_tail_items(self):
+        rows = heavyhitter_rows(num_users=5_000, trials=1, rng=12)
+        promoted = np.array([r["promoted_poisoned"] for r in rows])
+        assert promoted.mean() > 1.0, "MGA should plant items into the top-k"
+
+    def test_chunked_mode_runs(self):
+        rows = heavyhitter_rows(num_users=3_000, trials=1, rng=12, chunk_users=1_000)
+        assert len(rows) == HH_ROWS
+
+    def test_one_simulated_cell_per_protocol_beta(self):
+        """k only selects metrics off already-recovered vectors, so the
+        sweep must simulate one trial set per (protocol, beta) — not per k."""
+        TASK_COUNTER.reset()
+        heavyhitter_rows(num_users=3_000, trials=2, rng=12)
+        assert TASK_COUNTER.count == HH_CELLS * 2
+
+    def test_warm_cache_serves_all_cells_with_zero_tasks(self, tmp_path):
+        cold = CellCache(tmp_path)
+        first = heavyhitter_rows(num_users=4_000, trials=1, rng=12, cache=cold)
+        assert cold.stats.stores == HH_CELLS
+        warm = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        second = heavyhitter_rows(num_users=4_000, trials=1, rng=12, cache=warm)
+        assert TASK_COUNTER.count == 0
+        assert warm.stats.hits == HH_CELLS
+        assert second == first
+
+
+class TestScenarioCellSpec:
+    def test_kv_spec_sensitive_to_cell_identity(self):
+        population = kv_population(num_keys=8, num_users=1_000)
+        protocol = KeyValueProtocol(eps_key=1.0, eps_value=1.0, num_keys=8)
+        attack = KVPoisoningAttack(num_keys=8, targets=[6, 7])
+        seeds = np.random.SeedSequence(0).spawn(2)
+        base = scenario_cell_spec(
+            "kv", population, protocol, (attack,), {"beta": 0.1}, seeds
+        )
+        assert base["kind"] == "row" and base["exhibit"] == "scenario-kv"
+        other_beta = scenario_cell_spec(
+            "kv", population, protocol, (attack,), {"beta": 0.2}, seeds
+        )
+        assert canonical_key(base) != canonical_key(other_beta)
+        other_pop = scenario_cell_spec(
+            "kv",
+            kv_population(num_keys=8, num_users=2_000),
+            protocol,
+            (attack,),
+            {"beta": 0.1},
+            seeds,
+        )
+        assert canonical_key(base) != canonical_key(other_pop)
+        other_seeds = scenario_cell_spec(
+            "kv", population, protocol, (attack,), {"beta": 0.1},
+            np.random.SeedSequence(1).spawn(2),
+        )
+        assert canonical_key(base) != canonical_key(other_seeds)
+
+    def test_spec_is_reproducible(self):
+        population = kv_population(num_keys=8, num_users=1_000)
+        protocol = KeyValueProtocol(eps_key=1.0, eps_value=1.0, num_keys=8)
+        attack = KVPoisoningAttack(num_keys=8, targets=[6, 7])
+        seeds = np.random.SeedSequence(0).spawn(2)
+        a = scenario_cell_spec("kv", population, protocol, (attack,), {"beta": 0.1}, seeds)
+        b = scenario_cell_spec("kv", population, protocol, (attack,), {"beta": 0.1}, seeds)
+        assert canonical_key(a) == canonical_key(b)
+
+
+class TestSweepConfigDispatch:
+    def test_scenarios_are_valid_exhibits(self):
+        assert set(scenario_names()) <= set(SweepConfig.exhibit_names())
+        SweepConfig(figure="kv")
+        SweepConfig(figure="heavyhitter")
+
+    def test_run_matches_direct_generator_call(self):
+        config = SweepConfig(figure="kv", num_users=2_000, trials=2, seed=11)
+        assert config.run(None) == kv_rows(num_users=2_000, trials=2, rng=11)
+
+    def test_enumeration_lists_cells_without_simulating(self):
+        TASK_COUNTER.reset()
+        cells = enumerate_cells(SweepConfig(figure="kv", num_users=2_000, trials=2))
+        assert len(cells) == KV_CELLS
+        assert TASK_COUNTER.count == 0
+        assert all(cell.kind == "row" for cell in cells)
+
+    def test_digest_ignores_inapplicable_flags(self):
+        base = SweepConfig(figure="kv", trials=2)
+        assert base.digest() == SweepConfig(
+            figure="kv", trials=2, dataset="fire", parameter="eta",
+            chunk_users=500, olh_cohort=8, workers=3,
+        ).digest()
+        assert base.digest() != SweepConfig(figure="kv", trials=3).digest()
+        hh = SweepConfig(figure="heavyhitter", trials=2)
+        assert hh.digest() == SweepConfig(figure="heavyhitter", trials=2, dataset="fire").digest()
+        # ...but the knobs heavyhitter consumes stay in its digest.
+        assert hh.digest() != SweepConfig(figure="heavyhitter", trials=2, chunk_users=500).digest()
+        assert hh.digest() != SweepConfig(figure="heavyhitter", trials=2, olh_cohort=8).digest()
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert scenario_names() == ("kv", "heavyhitter")
+        for exhibit in SCENARIOS.values():
+            assert exhibit.description
+
+    def test_register_rejects_name_collisions(self):
+        taken = ScenarioExhibit(name="kv", description="dup", rows=kv_rows)
+        with pytest.raises(InvalidParameterError):
+            register_scenario(taken)
+        figure = ScenarioExhibit(name="fig3", description="dup", rows=kv_rows)
+        with pytest.raises(InvalidParameterError):
+            register_scenario(figure)
+
+    def test_registered_scenario_dispatches_like_a_figure(self):
+        calls: dict[str, object] = {}
+
+        def toy_rows(num_users=None, trials=5, rng=0, workers=1, cache=None):
+            calls["args"] = (num_users, trials, rng, workers)
+            return [{"cell": "toy", "value": 1.0}]
+
+        register_scenario(ScenarioExhibit(name="toy", description="toy", rows=toy_rows))
+        try:
+            config = SweepConfig(figure="toy", num_users=123, trials=2, seed=7)
+            assert config.run(None) == [{"cell": "toy", "value": 1.0}]
+            assert calls["args"] == (123, 2, 7, 1)
+            assert "toy" in SweepConfig.exhibit_names()
+            # The CLI sees a scenario registered *after* it was imported:
+            # parser choices and `list` are computed from the live registry.
+            from repro.cli import build_parser, main
+
+            assert build_parser().parse_args(["run", "--exhibit", "toy"]).figure == "toy"
+            import io
+            from contextlib import redirect_stdout
+
+            out = io.StringIO()
+            with redirect_stdout(out):
+                assert main(["list"]) == 0
+            assert "toy" in out.getvalue()
+            # Inapplicable engine knobs never enter the sweep digest.
+            assert config.digest() == SweepConfig(
+                figure="toy", num_users=123, trials=2, seed=7, chunk_users=64,
+            ).digest()
+        finally:
+            del SCENARIOS["toy"]
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(figure="toy")

@@ -44,6 +44,10 @@ CONFIG = SweepConfig(figure="table1", num_users=3_000, trials=2, seed=0)
 #: An evaluation-kind sweep: 3 protocols x 5 betas = 15 cells.
 EVAL_CONFIG = SweepConfig(figure="fig7", num_users=3_000, trials=2, seed=1)
 
+#: A scenario-exhibit sweep (ISSUE 5): 2 epsilons x 5 betas = 10 kv cells
+#: must shard, merge bit-identically and count exactly-once like figures.
+KV_CONFIG = SweepConfig(figure="kv", num_users=2_000, trials=2, seed=11)
+
 
 class TestSweepConfig:
     def test_rejects_unknown_figure(self):
@@ -113,7 +117,9 @@ class TestStaticSharding:
         with pytest.raises(InvalidParameterError):
             shard_of_key("ab" * 32, 0)
 
-    @pytest.mark.parametrize("config", [CONFIG, EVAL_CONFIG], ids=["row", "eval"])
+    @pytest.mark.parametrize(
+        "config", [CONFIG, EVAL_CONFIG, KV_CONFIG], ids=["row", "eval", "scenario-kv"]
+    )
     def test_two_shards_merge_bit_identical_exactly_once(self, tmp_path, config):
         single = config.run(None)  # the unsharded reference
         cache = CellCache(tmp_path)
@@ -130,6 +136,26 @@ class TestStaticSharding:
         TASK_COUNTER.reset()
         merged = merge_sweep(config, cache)
         assert TASK_COUNTER.count == 0, "merge must render purely from cache"
+        assert merged == single
+
+    def test_heavyhitter_cells_expand_to_rows_and_merge_bit_identical(self, tmp_path):
+        """The heavy-hitter scenario simulates one cell per (protocol,
+        beta) and expands each into one row per k — sharding must count
+        cells (not rows) and still merge bit-identically, including the
+        placeholder pass-through for foreign cells."""
+        config = SweepConfig(figure="heavyhitter", num_users=3_000, trials=1, seed=12)
+        single = config.run(None)
+        cells = enumerate_cells(config)
+        assert len(single) == 2 * len(cells)  # two k values per cell
+        cache = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        r0 = run_shard(config, cache, shard_index=0, shard_count=2)
+        r1 = run_shard(config, cache, shard_index=1, shard_count=2)
+        assert r0.cells_run + r1.cells_run == len(cells)
+        assert TASK_COUNTER.count == len(cells) * config.trials
+        TASK_COUNTER.reset()
+        merged = merge_sweep(config, cache)
+        assert TASK_COUNTER.count == 0
         assert merged == single
 
     def test_cold_shard_counts_each_cell_once_in_stats(self, tmp_path):

@@ -12,6 +12,9 @@ Examples::
     ldprecover run --exhibit kv --trials 3
     ldprecover run --exhibit heavyhitter --workers 0
     ldprecover demo --protocol oue --beta 0.1
+    ldprecover lint src/repro benchmarks
+    ldprecover lint --list-rules
+    ldprecover lint --format github --select REP001,REP002
     ldprecover cache ls
     ldprecover cache verify
     ldprecover cache prune --older-than-days 30
@@ -35,6 +38,13 @@ shard's cells — statically partitioned via ``--shard-index/--shard-count``
 or work-stealing via ``--claims`` — ``shard status`` reports progress,
 and ``shard merge`` renders the final rows from the fully populated
 cache, bit-identical to an unsharded run.
+
+The ``lint`` subcommand runs the determinism & cache-contract analyzer
+(:mod:`repro.lint`) over a source tree: every registered ``REPnnn`` rule
+(unseeded randomness, wall-clock leaks, fingerprint coverage, trial-task
+picklability, unordered iteration) plus the runtime fingerprint contract
+scan, with ``--format github`` emitting CI workflow annotations and the
+checked-in ``.repro-lint-baseline.json`` absorbing reviewed findings.
 
 Beyond the paper's figures, registered *scenario exhibits*
 (:mod:`repro.sim.scenarios`) — key-value recovery (``--exhibit kv``) and
@@ -227,6 +237,52 @@ def _shard_command(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled shard action {args.action!r}")  # pragma: no cover
 
 
+def _lint_command(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: run the determinism/cache-contract rules."""
+    import pathlib
+
+    from repro.lint import RULES, lint_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.name:28s} {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default to the working tree's src/repro when run from a checkout,
+        # else the installed package directory.
+        src = pathlib.Path("src/repro")
+        if src.is_dir():
+            paths = [src]
+        else:
+            import repro
+
+            paths = [pathlib.Path(repro.__file__).parent]
+    select = None
+    if args.select:
+        select = [
+            part.strip()
+            for chunk in args.select
+            for part in chunk.split(",")
+            if part.strip()
+        ]
+    try:
+        report = lint_paths(
+            paths,
+            select=select,
+            baseline_path=pathlib.Path(args.baseline) if args.baseline else None,
+            use_baseline=not args.no_baseline,
+            run_contracts=not args.no_contracts,
+        )
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = report.render(args.format)
+    if output:
+        print(output)
+    return report.exit_code
+
+
 def _write_rows(rows: list[dict[str, object]], path: str) -> None:
     """Persist ``rows`` to ``path`` (.json or .csv, by extension)."""
     from repro.sim.reporting import write_csv, write_json
@@ -333,6 +389,30 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
                      help="simulate the round report-exactly in chunks of this size")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & cache-contract analyzer (repro.lint)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to scan (default: src/repro in a "
+                           "checkout, else the installed repro package)")
+    lint.add_argument("--format", default="text", choices=["text", "github"],
+                      help="text: path:line:col lines for humans; github: "
+                           "::error workflow annotations for CI")
+    lint.add_argument("--select", action="append", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (default: all); "
+                           "may repeat")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file of accepted findings (default: "
+                           ".repro-lint-baseline.json if present)")
+    lint.add_argument("--no-baseline", action="store_true", dest="no_baseline",
+                      help="report findings the baseline would absorb")
+    lint.add_argument("--no-contracts", action="store_true", dest="no_contracts",
+                      help="skip the runtime fingerprint-coverage scan "
+                           "(REP003's live half)")
+    lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                      help="print the registered rule catalog and exit")
+
     cache = sub.add_parser("cache", help="inspect or clean the cell cache")
     cache.add_argument("action", choices=["ls", "prune", "verify"],
                        help="ls: list cached cells; prune: delete cells; "
@@ -363,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _demo(args)
     if args.command == "cache":
         return _cache_command(args)
+    if args.command == "lint":
+        return _lint_command(args)
     if args.chunk_users is not None and args.figure in _chunkless():
         print(
             f"note: --chunk-users is ignored for {args.figure} "

@@ -1,0 +1,127 @@
+"""Checked-in lint baseline: accepted findings, each with a justification.
+
+Rules sometimes flag code that is *deliberately* what it is — e.g. the
+cache's ``time.time()`` bookkeeping for entry ages and prune horizons,
+which is metadata that never enters a canonical key.  Rather than
+sprinkling inline suppressions through load-bearing modules, those
+accepted findings live in one reviewed JSON file
+(``.repro-lint-baseline.json`` at the repo root) where every entry
+**must** carry a one-line justification — an unexplained baseline entry
+fails loading, so the file cannot silently accumulate debt.
+
+Entries match findings on ``(rule, path, code)`` where ``code`` is the
+stripped source line, **not** the line number: unrelated edits above a
+baselined line do not invalidate the baseline, while any edit to the
+flagged line itself (or moving the file) surfaces the finding again for
+re-review.  Each entry also declares how many identical occurrences it
+covers (``count``, default 1), so a *new* copy of an already-baselined
+pattern is still reported.
+
+Stale entries — baselined findings the tree no longer produces — are
+reported by the runner so the baseline shrinks as code improves.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.lint.findings import Finding
+
+#: Default baseline filename, looked up at the repo root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: rule + location-independent match + why."""
+
+    rule: str
+    path: str
+    code: str
+    justification: str
+    count: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+def load_baseline(path: pathlib.Path) -> list[BaselineEntry]:
+    """Parse and validate a baseline file.
+
+    Every entry must provide ``rule``, ``path``, ``code`` and a non-empty
+    ``justification``; anything else raises so review debt cannot hide in
+    a malformed file.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or not isinstance(raw.get("entries"), list):
+        raise InvalidParameterError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    entries: list[BaselineEntry] = []
+    seen: set[tuple[str, str, str]] = set()
+    for index, item in enumerate(raw["entries"]):
+        if not isinstance(item, dict):
+            raise InvalidParameterError(f"baseline entry #{index} is not an object")
+        missing = [k for k in ("rule", "path", "code", "justification") if not item.get(k)]
+        if missing:
+            raise InvalidParameterError(
+                f"baseline entry #{index} is missing {', '.join(missing)}: every "
+                "accepted finding needs a rule, a path, the flagged source line, "
+                "and a one-line justification"
+            )
+        justification = str(item["justification"]).strip()
+        if not justification:
+            raise InvalidParameterError(
+                f"baseline entry #{index} has an empty justification"
+            )
+        count = item.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise InvalidParameterError(
+                f"baseline entry #{index} has invalid count {count!r} (need int >= 1)"
+            )
+        entry = BaselineEntry(
+            rule=str(item["rule"]),
+            path=str(item["path"]),
+            code=str(item["code"]).strip(),
+            justification=justification,
+            count=count,
+        )
+        if entry.key in seen:
+            raise InvalidParameterError(
+                f"baseline entry #{index} duplicates {entry.key}; merge them and "
+                "bump 'count' instead"
+            )
+        seen.add(entry.key)
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings into (still-reported, ...) and collect stale entries.
+
+    Returns ``(kept_findings, stale_entries)``: a finding is absorbed when
+    an entry with the same ``(rule, path, stripped-code)`` still has
+    budget left (``count``); entries that absorb **nothing** are stale
+    and should be deleted from the baseline file.
+    """
+    budget: dict[tuple[str, str, str], int] = {e.key: e.count for e in entries}
+    used: set[tuple[str, str, str]] = set()
+    kept: list[Finding] = []
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.code.strip())
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            used.add(key)
+        else:
+            kept.append(finding)
+    stale = [entry for entry in entries if entry.key not in used]
+    return kept, stale

@@ -1,0 +1,681 @@
+"""The AST checkers behind every registered ``REPnnn`` rule.
+
+Each checker is a plain generator over one
+:class:`~repro.lint.context.ModuleContext`; registration at import time
+(:func:`repro.lint.registry.register_rule`) makes the set of enforced
+contracts explicit and individually selectable.  The rules encode the
+determinism and cache contracts the rest of the repo sells:
+
+* **REP001** ``unseeded-randomness`` — all randomness flows through
+  :mod:`repro._rng`'s ``SeedSequence`` spawning; module-level numpy
+  randomness, argument-less ``default_rng()`` and stdlib :mod:`random`
+  break ``workers=N == workers=1`` bit-identity.
+* **REP002** ``wall-clock-entropy`` — wall clocks, OS entropy and UUIDs
+  must not feed cell specs or trial execution; shard claim bookkeeping
+  is the one allowlisted module.
+* **REP003** ``fingerprint-coverage`` (AST half) — ``FINGERPRINT_EXCLUDE``
+  entries must name real attributes, and fingerprinted classes must not
+  store callables in attributes (``fingerprint_object`` silently skips
+  them, aliasing two different cells under one cache key).  The runtime
+  half lives in :mod:`repro.lint.contracts`.
+* **REP004** ``trial-task-picklability`` — trial-task classes and
+  ``parallel_map`` callables must be importable module-level objects or
+  the process pool cannot pickle them.
+* **REP005** ``unordered-iteration`` — iterating sets or unsorted
+  filesystem listings produces platform/hash-seed dependent order.
+* **REP101** ``mutable-default-argument`` / **REP102** ``bare-except`` —
+  generic hygiene.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register_rule
+
+__all__ = [
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP101",
+    "REP102",
+    "REP002_ALLOWED_MODULES",
+    "RNG_MODULES",
+]
+
+
+# ----------------------------------------------------------------------
+# REP001: unseeded randomness
+# ----------------------------------------------------------------------
+#: Modules allowed to construct generators from nothing: the one place
+#: ``rng=None -> fresh OS-seeded generator`` is the documented contract.
+RNG_MODULES = frozenset({"repro/_rng.py"})
+
+#: ``numpy.random`` attributes that are constructors/machinery rather
+#: than draws off the legacy global state.  Everything else —
+#: ``np.random.normal``, ``np.random.shuffle``, ``np.random.seed`` — uses
+#: or reseeds the hidden module-level generator.
+_NP_RANDOM_MACHINERY = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # explicit legacy object; flagged separately below
+    }
+)
+
+#: Legacy constructions that are never acceptable, even with arguments.
+_NP_RANDOM_FORBIDDEN = frozenset({"seed", "RandomState", "set_state"})
+
+
+def _check_rep001(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.relpath in RNG_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = node.names[0].name if isinstance(node, ast.Import) else node.module
+            roots = (
+                [alias.name.split(".")[0] for alias in node.names]
+                if isinstance(node, ast.Import)
+                else [(node.module or "").split(".")[0]]
+            )
+            if "random" in roots:
+                yield ctx.finding(
+                    "REP001",
+                    node,
+                    f"stdlib 'random' import ({module}): all randomness must flow "
+                    "through repro._rng SeedSequence streams",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None or len(resolved) < 2:
+            continue
+        if resolved[:2] != ("numpy", "random"):
+            continue
+        attr = resolved[-1] if len(resolved) > 2 else None
+        if attr is None:
+            continue
+        if attr in _NP_RANDOM_FORBIDDEN:
+            yield ctx.finding(
+                "REP001",
+                node,
+                f"numpy.random.{attr} touches the hidden global generator; "
+                "pass explicit Generator/SeedSequence objects instead",
+            )
+        elif attr == "default_rng":
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    "REP001",
+                    node,
+                    "default_rng() with no seed draws OS entropy; thread an "
+                    "rng/SeedSequence argument through (repro._rng.as_generator)",
+                )
+        elif attr not in _NP_RANDOM_MACHINERY:
+            yield ctx.finding(
+                "REP001",
+                node,
+                f"module-level numpy.random.{attr}(...) draws from the hidden "
+                "global state; use a Generator from repro._rng",
+            )
+
+
+REP001 = register_rule(
+    LintRule(
+        id="REP001",
+        name="unseeded-randomness",
+        summary="no unseeded or module-level randomness outside repro._rng",
+        rationale=(
+            "Every reproducibility guarantee (workers=N bit-identical to "
+            "workers=1, cacheable cells keyed by their per-trial SeedSequence "
+            "identities) assumes randomness flows exclusively through "
+            "repro._rng's SeedSequence spawning. Module-level numpy.random "
+            "calls and stdlib random share hidden global state across trials "
+            "and processes; default_rng() with no argument draws OS entropy "
+            "that can never be replayed."
+        ),
+        check=_check_rep001,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# REP002: wall-clock / entropy sources
+# ----------------------------------------------------------------------
+#: Modules exempt from REP002, with the justification for each.  Claim
+#: bookkeeping in the shard coordinator is *about* wall-clock time (claim
+#: staleness TTLs, report stamps) and none of it enters cell identities.
+REP002_ALLOWED_MODULES: dict[str, str] = {
+    "repro/sim/shard.py": (
+        "claim bookkeeping: TTL staleness and report stamps are coordination "
+        "metadata, never part of a cell spec or trial"
+    ),
+}
+
+#: Exact dotted names whose call is a wall-clock/entropy read.
+_REP002_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("os", "urandom"),
+        ("os", "getrandom"),
+        ("datetime", "datetime", "now"),
+        ("datetime", "datetime", "utcnow"),
+        ("datetime", "datetime", "today"),
+        ("datetime", "date", "today"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid3"),
+        ("uuid", "uuid4"),
+        ("uuid", "uuid5"),
+        ("uuid", "getnode"),
+    }
+)
+
+#: Module prefixes that are entropy sources wholesale.
+_REP002_PREFIXES = (("secrets",),)
+
+
+def _check_rep002(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.relpath in REP002_ALLOWED_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            continue
+        dotted = ".".join(resolved)
+        if resolved in _REP002_CALLS or any(
+            resolved[: len(prefix)] == prefix for prefix in _REP002_PREFIXES
+        ):
+            yield ctx.finding(
+                "REP002",
+                node,
+                f"{dotted}() is a wall-clock/entropy source; cell specs and "
+                "trial execution must be pure functions of their seeds "
+                "(time.monotonic/perf_counter are fine for durations)",
+            )
+
+
+REP002 = register_rule(
+    LintRule(
+        id="REP002",
+        name="wall-clock-entropy",
+        summary="no wall-clock or OS-entropy reads in spec/trial code",
+        rationale=(
+            "A cell's canonical cache key is a pure function of its spec; a "
+            "timestamp, UUID or urandom draw leaking into a spec or a trial "
+            "makes the cell unreproducible and the key unstable (every run a "
+            "cache miss). Duration measurement (time.monotonic, "
+            "time.perf_counter) is allowed; identity must never come from the "
+            "clock. repro/sim/shard.py is allowlisted: claim TTLs and report "
+            "stamps are coordination metadata that never enter cell specs."
+        ),
+        check=_check_rep002,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# REP003: fingerprint coverage (AST half)
+# ----------------------------------------------------------------------
+#: Base-class names that mark a class as cache-fingerprinted via
+#: ``fingerprint_object`` (subclass sets widen at runtime; the AST half
+#: matches by name so fixtures work without imports).
+_FINGERPRINTED_BASES = frozenset(
+    {
+        "FrequencyOracle",
+        "PoisoningAttack",
+        "ItemSamplingAttack",
+        "KeyValueProtocol",
+        "KVPoisoningAttack",
+    }
+)
+
+
+def _string_elements(node: ast.AST) -> Optional[list[tuple[str, ast.AST]]]:
+    """The literal string elements of a set/list/tuple/frozenset node."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "frozenset" and len(node.args) == 1:
+            return _string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        out = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            out.append((element.value, element))
+        return out
+    return None
+
+
+def _class_attribute_names(cls: ast.ClassDef) -> set[str]:
+    """Attribute names a class instance carries: dataclass-style annotated
+    class fields plus ``self.X`` assignments in ``__init__``/``__post_init__``."""
+    attrs: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            attrs.add(stmt.target.id)
+        if isinstance(stmt, ast.FunctionDef) and stmt.name in ("__init__", "__post_init__"):
+            for node in ast.walk(stmt):
+                targets: Sequence[ast.AST] = ()
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = (node.target,)
+                elif isinstance(node, ast.Call):
+                    # object.__setattr__(self, "name", ...) — the frozen-
+                    # dataclass idiom used by __post_init__ bodies.
+                    resolved = [
+                        a.value
+                        for a in node.args[1:2]
+                        if isinstance(a, ast.Constant) and isinstance(a.value, str)
+                    ]
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "__setattr__"
+                        and resolved
+                    ):
+                        attrs.add(resolved[0])
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+    return attrs
+
+
+def _is_fingerprinted_class(cls: ast.ClassDef, has_exclude: bool) -> bool:
+    if has_exclude:
+        return True
+    for base in cls.bases:
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if name in _FINGERPRINTED_BASES:
+            return True
+    return False
+
+
+def _check_rep003(ctx: ModuleContext) -> Iterator[Finding]:
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        exclude_node = None
+        for stmt in cls.body:
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and target.id == "FINGERPRINT_EXCLUDE":
+                exclude_node = value
+        excluded: set[str] = set()
+        if exclude_node is not None:
+            elements = _string_elements(exclude_node)
+            if elements is None:
+                yield ctx.finding(
+                    "REP003",
+                    exclude_node,
+                    f"{cls.name}.FINGERPRINT_EXCLUDE must be a literal "
+                    "set/frozenset of attribute-name strings so coverage is "
+                    "statically checkable",
+                )
+            else:
+                attrs = _class_attribute_names(cls)
+                for name, node in elements:
+                    excluded.add(name)
+                    if name not in attrs:
+                        yield ctx.finding(
+                            "REP003",
+                            node,
+                            f"{cls.name}.FINGERPRINT_EXCLUDE names {name!r}, "
+                            "which is not an attribute this class assigns — "
+                            "a rotted exclude silently stops guarding anything",
+                        )
+        if not _is_fingerprinted_class(cls, exclude_node is not None):
+            continue
+        for stmt in cls.body:
+            if not (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name in ("__init__", "__post_init__")
+            ):
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if target.attr in excluded:
+                        continue
+                    if isinstance(node.value, ast.Lambda):
+                        yield ctx.finding(
+                            "REP003",
+                            node,
+                            f"{cls.name}.{target.attr} stores a lambda: "
+                            "fingerprint_object silently skips callables, so "
+                            "two cells differing only here share one cache "
+                            "key — store data, or add the attribute to "
+                            "FINGERPRINT_EXCLUDE with a justification",
+                        )
+
+
+REP003 = register_rule(
+    LintRule(
+        id="REP003",
+        name="fingerprint-coverage",
+        summary="every attribute of a fingerprinted class is hashed or excluded",
+        rationale=(
+            "Content-addressed cell caching is only sound if every attribute "
+            "that can change a result enters fingerprint_object's traversal. "
+            "The AST half checks that FINGERPRINT_EXCLUDE entries name real "
+            "attributes (a typo silently unguards the cache) and that "
+            "fingerprinted classes never store callables (which "
+            "fingerprint_object skips, aliasing distinct cells). The runtime "
+            "half (repro.lint.contracts) instantiates the real protocol / "
+            "attack / dataset / population classes and cross-references live "
+            "vars() against the produced fingerprints, catching fields added "
+            "to classes with bespoke fingerprint functions "
+            "(fingerprint_dataset, fingerprint_kv_population)."
+        ),
+        check=_check_rep003,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# REP004: trial-task picklability
+# ----------------------------------------------------------------------
+def _lambda_class_defaults(cls: ast.ClassDef) -> Iterator[ast.AST]:
+    """Class-body field defaults that are lambdas (unpicklable)."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.value, ast.Lambda):
+            yield stmt.value
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Lambda):
+            yield stmt.value
+
+
+def _check_rep004(ctx: ModuleContext) -> Iterator[Finding]:
+    reported: set[tuple[int, int]] = set()
+
+    def report(node: ast.AST, message: str) -> Iterator[Finding]:
+        location = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+        if location not in reported:
+            reported.add(location)
+            yield ctx.finding("REP004", node, message)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef) and node.name.endswith("Task"):
+            nested_in = next(
+                (
+                    a
+                    for a in ctx.ancestors(node)
+                    if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                None,
+            )
+            if nested_in is not None:
+                yield from report(
+                    node,
+                    f"trial-task class {node.name} is defined inside a "
+                    "function: the process pool pickles tasks by qualified "
+                    "name, so function-local classes cannot ship to workers",
+                )
+            for default in _lambda_class_defaults(node):
+                yield from report(
+                    default,
+                    f"trial-task class {node.name} has a lambda field default; "
+                    "lambdas cannot pickle — use a module-level function",
+                )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local_functions = {
+                inner.name
+                for inner in ast.walk(node)
+                if inner is not node
+                and isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for call in ast.walk(node):
+                if not (isinstance(call, ast.Call) and call.args):
+                    continue
+                resolved = ctx.resolve(call.func)
+                if resolved is None or resolved[-1] != "parallel_map":
+                    continue
+                first = call.args[0]
+                if isinstance(first, ast.Lambda):
+                    yield from report(
+                        first,
+                        "parallel_map task function is a lambda: lambdas "
+                        "cannot pickle to pool workers",
+                    )
+                elif isinstance(first, ast.Name) and first.id in local_functions:
+                    yield from report(
+                        first,
+                        f"parallel_map task function {first.id!r} is defined "
+                        "inside a function (a closure): pool workers import "
+                        "tasks by qualified name, so it must be module-level",
+                    )
+    # Module-level lambda handed to parallel_map (outside any function).
+    for call in ast.walk(ctx.tree):
+        if (
+            isinstance(call, ast.Call)
+            and call.args
+            and isinstance(call.args[0], ast.Lambda)
+        ):
+            resolved = ctx.resolve(call.func)
+            if resolved is not None and resolved[-1] == "parallel_map":
+                yield from report(
+                    call.args[0],
+                    "parallel_map task function is a lambda: lambdas cannot "
+                    "pickle to pool workers",
+                )
+
+
+REP004 = register_rule(
+    LintRule(
+        id="REP004",
+        name="trial-task-picklability",
+        summary="trial tasks and parallel_map callables must be module-level",
+        rationale=(
+            "The engine fans trials out through a process pool; tasks and "
+            "task functions are pickled by qualified name. A *Task class "
+            "defined inside a function, a lambda field default, or a closure "
+            "passed to parallel_map works under workers=1 and then explodes "
+            "(or silently serializes stale state) under workers=N — exactly "
+            "the failure mode that only surfaces on the one machine shape "
+            "the tests did not run."
+        ),
+        check=_check_rep004,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# REP005: unordered iteration
+# ----------------------------------------------------------------------
+#: Attribute calls that enumerate a directory in OS-defined order.
+_FS_ATTRS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Resolved module functions that enumerate in OS-defined order.
+_FS_CALLS = frozenset(
+    {
+        ("os", "listdir"),
+        ("os", "scandir"),
+        ("os", "walk"),
+        ("glob", "glob"),
+        ("glob", "iglob"),
+    }
+)
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _check_rep005(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        # Iterating a set: `for x in {...}` / comprehension generators.
+        iters: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for candidate in iters:
+            if _is_set_expression(candidate):
+                yield ctx.finding(
+                    "REP005",
+                    candidate,
+                    "iterating a set: element order depends on the hash seed; "
+                    "wrap in sorted(...) before any spec/row emission",
+                )
+        # Materializing a set in order: list({...}) / tuple({...}).
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and _is_set_expression(node.args[0])
+        ):
+            yield ctx.finding(
+                "REP005",
+                node,
+                f"{node.func.id}() over a set captures hash-seed dependent "
+                "order; use sorted(...)",
+            )
+        # Filesystem enumeration without an ordering wrapper.
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            is_fs = False
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _FS_ATTRS:
+                is_fs = True
+            elif resolved is not None and resolved in _FS_CALLS:
+                is_fs = True
+            if is_fs and not ctx.enclosing_statement_has_sorted(node):
+                name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+                    ".".join(resolved or ())
+                )
+                yield ctx.finding(
+                    "REP005",
+                    node,
+                    f"{name}(...) enumerates the filesystem in OS-defined "
+                    "order; wrap in sorted(...) so output and cache scans are "
+                    "deterministic",
+                )
+
+
+REP005 = register_rule(
+    LintRule(
+        id="REP005",
+        name="unordered-iteration",
+        summary="no hash-order or filesystem-order iteration in emitted output",
+        rationale=(
+            "Row tables, spec serialization and cache maintenance must be "
+            "byte-stable across runs and machines. Set iteration order "
+            "changes with PYTHONHASHSEED; directory listings change with the "
+            "filesystem. Both belong behind sorted(...). Dict iteration is "
+            "deliberately not flagged: insertion order is a language "
+            "guarantee and the cache's canonical JSON already sorts keys."
+        ),
+        check=_check_rep005,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# REP101/REP102: generic hygiene
+# ----------------------------------------------------------------------
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _check_rep101(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                name = getattr(node, "name", "<lambda>")
+                yield ctx.finding(
+                    "REP101",
+                    default,
+                    f"mutable default argument in {name}(): the object is "
+                    "shared across calls; default to None and construct inside",
+                )
+
+
+REP101 = register_rule(
+    LintRule(
+        id="REP101",
+        name="mutable-default-argument",
+        summary="no list/dict/set literals as argument defaults",
+        rationale=(
+            "A mutable default is evaluated once and shared by every call; "
+            "state leaking between trials or cells through one is a "
+            "determinism bug that depends on call history."
+        ),
+        check=_check_rep101,
+    )
+)
+
+
+def _check_rep102(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield ctx.finding(
+                "REP102",
+                node,
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt and "
+                "hides real failures; catch the narrowest exception that the "
+                "handler can actually recover from",
+            )
+
+
+REP102 = register_rule(
+    LintRule(
+        id="REP102",
+        name="bare-except",
+        summary="no bare except clauses",
+        rationale=(
+            "A bare except hides the very corruption signals (unpicklable "
+            "task, truncated cache entry) the rest of the stack is designed "
+            "to surface, and it catches SystemExit/KeyboardInterrupt."
+        ),
+        check=_check_rep102,
+    )
+)

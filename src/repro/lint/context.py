@@ -1,0 +1,186 @@
+"""Per-module analysis context shared by every AST lint rule.
+
+One :class:`ModuleContext` is built per scanned file and handed to each
+rule checker.  It owns the parsed tree plus the cross-cutting machinery
+every rule needs:
+
+* **name resolution** — an import-alias map built from the module's
+  ``import``/``from`` statements, so ``np.random.default_rng`` and
+  ``numpy.random.default_rng`` (or ``from time import time; time()``)
+  resolve to the same canonical dotted name (:meth:`resolve`);
+* **parent links** — ``child -> parent`` AST pointers
+  (:meth:`parent`), used e.g. to accept ``sorted(path.glob(...))``
+  while rejecting a bare ``path.glob(...)`` iteration;
+* **suppressions** — ``# repro-lint: ignore[REPnnn]`` line comments and
+  the ``# repro-lint: skip-file`` escape hatch, parsed once
+  (:meth:`is_suppressed`);
+* **finding construction** anchored to AST nodes with the source line
+  attached for baseline matching (:meth:`finding`).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+
+#: Inline suppression: ``# repro-lint: ignore[REP001]`` (one or more
+#: comma-separated ids) or a blanket ``# repro-lint: ignore``.
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Whole-file opt-out, honored only within the first few lines.
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+#: How many leading lines may carry ``skip-file``.
+_SKIP_FILE_WINDOW = 5
+
+
+def package_relpath(path: pathlib.Path) -> str:
+    """``path`` rendered relative to the ``repro`` package when inside it.
+
+    Rule scopes (the ``_rng.py`` randomness exemption, the ``shard.py``
+    wall-clock allowlist) are declared against package-relative names like
+    ``repro/sim/shard.py`` so they hold no matter where the tree is
+    checked out or installed.  Files outside any ``repro`` directory keep
+    their path as given (fixtures, benchmarks).
+    """
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[start:])
+    return path.as_posix()
+
+
+class ModuleContext:
+    """Everything rule checkers need to know about one parsed module."""
+
+    def __init__(self, path: pathlib.Path, source: str, display_path: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.relpath = package_relpath(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: dict[int, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        self.aliases = self._collect_aliases()
+        self._suppressions = self._collect_suppressions()
+        self.skip_file = any(
+            _SKIP_FILE_RE.search(line) for line in self.lines[:_SKIP_FILE_WINDOW]
+        )
+
+    # -- imports and name resolution -----------------------------------
+    def _collect_aliases(self) -> dict[str, tuple[str, ...]]:
+        aliases: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = tuple(alias.name.split("."))
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c.
+                    if alias.asname is not None:
+                        aliases[alias.asname] = target
+                    else:
+                        aliases[target[0]] = target[:1]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                base = tuple(node.module.split("."))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    aliases[alias.asname or alias.name] = base + (alias.name,)
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[tuple[str, ...]]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        ``np.random.default_rng`` resolves to ``("numpy", "random",
+        "default_rng")`` given ``import numpy as np``; a chain whose base
+        is not a plain name (a call result, a subscript) resolves to
+        ``None`` — rules treat that as "not a module-level access".
+        """
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        chain.reverse()
+        head = self.aliases.get(chain[0])
+        if head is not None:
+            return head + tuple(chain[1:])
+        return tuple(chain)
+
+    # -- structure helpers ---------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (``None`` for the module root)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``node``'s ancestors from parent to module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_statement_has_sorted(self, node: ast.AST) -> bool:
+        """Whether an ancestor ``sorted(...)`` call wraps ``node`` before
+        the enclosing statement — i.e. the value is ordered before use."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                return False
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Name)
+                and ancestor.func.id == "sorted"
+            ):
+                return True
+        return False
+
+    # -- suppressions ---------------------------------------------------
+    def _collect_suppressions(self) -> dict[int, Optional[frozenset[str]]]:
+        """``line -> suppressed rule ids`` (``None`` = every rule)."""
+        out: dict[int, Optional[frozenset[str]]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _IGNORE_RE.search(line)
+            if not match:
+                continue
+            if match.group(1) is None:
+                out[number] = None
+            else:
+                ids = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+                out[number] = ids or None
+        return out
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether an inline comment on ``line`` suppresses ``rule_id``."""
+        if line not in self._suppressions:
+            return False
+        ids = self._suppressions[line]
+        return ids is None or rule_id in ids
+
+    # -- finding construction ------------------------------------------
+    def code_at(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` (baseline key)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for ``rule_id`` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.display_path,
+            line=line,
+            col=col,
+            rule=rule_id,
+            message=message,
+            code=self.code_at(line),
+        )

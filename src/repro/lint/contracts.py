@@ -1,0 +1,225 @@
+"""Runtime half of REP003: live fingerprint-coverage cross-referencing.
+
+The AST half of REP003 (:mod:`repro.lint.checks`) can only see what a
+class *assigns*; whether the cache actually *hashes* it is a property of
+:func:`repro.sim.cache.fingerprint_object`'s traversal at runtime.  This
+module instantiates the real protocol / attack / key-value / dataset
+classes through a curated factory table, fingerprints each instance, and
+cross-references live ``vars()`` against the produced fingerprint:
+
+* an instance attribute absent from the fingerprint that is **not** RNG
+  machinery (the documented skip) and **not** in ``FINGERPRINT_EXCLUDE``
+  means the cache silently ignores result-shaping state — two distinct
+  cells would share one key;
+* a fingerprint value that fell back to a memory-address ``repr`` (the
+  ``<... object at 0x...>`` shape) is unstable across processes — the
+  same cell would never hit its own cache entry;
+* classes with **bespoke** fingerprint functions
+  (:func:`~repro.sim.cache.fingerprint_dataset`,
+  :func:`~repro.sim.cache.fingerprint_kv_population`) are checked
+  field-by-field: every dataclass field must appear in the fingerprint,
+  so adding a field without extending the bespoke function is caught the
+  day it lands.
+
+Factories instantiate with pinned seeds (:func:`repro._rng.as_generator`)
+so the contract scan itself is deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import pathlib
+import re
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.lint.findings import Finding
+
+#: ``repr`` fallbacks carrying a process-local memory address.
+_ADDRESS_REPR_RE = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+#: Types :func:`repro.sim.cache._fingerprint_value` documents as skipped
+#: because trial randomness flows through the spec's seed list instead.
+_RNG_MACHINERY = (np.random.Generator, np.random.BitGenerator, np.random.SeedSequence)
+
+
+def _class_location(cls: type) -> tuple[str, int]:
+    """``(path, line)`` of a class definition, repo-relative if possible."""
+    try:
+        source = inspect.getsourcefile(cls) or "<unknown>"
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):  # pragma: no cover - C extensions only
+        return "<unknown>", 1
+    path = pathlib.Path(source)
+    try:
+        path = path.relative_to(pathlib.Path.cwd())
+    except ValueError:
+        pass
+    return path.as_posix(), line
+
+
+def _finding(cls: type, message: str) -> Finding:
+    path, line = _class_location(cls)
+    return Finding(path=path, line=line, col=0, rule="REP003", message=message)
+
+
+def _unstable_reprs(value: Any, trail: str) -> Iterator[str]:
+    """Dotted trails inside a fingerprint whose value is an address repr."""
+    if isinstance(value, str):
+        if _ADDRESS_REPR_RE.search(value):
+            yield trail
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _unstable_reprs(sub, f"{trail}.{key}" if trail else str(key))
+    elif isinstance(value, (list, tuple)):
+        for index, sub in enumerate(value):
+            yield from _unstable_reprs(sub, f"{trail}[{index}]")
+
+
+def check_fingerprint_object(label: str, obj: Any) -> Iterator[Finding]:
+    """Cross-reference ``vars(obj)`` against ``fingerprint_object(obj)``."""
+    from repro.sim.cache import fingerprint_object
+
+    cls = type(obj)
+    fingerprint = fingerprint_object(obj)
+    exclude = getattr(cls, "FINGERPRINT_EXCLUDE", frozenset())
+    for attr, value in sorted(vars(obj).items()):
+        if attr in fingerprint or attr in exclude:
+            continue
+        if isinstance(value, _RNG_MACHINERY):
+            continue  # the documented skip: randomness rides on the spec seeds
+        if callable(value) and not isinstance(value, type):
+            yield _finding(
+                cls,
+                f"{label}: attribute {attr!r} holds a callable that "
+                "fingerprint_object silently skips; cells differing only in "
+                f"{attr!r} would share one cache key — store data, or add it "
+                "to FINGERPRINT_EXCLUDE with a justification",
+            )
+        else:
+            yield _finding(
+                cls,
+                f"{label}: attribute {attr!r} (value type "
+                f"{type(value).__name__}) is missing from the fingerprint "
+                "and is not declared in FINGERPRINT_EXCLUDE",
+            )
+    for trail in _unstable_reprs(fingerprint, ""):
+        yield _finding(
+            cls,
+            f"{label}: fingerprint entry {trail!r} fell back to a "
+            "memory-address repr, which differs every process — the cell "
+            "key is unstable, every run is a cache miss",
+        )
+
+
+def check_bespoke_fingerprint(
+    label: str, obj: Any, fingerprint: dict[str, Any]
+) -> Iterator[Finding]:
+    """Every dataclass field of ``obj`` must appear in its bespoke fingerprint."""
+    cls = type(obj)
+    for field in dataclasses.fields(obj):
+        if field.name not in fingerprint:
+            yield _finding(
+                cls,
+                f"{label}: dataclass field {field.name!r} is absent from its "
+                f"bespoke fingerprint ({sorted(fingerprint)}); extend the "
+                "fingerprint function before the cache aliases cells",
+            )
+    for trail in _unstable_reprs(fingerprint, ""):
+        yield _finding(
+            cls,
+            f"{label}: fingerprint entry {trail!r} is a memory-address repr "
+            "and differs every process",
+        )
+
+
+def _fingerprinted_instances() -> Iterator[tuple[str, Any]]:
+    """``(label, instance)`` pairs for every fingerprint_object class.
+
+    One representative per concrete class the engine ever fingerprints:
+    the protocol registry's oracles, every exported attack (including the
+    wrapping/composing ones), and the key-value protocol and attack.
+    Seeds are pinned so the scan never consumes OS entropy.
+    """
+    from repro._rng import as_generator
+    from repro.attacks import (
+        AdaptiveAttack,
+        InputPoisoningAttack,
+        ManipAttack,
+        MGAAttack,
+        MultiAttacker,
+        RIAAttack,
+        RPAAttack,
+    )
+    from repro.kv.attack import KVPoisoningAttack
+    from repro.kv.protocol import KeyValueProtocol
+    from repro.protocols import BLH, GRR, OLH, OUE, SUE, BinaryRandomizedResponse, Harmony
+
+    d = 8
+    yield "protocols.GRR", GRR(epsilon=1.0, domain_size=d)
+    yield "protocols.OUE", OUE(epsilon=1.0, domain_size=d)
+    yield "protocols.OLH", OLH(epsilon=1.0, domain_size=d, cohort=16)
+    yield "protocols.SUE", SUE(epsilon=1.0, domain_size=d)
+    yield "protocols.BLH", BLH(epsilon=1.0, domain_size=d)
+    yield "protocols.BinaryRandomizedResponse", BinaryRandomizedResponse(epsilon=1.0)
+    yield "protocols.Harmony", Harmony(epsilon=1.0)
+    yield "attacks.MGAAttack", MGAAttack(d, r=3, rng=as_generator(11))
+    yield "attacks.AdaptiveAttack", AdaptiveAttack(
+        d, concentration=2.0, rng=as_generator(12)
+    )
+    yield "attacks.ManipAttack", ManipAttack(d, rng=as_generator(13))
+    yield "attacks.RIAAttack", RIAAttack(d)
+    yield "attacks.RPAAttack", RPAAttack(d)
+    yield "attacks.InputPoisoningAttack", InputPoisoningAttack(
+        MGAAttack(d, r=3, rng=as_generator(14))
+    )
+    yield "attacks.MultiAttacker", MultiAttacker(
+        [MGAAttack(d, r=3, rng=as_generator(15)), RPAAttack(d)]
+    )
+    yield "kv.KeyValueProtocol", KeyValueProtocol(eps_key=0.5, eps_value=0.5, num_keys=d)
+    yield "kv.KVPoisoningAttack", KVPoisoningAttack(d, rng=as_generator(16))
+
+
+def _bespoke_instances() -> Iterator[tuple[str, Any, dict[str, Any]]]:
+    """``(label, instance, fingerprint)`` for bespoke-fingerprint classes."""
+    from repro.datasets.base import Dataset
+    from repro.sim.cache import fingerprint_dataset, fingerprint_kv_population
+    from repro.sim.scenarios import KVPopulation
+
+    dataset = Dataset(name="lint-probe", counts=np.array([3, 2, 1, 4], dtype=np.int64))
+    yield "datasets.Dataset", dataset, fingerprint_dataset(dataset)
+
+    population = KVPopulation(
+        name="lint-probe-kv",
+        frequencies=np.array([0.4, 0.3, 0.2, 0.1]),
+        means=np.array([0.5, -0.25, 0.0, 1.0]),
+        num_users=1000,
+    )
+    yield (
+        "scenarios.KVPopulation",
+        population,
+        fingerprint_kv_population(population),
+    )
+
+
+def check_contracts(
+    extra_objects: Optional[
+        Callable[[], Iterator[tuple[str, Any]]]
+    ] = None,
+) -> list[Finding]:
+    """Run the full runtime fingerprint-coverage scan.
+
+    ``extra_objects`` lets tests inject planted-violation instances
+    through the same machinery the real classes go through.
+    """
+    findings: list[Finding] = []
+    for label, obj in _fingerprinted_instances():
+        findings.extend(check_fingerprint_object(label, obj))
+    for label, obj, fingerprint in _bespoke_instances():
+        findings.extend(check_bespoke_fingerprint(label, obj, fingerprint))
+    if extra_objects is not None:
+        for label, obj in extra_objects():
+            findings.extend(check_fingerprint_object(label, obj))
+    return sorted(findings)

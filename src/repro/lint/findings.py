@@ -1,0 +1,52 @@
+"""The unit of lint output: one :class:`Finding` per contract violation.
+
+A finding pins a rule id to an exact source location plus a one-line
+message, and knows how to render itself in the two output formats the
+``lint`` CLI offers — plain text for humans and GitHub workflow
+annotations (``::error file=...``) for CI.  Findings order by location so
+reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file as scanned (repo-relative where possible),
+    ``line``/``col`` the 1-based line and 0-based column of the offending
+    node, ``rule`` the registered rule id (e.g. ``"REP001"``), ``message``
+    the human explanation, and ``code`` the stripped source line —
+    baseline entries match on it (see :mod:`repro.lint.baseline`) so
+    unrelated line-number churn does not invalidate a baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    code: str = field(default="", compare=False)
+
+    def render_text(self) -> str:
+        """The ``path:line:col: RULE message`` human rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def render_github(self) -> str:
+        """The GitHub Actions workflow-annotation rendering.
+
+        Emits an ``::error`` command so the finding surfaces inline on
+        the PR diff; the message is sanitized per the workflow-command
+        escaping rules (``%``, CR and LF cannot appear raw).
+        """
+        message = (
+            f"{self.rule} {self.message}"
+            .replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title=repro-lint {self.rule}::{message}"
+        )

@@ -99,7 +99,7 @@ class OLH(FrequencyOracle):
     #: Execution-only attributes excluded from cache fingerprints: they
     #: bound transient memory but cannot change aggregation results, like
     #: the engine's ``workers`` / ``chunk_users`` knobs.
-    FINGERPRINT_EXCLUDE: ClassVar[frozenset] = frozenset({"chunk_cells"})
+    FINGERPRINT_EXCLUDE: ClassVar[frozenset[str]] = frozenset({"chunk_cells"})
 
     def __init__(
         self,

@@ -50,7 +50,7 @@ import socket
 import tempfile
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Protocol
 
 from repro.exceptions import InvalidParameterError, ShardIncompleteError
 from repro.sim import figures, scenarios
@@ -466,12 +466,34 @@ class ClaimQueue:
 # ----------------------------------------------------------------------
 # Shard execution
 # ----------------------------------------------------------------------
+class ShardPolicy(Protocol):
+    """Cell-ownership strategy consulted by :class:`_ShardExecutionCache`.
+
+    ``acquire`` decides whether this shard should compute the (missing)
+    cell; ``release`` returns ownership after the result is stored (a
+    no-op for static assignment).  ``rechecks`` declares whether a peer
+    may have completed the cell between the cache miss and a successful
+    acquire, in which case the store must be consulted again before
+    simulating.
+    """
+
+    rechecks: bool
+
+    def acquire(self, key: str) -> bool:
+        """Whether this shard should compute the missing cell ``key``."""
+        ...
+
+    def release(self, key: str) -> None:
+        """Return ownership of ``key`` once its result is stored."""
+        ...
+
+
 class _StaticPolicy:
     """Hash-mod ownership: no coordination files, no release needed."""
 
     #: Static assignments are exclusive by construction — no peer can have
     #: completed an owned cell between the lookup and the acquire.
-    rechecks = False
+    rechecks: bool = False
 
     def __init__(self, shard_index: int, shard_count: int) -> None:
         self.shard_index = shard_index
@@ -489,7 +511,7 @@ class _ClaimPolicy:
 
     #: A peer may complete and release a cell between our miss and our
     #: successful acquire; re-check the store before simulating.
-    rechecks = True
+    rechecks: bool = True
 
     def __init__(self, queue: ClaimQueue) -> None:
         self.queue = queue
@@ -512,7 +534,7 @@ class _ShardExecutionCache:
     wall times accumulate into a :class:`~repro.sim.engine.Welford`.
     """
 
-    def __init__(self, base: CellCache, policy) -> None:
+    def __init__(self, base: CellCache, policy: ShardPolicy) -> None:
         self.base = base
         self.policy = policy
         self.ran: list[str] = []
@@ -522,7 +544,9 @@ class _ShardExecutionCache:
         self._pending: dict[str, float] = {}
 
     # -- lookup ---------------------------------------------------------
-    def _route(self, spec: dict[str, Any], fetch) -> tuple[str, Optional[Any], bool]:
+    def _route(
+        self, spec: dict[str, Any], fetch: Callable[[dict[str, Any]], Optional[Any]]
+    ) -> tuple[str, Optional[Any], bool]:
         """Resolve one lookup: ``(key, value-if-served, compute?)``.
 
         ``fetch(spec)`` is the base cache's typed reader

@@ -1,0 +1,29 @@
+"""REP001 fixture: unseeded randomness, good and bad."""
+
+import random  # LINT: REP001
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_module_level_draws(n):
+    values = np.random.normal(size=n)  # LINT: REP001
+    np.random.shuffle(values)  # LINT: REP001
+    np.random.seed(0)  # LINT: REP001
+    gen = np.random.default_rng()  # LINT: REP001
+    alias = default_rng()  # LINT: REP001
+    state = np.random.RandomState(3)  # LINT: REP001
+    return values, gen, alias, state, random.random()
+
+
+def good_seeded_machinery(seed):
+    gen = np.random.default_rng(seed)
+    explicit = np.random.Generator(np.random.PCG64(seed))
+    seq = np.random.SeedSequence(seed)
+    aliased = default_rng(7)
+    return gen.normal(size=4), explicit, seq, aliased
+
+
+def good_method_on_local_generator(gen):
+    # Attribute chains rooted at a local name are not module-level access.
+    return gen.random(3)

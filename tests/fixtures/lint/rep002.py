@@ -1,0 +1,30 @@
+"""REP002 fixture: wall-clock and entropy sources, good and bad."""
+
+import datetime
+import os
+import secrets
+import time
+import uuid
+from time import time as now
+
+
+def bad_identity_from_the_clock():
+    stamp = time.time()  # LINT: REP002
+    nanos = time.time_ns()  # LINT: REP002
+    aliased = now()  # LINT: REP002
+    noise = os.urandom(8)  # LINT: REP002
+    when = datetime.datetime.now()  # LINT: REP002
+    today = datetime.date.today()  # LINT: REP002
+    token = uuid.uuid4()  # LINT: REP002
+    secret = secrets.token_bytes(4)  # LINT: REP002
+    return stamp, nanos, aliased, noise, when, today, token, secret
+
+
+def good_duration_measurement():
+    start = time.monotonic()
+    tick = time.perf_counter()
+    return time.monotonic() - start, tick
+
+
+def good_parsing_not_reading(raw):
+    return datetime.datetime.fromisoformat(raw)

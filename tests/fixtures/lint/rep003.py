@@ -1,0 +1,52 @@
+"""REP003 fixture (AST half): fingerprint-coverage declarations."""
+
+from typing import ClassVar
+
+from repro.protocols.base import FrequencyOracle
+
+
+class GoodOracle(FrequencyOracle):
+    """Excludes a real attribute: nothing to report."""
+
+    FINGERPRINT_EXCLUDE: ClassVar[frozenset] = frozenset({"scratch"})
+
+    def __init__(self, epsilon, domain_size):
+        self.epsilon = epsilon
+        self.domain_size = domain_size
+        self.scratch = None
+
+
+class RottedExclude(FrequencyOracle):
+    """Excludes an attribute the class never assigns."""
+
+    FINGERPRINT_EXCLUDE = frozenset({"chunk_cells"})  # LINT: REP003
+
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+
+
+class DynamicExclude(FrequencyOracle):
+    """Exclude set that is not a literal: statically uncheckable."""
+
+    FINGERPRINT_EXCLUDE = set(dir(object))  # LINT: REP003
+
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+
+
+class CallableAttribute(FrequencyOracle):
+    """Stores a lambda the fingerprint would silently skip."""
+
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+        self.transform = lambda x: x + 1  # LINT: REP003
+
+
+class ExcludedCallable(FrequencyOracle):
+    """A lambda is fine when the attribute is declared excluded."""
+
+    FINGERPRINT_EXCLUDE = frozenset({"transform"})
+
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+        self.transform = lambda x: x + 1

@@ -1,0 +1,48 @@
+"""REP004 fixture: trial-task picklability, good and bad."""
+
+from dataclasses import dataclass
+
+from repro.sim.engine import parallel_map
+
+
+@dataclass
+class GoodTrialTask:
+    """Module-level, data-only: pickles to workers."""
+
+    seed: int
+    beta: float
+
+
+def _good_worker(task):
+    return task.seed
+
+
+def good_fanout(tasks, workers):
+    return parallel_map(_good_worker, tasks, workers=workers)
+
+
+def bad_lambda_fanout(tasks, workers):
+    return parallel_map(lambda t: t.seed, tasks, workers=workers)  # LINT: REP004
+
+
+def bad_closure_fanout(tasks, workers, offset):
+    def closure_worker(task):  # noqa: local on purpose
+        return task.seed + offset
+
+    return parallel_map(closure_worker, tasks, workers=workers)  # LINT: REP004
+
+
+def bad_nested_task_class(seed):
+    @dataclass
+    class NestedTrialTask:  # LINT: REP004
+        seed: int
+
+    return NestedTrialTask(seed)
+
+
+@dataclass
+class LambdaDefaultTask:
+    """Module-level but with an unpicklable field default."""
+
+    seed: int
+    key_fn: object = lambda row: row["seed"]  # LINT: REP004

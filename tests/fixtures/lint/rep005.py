@@ -1,0 +1,35 @@
+"""REP005 fixture: unordered iteration, good and bad."""
+
+import glob
+import os
+import pathlib
+
+
+def bad_set_iteration(items):
+    out = []
+    for item in {1, 2, 3}:  # LINT: REP005
+        out.append(item)
+    doubled = [x * 2 for x in {i for i in items}]  # LINT: REP005
+    ordered = list({"b", "a"})  # LINT: REP005
+    pair = tuple(set(items))  # LINT: REP005
+    return out, doubled, ordered, pair
+
+
+def bad_fs_enumeration(root):
+    names = os.listdir(root)  # LINT: REP005
+    found = glob.glob(str(root) + "/*.json")  # LINT: REP005
+    entries = [p for p in pathlib.Path(root).glob("*.json")]  # LINT: REP005
+    for path in pathlib.Path(root).iterdir():  # LINT: REP005
+        names.append(path.name)
+    return names, found, entries
+
+
+def good_sorted_everything(root, items):
+    for item in sorted({1, 2, 3}):
+        pass
+    ordered = sorted(set(items))
+    files = sorted(pathlib.Path(root).glob("*.json"))
+    listing = sorted(os.listdir(root))
+    mapping = {"a": 1, "b": 2}
+    keys = list(mapping)  # dict order is a language guarantee
+    return ordered, files, listing, keys

@@ -1,0 +1,25 @@
+"""REP101/REP102 fixture: generic hygiene, good and bad."""
+
+
+def bad_mutable_defaults(rows=[], options={}, seen=set()):  # LINT: REP101,REP101,REP101
+    return rows, options, seen
+
+
+def bad_bare_except(payload):
+    try:
+        return int(payload)
+    except:  # LINT: REP102
+        return None
+
+
+def good_none_defaults(rows=None, options=None):
+    rows = [] if rows is None else rows
+    options = {} if options is None else options
+    return rows, options
+
+
+def good_narrow_except(payload):
+    try:
+        return int(payload)
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,9 @@
+"""Skip-file fixture: nothing here is ever reported."""
+# repro-lint: skip-file
+
+import random
+import time
+
+
+def anything_goes():
+    return random.random() + time.time()

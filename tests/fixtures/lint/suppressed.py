@@ -1,0 +1,15 @@
+"""Suppression fixture: inline ignores silence exactly the named rule."""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # repro-lint: ignore[REP002]
+
+
+def blanket_suppression():
+    return time.time()  # repro-lint: ignore
+
+
+def wrong_rule_suppressed():
+    return time.time()  # repro-lint: ignore[REP001]  # LINT: REP002

@@ -1,0 +1,145 @@
+"""Runtime REP003 tests: live fingerprint-coverage cross-referencing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lint.contracts import (
+    check_bespoke_fingerprint,
+    check_contracts,
+    check_fingerprint_object,
+)
+
+
+class TestRealTree:
+    def test_every_shipped_class_is_covered(self):
+        """The acceptance contract: protocols, attacks, kv and dataset
+        classes all fingerprint every result-shaping attribute."""
+        assert check_contracts() == []
+
+
+class _PlantedCallable:
+    """Stores a callable the fingerprint silently skips: must be flagged."""
+
+    def __init__(self):
+        self.epsilon = 1.0
+        self.transform = lambda x: x + 1
+
+
+class _PlantedAddressRepr:
+    """Stores an object whose fingerprint is a memory-address repr."""
+
+    def __init__(self):
+        self.epsilon = 1.0
+        self.blob = object()
+
+
+class _ExcludedCallable:
+    """The callable is declared execution-only: not a violation."""
+
+    FINGERPRINT_EXCLUDE = frozenset({"transform"})
+
+    def __init__(self):
+        self.epsilon = 1.0
+        self.transform = lambda x: x + 1
+
+
+class _RngHolder:
+    """Construction-time RNG state is the documented, allowed skip."""
+
+    def __init__(self):
+        self.epsilon = 1.0
+        self.rng = np.random.default_rng(7)
+
+
+class TestPlantedViolations:
+    def test_callable_attribute_detected(self):
+        findings = list(
+            check_fingerprint_object("planted.callable", _PlantedCallable())
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "REP003"
+        assert "'transform'" in finding.message
+        assert finding.path.endswith("test_lint_contracts.py")
+        assert finding.line > 0
+
+    def test_address_repr_detected(self):
+        findings = list(
+            check_fingerprint_object("planted.repr", _PlantedAddressRepr())
+        )
+        assert len(findings) == 1
+        assert "memory-address repr" in findings[0].message
+
+    def test_excluded_callable_accepted(self):
+        assert list(check_fingerprint_object("ok.excluded", _ExcludedCallable())) == []
+
+    def test_rng_machinery_accepted(self):
+        assert list(check_fingerprint_object("ok.rng", _RngHolder())) == []
+
+    def test_planted_violations_flow_through_check_contracts(self):
+        def planted():
+            yield "planted.callable", _PlantedCallable()
+
+        findings = check_contracts(extra_objects=planted)
+        assert [f.rule for f in findings] == ["REP003"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _GrownPopulation:
+    """A bespoke-fingerprint class that grew a field the fingerprint missed."""
+
+    name: str
+    frequencies: tuple
+    clipping: float  # the drift: added without extending the fingerprint
+
+
+class TestBespokeFingerprints:
+    def test_missing_dataclass_field_detected(self):
+        obj = _GrownPopulation(name="x", frequencies=(0.5, 0.5), clipping=1.0)
+        stale_fingerprint = {"name": "x", "frequencies": "sha256:..."}
+        findings = list(
+            check_bespoke_fingerprint("planted.grown", obj, stale_fingerprint)
+        )
+        assert len(findings) == 1
+        assert "'clipping'" in findings[0].message
+
+    def test_complete_fingerprint_accepted(self):
+        obj = _GrownPopulation(name="x", frequencies=(0.5, 0.5), clipping=1.0)
+        full = {"name": "x", "frequencies": "sha256:...", "clipping": 1.0}
+        assert list(check_bespoke_fingerprint("ok.grown", obj, full)) == []
+
+    def test_address_repr_in_bespoke_fingerprint_detected(self):
+        obj = _GrownPopulation(name="x", frequencies=(0.5, 0.5), clipping=1.0)
+        fingerprint = {
+            "name": "x",
+            "frequencies": repr(object()),
+            "clipping": 1.0,
+        }
+        findings = list(
+            check_bespoke_fingerprint("planted.repr", obj, fingerprint)
+        )
+        assert len(findings) == 1
+        assert "memory-address repr" in findings[0].message
+
+
+class TestDeterminism:
+    def test_contract_scan_is_deterministic(self):
+        """Two scans produce identical findings (the scan seeds itself)."""
+        assert check_contracts() == check_contracts()
+
+    def test_scan_does_not_touch_os_entropy(self, monkeypatch):
+        """Factories pin every rng argument; none may fall back to None."""
+        import repro._rng as rng_module
+
+        original = rng_module.as_generator
+
+        def guarded(rng=None):
+            assert rng is not None, "contract factory drew OS entropy"
+            return original(rng)
+
+        monkeypatch.setattr(rng_module, "as_generator", guarded)
+        check_contracts()

@@ -1,0 +1,148 @@
+"""Fixture-driven tests for every registered repro-lint rule.
+
+Each fixture under ``tests/fixtures/lint/`` mixes known-good and
+known-bad snippets; every line expected to be flagged carries a
+``# LINT: REPnnn`` marker (comma-separated for multiple findings on one
+line).  The tests run the real runner over each fixture and compare the
+(line, rule) multiset against the markers — so rule ids, files *and*
+line numbers are all pinned, and a rule that silently stops firing (or
+starts over-firing on the good snippets) fails loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lint import RULES, LintRule, lint_paths, register_rule, resolve_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint"
+
+_MARKER = re.compile(r"#\s*LINT:\s*([A-Z0-9,\s]+)")
+
+#: fixture file -> the rule(s) it exercises (for the select test).
+FIXTURE_RULES = {
+    "rep001.py": ("REP001",),
+    "rep002.py": ("REP002",),
+    "rep003.py": ("REP003",),
+    "rep004.py": ("REP004",),
+    "rep005.py": ("REP005",),
+    "rep1xx.py": ("REP101", "REP102"),
+    "suppressed.py": ("REP002",),
+    "skipped.py": (),
+}
+
+
+def expected_markers(path: pathlib.Path) -> list[tuple[int, str]]:
+    """The (line, rule) pairs declared by ``# LINT:`` markers."""
+    out: list[tuple[int, str]] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                out.append((number, rule.strip()))
+    return sorted(out)
+
+
+def actual_findings(path: pathlib.Path, select=None) -> list[tuple[int, str]]:
+    report = lint_paths(
+        [path], select=select, use_baseline=False, run_contracts=False
+    )
+    assert all(f.path.endswith(path.name) for f in report.findings)
+    return sorted((f.line, f.rule) for f in report.findings)
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE_RULES))
+def test_fixture_matches_markers_exactly(name):
+    """All rules together report exactly the marked (line, rule) pairs."""
+    path = FIXTURES / name
+    assert actual_findings(path) == expected_markers(path)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, rules in sorted(FIXTURE_RULES.items()) if rules]
+)
+def test_fixture_detected_by_its_own_rule_alone(name):
+    """``--select`` with just the fixture's rule(s) finds the same lines."""
+    path = FIXTURES / name
+    selected = actual_findings(path, select=FIXTURE_RULES[name])
+    assert selected == expected_markers(path)
+
+
+def test_every_fixture_has_violations_except_skipped():
+    """Planted REP001–REP005 violations all exist and are all detected."""
+    covered = {
+        rule
+        for name in FIXTURE_RULES
+        for _, rule in expected_markers(FIXTURES / name)
+    }
+    assert {"REP001", "REP002", "REP003", "REP004", "REP005"} <= covered
+
+
+class TestRegistry:
+    def test_all_contract_rules_registered(self):
+        assert set(RULES) >= {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP101",
+            "REP102",
+        }
+
+    def test_rules_are_documented(self):
+        for rule in RULES.values():
+            assert rule.id.startswith("REP")
+            assert rule.name and rule.summary
+            assert len(rule.rationale) > 40, f"{rule.id} needs a real rationale"
+
+    def test_duplicate_id_rejected(self):
+        existing = next(iter(RULES.values()))
+        clone = LintRule(
+            id=existing.id,
+            name="clone",
+            summary="clone",
+            rationale="clone",
+            check=lambda ctx: (),
+        )
+        with pytest.raises(InvalidParameterError, match="already taken"):
+            register_rule(clone)
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown lint rule"):
+            resolve_rules(["REP999"])
+
+    def test_resolve_defaults_to_all(self):
+        assert [r.id for r in resolve_rules()] == list(RULES)
+
+
+class TestRuleSemantics:
+    """Spot checks that the good snippets are good for the right reasons."""
+
+    def test_seeded_default_rng_not_flagged(self):
+        bad = [
+            line
+            for line, rule in actual_findings(FIXTURES / "rep001.py")
+            if rule == "REP001"
+        ]
+        source = (FIXTURES / "rep001.py").read_text().splitlines()
+        for line in bad:
+            assert "good" not in source[line - 1]
+
+    def test_monotonic_clocks_not_flagged(self):
+        source = (FIXTURES / "rep002.py").read_text()
+        assert "time.monotonic()" in source and "time.perf_counter()" in source
+        flagged_lines = {line for line, _ in actual_findings(FIXTURES / "rep002.py")}
+        lines = source.splitlines()
+        for number in flagged_lines:
+            assert "monotonic" not in lines[number - 1]
+            assert "perf_counter" not in lines[number - 1]
+
+    def test_sorted_wrappers_not_flagged(self):
+        source = (FIXTURES / "rep005.py").read_text().splitlines()
+        for line, _ in actual_findings(FIXTURES / "rep005.py"):
+            assert "sorted(" not in source[line - 1]

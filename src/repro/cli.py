@@ -9,6 +9,7 @@ Examples::
     ldprecover run --figure fig7 --chunk-users 200000 --olh-cohort 256
     ldprecover run --figure table1 --trials 3 --cache-stats
     ldprecover run --figure fig6 --no-cache
+    ldprecover run --figure fig8 --trials 2 --target-ci 1e-3 --max-trials 20
     ldprecover run --exhibit kv --trials 3
     ldprecover run --exhibit heavyhitter --workers 0
     ldprecover demo --protocol oue --beta 0.1
@@ -30,7 +31,12 @@ sweeps resume from where they stopped and warm reruns cost zero
 simulation time.  ``--no-cache`` bypasses the store, ``--cache-stats``
 prints the hit/miss summary after a run, and the ``cache`` subcommand
 inspects (``ls``), garbage-collects (``prune``) and integrity-checks
-(``verify``) the store.
+(``verify``) the store.  With ``--target-ci`` (adaptive CI-targeted
+trial allocation, see :class:`repro.sim.engine.TrialBudget`) cells also
+persist appendable per-trial blocks, so a later run with a higher
+``--max-trials`` resumes every cell from its stored trials instead of
+recomputing; ``cache ls`` then shows per-cell block counts and achieved
+half-widths, and ``cache verify`` checks block-chain integrity.
 
 The ``shard`` subcommand splits one sweep across machines that share a
 cache directory (see :mod:`repro.sim.shard`): ``shard run`` executes one
@@ -93,6 +99,9 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         workers=args.workers,
         chunk_users=args.chunk_users,
         olh_cohort=args.olh_cohort,
+        target_ci=args.target_ci,
+        max_trials=args.max_trials,
+        trial_batch=args.trial_batch,
     )
 
 _FIGURE_DESCRIPTIONS = {
@@ -303,6 +312,21 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--parameter", default="beta", choices=["beta", "epsilon", "eta"],
                         help="swept parameter (fig5/fig6 only)")
     parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--target-ci", type=float, default=None, dest="target_ci",
+                        help="adaptive trial allocation: per cell, keep running "
+                             "trial batches until every metric's 95%% CI "
+                             "half-width is at or below this target (checked at "
+                             "--trials, then every --trial-batch up to "
+                             "--max-trials); results are bit-identical to a "
+                             "fixed --trials run at the final trial count")
+    parser.add_argument("--max-trials", type=int, default=None, dest="max_trials",
+                        help="adaptive trial allocation: hard per-cell trial cap "
+                             "(default: 10x --trials when --target-ci/"
+                             "--trial-batch is set); raising it later tops "
+                             "cached cells up from their stored trial blocks")
+    parser.add_argument("--trial-batch", type=int, default=None, dest="trial_batch",
+                        help="adaptive trial allocation: trials added between "
+                             "convergence checks (default: --trials)")
     parser.add_argument("--num-users", type=int, default=None, dest="num_users",
                         help="override population (default: exhibit-specific)")
     parser.add_argument("--seed", type=int, default=0)

@@ -57,7 +57,7 @@ from repro.attacks.base import PoisoningAttack
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
-from repro.sim.engine import DEFAULT_CHUNK_USERS, MetricStats
+from repro.sim.engine import DEFAULT_CHUNK_USERS, MetricStats, Welford
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment -> cache)
     from repro.sim.experiment import RecoveryEvaluation
@@ -66,6 +66,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheEntry",
     "CacheStats",
+    "CellBlockStore",
     "CellCache",
     "SHARD_PLACEHOLDER_KEY",
     "cache_tag",
@@ -81,6 +82,7 @@ __all__ = [
     "row_cell_spec",
     "scenario_cell_spec",
     "source_digest",
+    "trial_stream_spec",
 ]
 
 #: Cache schema version: bump whenever the entry layout, the spec
@@ -377,6 +379,30 @@ def canonical_key(spec: dict[str, Any]) -> str:
     return _hash_bytes(encoded.encode("utf-8"))
 
 
+def trial_stream_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """The spec addressing a budgeted cell's appendable trial-block stream.
+
+    Derived from a cell's summary ``spec`` by dropping the fields that
+    vary with the trial budget — ``trials``, the full ``seeds`` list, and
+    the ``budget`` fingerprint itself — and keeping only the *first*
+    per-trial seed fingerprint (``seed_stream``).  Because per-trial seeds
+    are consecutive siblings of one parent :class:`~numpy.random.SeedSequence`
+    (``spawn_key`` suffixes ``i, i+1, ...``), the first child pins the
+    entire canonical trial stream: every budget over the same cell shares
+    one block directory, so topping a cell up never re-simulates trials a
+    smaller budget already ran.
+    """
+    stream = {
+        key: value
+        for key, value in spec.items()
+        if key not in ("kind", "trials", "seeds", "budget")
+    }
+    seeds = spec.get("seeds") or []
+    stream["kind"] = "trial-stream"
+    stream["seed_stream"] = seeds[0] if seeds else None
+    return stream
+
+
 # ----------------------------------------------------------------------
 # Payload (de)serialization
 # ----------------------------------------------------------------------
@@ -501,12 +527,21 @@ def default_cache_dir() -> pathlib.Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`CellCache` instance."""
+    """Hit/miss/store counters of one :class:`CellCache` instance.
+
+    Besides the whole-cell counters, adaptive (budgeted) runs maintain
+    trial-block counters: ``block_hits`` / ``block_trials_reused`` count
+    blocks (and the trials inside them) served from disk instead of being
+    re-simulated, ``block_stores`` counts freshly appended blocks.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    block_hits: int = 0
+    block_trials_reused: int = 0
+    block_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -528,12 +563,23 @@ class CacheStats:
         )
         if self.errors:
             line += f", {self.errors} unreadable entries"
+        if self.block_hits or self.block_stores:
+            line += (
+                f", {self.block_hits} trial blocks reused "
+                f"({self.block_trials_reused} trials), "
+                f"{self.block_stores} appended"
+            )
         return line
 
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """Metadata of one cached cell, as listed by ``repro cache ls``."""
+    """Metadata of one cached cell, as listed by ``repro cache ls``.
+
+    ``meta`` carries store-time annotations outside the result payload;
+    adaptive (budgeted) cells record their final trial count, block count
+    and achieved CI half-width there.
+    """
 
     key: str
     kind: str
@@ -541,6 +587,7 @@ class CacheEntry:
     created_at: float
     size_bytes: int
     spec: dict[str, Any] = field(repr=False)
+    meta: Optional[dict[str, Any]] = field(default=None, repr=False)
 
     def summary_row(self) -> dict[str, object]:
         """Flat row for ``cache ls`` tables (best-effort spec highlights)."""
@@ -563,6 +610,9 @@ class CacheEntry:
             params = spec.get("params") or {}
             beta, eta = params.get("beta"), params.get("eta")
             trials = len(spec.get("seeds") or [])
+        meta = self.meta or {}
+        if meta.get("trials") is not None:
+            trials = meta["trials"]  # adaptive cells: the achieved count
         return {
             "key": self.key[:12],
             "kind": exhibit,
@@ -572,6 +622,8 @@ class CacheEntry:
             "beta": beta,
             "eta": eta,
             "trials": trials,
+            "blocks": meta.get("blocks"),
+            "ci95": meta.get("achieved_halfwidth"),
             "age_s": round(max(0.0, time.time() - self.created_at), 1),
             "bytes": self.size_bytes,
         }
@@ -656,8 +708,18 @@ class CellCache:
         """
         return self._path(key).is_file()
 
-    def put(self, spec: dict[str, Any], payload: dict[str, Any]) -> pathlib.Path:
-        """Store ``payload`` under ``spec``'s key (atomic write); return path."""
+    def put(
+        self,
+        spec: dict[str, Any],
+        payload: dict[str, Any],
+        meta: Optional[dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Store ``payload`` under ``spec``'s key (atomic write); return path.
+
+        ``meta``, when given, is stored on the entry *next to* the payload
+        (never inside it): adaptive runs annotate block counts and achieved
+        half-widths there without perturbing the cached result bytes.
+        """
         key = self.key_for(spec)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -669,6 +731,8 @@ class CellCache:
             "spec": spec,
             "payload": payload,
         }
+        if meta is not None:
+            entry["meta"] = meta
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -710,10 +774,28 @@ class CellCache:
         return evaluation
 
     def put_evaluation(
-        self, spec: dict[str, Any], evaluation: "RecoveryEvaluation"
+        self,
+        spec: dict[str, Any],
+        evaluation: "RecoveryEvaluation",
+        meta: Optional[dict[str, Any]] = None,
     ) -> pathlib.Path:
-        """Store a completed :class:`RecoveryEvaluation` under its spec."""
-        return self.put(spec, evaluation_to_payload(evaluation))
+        """Store a completed :class:`RecoveryEvaluation` under its spec.
+
+        ``meta`` is forwarded to :meth:`put` (adaptive-run annotations).
+        """
+        return self.put(spec, evaluation_to_payload(evaluation), meta=meta)
+
+    # -- appendable trial blocks (adaptive budgets) --------------------
+    def block_store(self, stream_spec: dict[str, Any]) -> "CellBlockStore":
+        """The appendable trial-block store for one cell's trial stream.
+
+        ``stream_spec`` is the cell's :func:`trial_stream_spec`; the
+        returned :class:`CellBlockStore` satisfies the engine's
+        :class:`repro.sim.engine.TrialBlockStore` protocol (its base
+        ``claim`` always succeeds — block-level arbitration belongs to the
+        shard layer's claim-coordinated wrapper).
+        """
+        return CellBlockStore(self, canonical_key(stream_spec))
 
     # -- maintenance (the `repro cache` subcommand) --------------------
     #
@@ -734,8 +816,26 @@ class CellCache:
             return
         # rglob("*.json") never matches the ".tmp"-suffixed temp files of
         # in-flight writers, so concurrent puts are invisible here until
-        # their atomic os.replace lands.
-        yield from sorted(base.rglob("*.json"))
+        # their atomic os.replace lands.  Trial-block files live inside
+        # "<stream_key>.blocks/" directories and are not entries — they
+        # have their own integrity pass in verify().
+        for path in sorted(base.rglob("*.json")):
+            if path.parent.suffix == ".blocks":
+                continue
+            yield path
+
+    def _block_files(self, all_tags: bool = False) -> Iterator[pathlib.Path]:
+        base = self.cache_dir if all_tags else self.root
+        if not base.is_dir():
+            return
+        for path in sorted(base.rglob("*.json")):
+            if path.parent.suffix == ".blocks":
+                yield path
+
+    def _block_dirs(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.rglob("*.blocks"))
 
     def _sweep_orphan_tmp(self, all_tags: bool = False) -> int:
         """Delete orphaned writer temp files; return the number removed.
@@ -782,6 +882,7 @@ class CellCache:
                         created_at=float(entry.get("created_at", 0.0)),
                         size_bytes=path.stat().st_size,
                         spec=entry.get("spec", {}),
+                        meta=entry.get("meta"),
                     )
                 )
             except FileNotFoundError:
@@ -800,9 +901,11 @@ class CellCache:
         entries written by other schema/package versions (the usual way to
         reclaim space after upgrades).  Every prune also sweeps orphaned
         writer temp files (``*.tmp`` older than
-        :attr:`TMP_ORPHAN_SECONDS`, left by SIGKILLed writers); those
-        count toward the returned total.  Entries deleted concurrently by
-        another process are treated as already gone, not errors.
+        :attr:`TMP_ORPHAN_SECONDS`, left by SIGKILLed writers) and trial
+        block files (aged by file modification time — blocks carry no
+        timestamps of their own); both count toward the returned total.
+        Entries deleted concurrently by another process are treated as
+        already gone, not errors.
         """
         if older_than_days is not None and older_than_days < 0:
             raise InvalidParameterError(
@@ -830,6 +933,16 @@ class CellCache:
                 continue  # pruned by a concurrent process: already gone
             except OSError:  # pragma: no cover - permission problems etc.
                 continue
+        for path in list(self._block_files(all_tags)):
+            try:
+                if horizon is not None and path.stat().st_mtime > horizon:
+                    continue
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue  # pruned by a concurrent process: already gone
+            except OSError:  # pragma: no cover - permission problems etc.
+                continue
         return removed
 
     def verify(self, delete: bool = False) -> list[tuple[pathlib.Path, str]]:
@@ -838,9 +951,13 @@ class CellCache:
         An entry is healthy when it parses as JSON, carries a payload, and
         its stored key equals the canonical hash recomputed from its
         stored spec (i.e. the file content was not tampered with or
-        half-written).  ``delete`` removes the offenders.  Entries pruned
-        by a concurrent process mid-check are skipped, not reported — a
-        vanished file is not a corrupt file.
+        half-written).  Trial-block directories get their own pass:
+        every block must parse, match its filename range, carry one metric
+        dict per trial with Welford states that refold exactly, and the
+        blocks of a stream must tile ``[0, stop)`` contiguously without
+        overlap (see :meth:`CellBlockStore.problems`).  ``delete`` removes
+        the offenders.  Entries pruned by a concurrent process mid-check
+        are skipped, not reported — a vanished file is not a corrupt file.
         """
         problems = []
         for path in self._entry_files():
@@ -865,7 +982,257 @@ class CellCache:
                         path.unlink()
                     except OSError:
                         pass
+        for directory in self._block_dirs():
+            store = CellBlockStore(self, directory.name.rsplit(".", 1)[0])
+            for path, problem in store.problems():
+                problems.append((path, problem))
+                if delete:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
         return problems
+
+
+def _block_welford_payload(
+    per_trial: Sequence[dict[str, float]],
+) -> dict[str, dict[str, Any]]:
+    """Serialized per-metric Welford states of one block's trials.
+
+    Folded sequentially in trial order, exactly like
+    :func:`repro.sim.engine.aggregate_metrics` folds them — so the states
+    are a pure function of the block's own ``per_trial`` dicts and the
+    read path can recompute and compare them bit for bit.
+    """
+    accumulators: dict[str, Welford] = {}
+    for metrics in per_trial:
+        for key, value in metrics.items():
+            accumulators.setdefault(key, Welford()).add(float(value))
+    return {
+        key: {"count": acc.count, "mean": acc.mean, "m2": acc.m2}
+        for key, acc in sorted(accumulators.items())
+    }
+
+
+#: Parsed block triple: (start, stop, per-trial metric dicts).
+_Block = tuple[int, int, list[dict[str, float]]]
+
+
+class CellBlockStore:
+    """Appendable trial-block storage for one cell's canonical trial stream.
+
+    A budgeted cell's trials live as an ordered chain of *blocks* under
+    ``<root>/<key[:2]>/<key>.blocks/<start>-<stop>.json`` where ``key`` is
+    the :func:`canonical_key` of the cell's :func:`trial_stream_spec`.
+    Each block carries its trial-index range, the raw per-trial metric
+    dicts (the ground truth the adaptive driver refolds, which is what
+    makes adaptive results bit-identical to fixed-budget runs), and the
+    serialized Welford states of those trials (derived metadata the read
+    path and :meth:`CellCache.verify` cross-check).
+
+    Integrity contract: a chain is served only when every block parses,
+    matches its filename range and Welford states, and the ranges tile
+    ``[0, stop)`` contiguously with no gap or overlap — any violation
+    makes the *whole cell* a miss (never a partial hit), counted through
+    :attr:`CacheStats.errors`.
+
+    This class satisfies the engine's
+    :class:`repro.sim.engine.TrialBlockStore` protocol; its ``claim`` is
+    unconditionally granted (single-process use).  Shard claim
+    coordination wraps it (see :mod:`repro.sim.shard`).
+    """
+
+    def __init__(self, cache: CellCache, stream_key: str) -> None:
+        self.cache = cache
+        self.stream_key = stream_key
+
+    @property
+    def directory(self) -> pathlib.Path:
+        """The on-disk block directory of this trial stream."""
+        return self.cache.root / self.stream_key[:2] / f"{self.stream_key}.blocks"
+
+    def _block_path(self, start: int, stop: int) -> pathlib.Path:
+        # Zero-padded so lexicographic listing order equals trial order.
+        return self.directory / f"{start:08d}-{stop:08d}.json"
+
+    def _read_block(self, path: pathlib.Path) -> Optional[_Block]:
+        """Parse and validate one block file; ``None`` when invalid.
+
+        Raises :class:`FileNotFoundError` through (a vanished file is a
+        concurrent prune, not corruption — callers skip it).
+        """
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("stream_key") != self.stream_key:
+                return None
+            start, stop = int(data["start"]), int(data["stop"])
+            if start < 0 or stop <= start:
+                return None
+            if path.name != f"{start:08d}-{stop:08d}.json":
+                return None
+            raw = data["per_trial"]
+            if not isinstance(raw, list) or len(raw) != stop - start:
+                return None
+            per_trial = [
+                {str(key): float(value) for key, value in metrics.items()}
+                for metrics in raw
+            ]
+            if data.get("welford") != _block_welford_payload(per_trial):
+                return None
+            return start, stop, per_trial
+        except FileNotFoundError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def _chain(self) -> Optional[list[_Block]]:
+        """Every block of the stream as a validated contiguous chain.
+
+        ``None`` signals an integrity violation (unreadable block, gap,
+        overlap) — the whole cell must then be treated as a miss.  An
+        empty directory is simply an empty (valid) chain.
+        """
+        directory = self.directory
+        if not directory.is_dir():
+            return []
+        blocks: list[_Block] = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                parsed = self._read_block(path)
+            except FileNotFoundError:
+                continue  # pruned concurrently: not part of the chain
+            if parsed is None:
+                return None
+            blocks.append(parsed)
+        blocks.sort(key=lambda block: block[0])
+        expected = 0
+        for start, stop, _ in blocks:
+            if start != expected:
+                return None
+            expected = stop
+        return blocks
+
+    def load(self) -> list[_Block]:
+        """The validated block chain, counting reuse into the cache stats.
+
+        Any integrity violation yields ``[]`` (whole-cell miss) and bumps
+        :attr:`CacheStats.errors` once.
+        """
+        chain = self._chain()
+        if chain is None:
+            self.cache.stats.errors += 1
+            return []
+        if chain:
+            self.cache.stats.block_hits += len(chain)
+            self.cache.stats.block_trials_reused += sum(
+                stop - start for start, stop, _ in chain
+            )
+        return chain
+
+    def peek(self, start: int, stop: int) -> Optional[list[dict[str, float]]]:
+        """The per-trial dicts of block ``[start, stop)`` if present and valid."""
+        path = self._block_path(start, stop)
+        try:
+            parsed = self._read_block(path)
+        except FileNotFoundError:
+            return None
+        if parsed is None:
+            self.cache.stats.errors += 1
+            return None
+        self.cache.stats.block_hits += 1
+        self.cache.stats.block_trials_reused += stop - start
+        return parsed[2]
+
+    def append(
+        self, start: int, stop: int, per_trial: Sequence[dict[str, float]]
+    ) -> Optional[pathlib.Path]:
+        """Persist block ``[start, stop)`` if it extends the chain; return path.
+
+        A block that does not start exactly at the current chain coverage
+        (or whose chain is invalid) is silently skipped — the caller keeps
+        its in-memory trials either way, and skipping preserves the
+        on-disk contiguity invariant instead of corrupting the stream.
+        """
+        if stop <= start or len(per_trial) != stop - start:
+            raise InvalidParameterError(
+                f"block [{start}, {stop}) needs exactly {stop - start} trials, "
+                f"got {len(per_trial)}"
+            )
+        chain = self._chain()
+        if chain is None:
+            return None
+        coverage = chain[-1][1] if chain else 0
+        if start != coverage:
+            return None
+        path = self._block_path(start, stop)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        block = {
+            "stream_key": self.stream_key,
+            "schema": CACHE_SCHEMA,
+            "start": int(start),
+            "stop": int(stop),
+            "per_trial": list(per_trial),
+            "welford": _block_welford_payload(per_trial),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(block, handle, separators=(",", ":"), default=float)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.cache.stats.block_stores += 1
+        return path
+
+    def claim(self, start: int, stop: int) -> bool:
+        """Grant the block claim unconditionally (no peers to race)."""
+        return True
+
+    def release(self, start: int, stop: int) -> None:
+        """Release a block claim — a no-op without claim coordination."""
+
+    def problems(self) -> list[tuple[pathlib.Path, str]]:
+        """Integrity problems of this stream's blocks, for ``cache verify``.
+
+        Per-file problems (unreadable, range/Welford mismatch) and chain
+        problems (gap or overlap, reported on the offending file).
+        """
+        directory = self.directory
+        if not directory.is_dir():
+            return []
+        out: list[tuple[pathlib.Path, str]] = []
+        parsed_blocks: list[tuple[pathlib.Path, _Block]] = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                parsed = self._read_block(path)
+            except FileNotFoundError:
+                continue  # pruned concurrently: nothing to verify
+            if parsed is None:
+                out.append((path, "unreadable or inconsistent trial block"))
+            else:
+                parsed_blocks.append((path, parsed))
+        parsed_blocks.sort(key=lambda item: item[1][0])
+        expected = 0
+        for path, (start, stop, _) in parsed_blocks:
+            if start > expected:
+                out.append(
+                    (path, f"gapped trial blocks: expected start {expected}, got {start}")
+                )
+            elif start < expected:
+                out.append(
+                    (
+                        path,
+                        f"overlapping trial blocks: expected start {expected}, "
+                        f"got {start}",
+                    )
+                )
+            expected = max(expected, stop)
+        return out
 
 
 def resolve_cache(

@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Optional, Protocol, Sequence, TypeVar
 
 import numpy as np
 
@@ -140,6 +141,243 @@ def aggregate_metrics(per_trial: Iterable[dict[str, float]]) -> dict[str, Metric
         for key, value in metrics.items():
             accumulators.setdefault(key, Welford()).add(float(value))
     return {key: acc.snapshot() for key, acc in accumulators.items()}
+
+
+# ----------------------------------------------------------------------
+# Adaptive trial allocation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialBudget:
+    """Variance-targeted trial allocation policy for one experimental cell.
+
+    Instead of a fixed trial count, a budget runs trials in batches until
+    every observed metric's 95% CI half-width is at or below
+    ``target_halfwidth`` (checked only at the deterministic checkpoints
+    ``min_trials, min_trials + batch, min_trials + 2*batch, ...`` capped at
+    ``max_trials``), so the *final trial count is a pure function of the
+    budget and the canonical per-trial seed stream* — never of how many
+    trials happen to sit in a cache.  That makes an adaptive run
+    bit-identical to a fixed-budget run at the same final trial count.
+
+    ``target_halfwidth=None`` disables the convergence test: the cell runs
+    straight to ``max_trials`` (still in appendable batches, so it can be
+    topped up later).
+    """
+
+    target_halfwidth: Optional[float] = None
+    min_trials: int = 2
+    max_trials: int = 100
+    batch: int = 5
+
+    def __post_init__(self) -> None:
+        if self.target_halfwidth is not None and not self.target_halfwidth > 0:
+            raise InvalidParameterError(
+                f"target_halfwidth must be > 0 or None, got {self.target_halfwidth}"
+            )
+        if self.min_trials < 1:
+            raise InvalidParameterError(
+                f"min_trials must be >= 1, got {self.min_trials}"
+            )
+        if self.max_trials < self.min_trials:
+            raise InvalidParameterError(
+                f"max_trials ({self.max_trials}) must be >= min_trials "
+                f"({self.min_trials})"
+            )
+        if self.batch < 1:
+            raise InvalidParameterError(f"batch must be >= 1, got {self.batch}")
+
+    def checkpoints(self) -> list[int]:
+        """The trial counts at which the stopping rule is evaluated.
+
+        ``[min_trials, min_trials + batch, ...]`` capped at (and always
+        ending with) ``max_trials``.  Convergence is *only* checked at
+        these counts, which is what keeps the final trial count
+        independent of pre-existing cache state.
+        """
+        out: list[int] = []
+        count = self.min_trials
+        while count < self.max_trials:
+            out.append(count)
+            count += self.batch
+        out.append(self.max_trials)
+        return out
+
+    def met(self, stats: dict[str, MetricStats]) -> bool:
+        """Whether ``stats`` satisfies the CI-half-width target.
+
+        True when a ``target_halfwidth`` is set, at least one metric was
+        observed, and every observed metric's 95% CI half-width is known
+        (two or more observations) and at or below the target.
+        """
+        if self.target_halfwidth is None or not stats:
+            return False
+        for stat in stats.values():
+            halfwidth = stat.ci95_halfwidth
+            if halfwidth is None or halfwidth > self.target_halfwidth:
+                return False
+        return True
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Canonical dict of every result-shaping field, for cache specs.
+
+        All four fields shape the final trial count (``batch`` moves the
+        checkpoints), so all four are part of a budgeted cell's identity.
+        """
+        return {
+            "target_halfwidth": self.target_halfwidth,
+            "min_trials": self.min_trials,
+            "max_trials": self.max_trials,
+            "batch": self.batch,
+        }
+
+
+class TrialBlockStore(Protocol):
+    """Persistence hooks :func:`run_adaptive_trials` drives blocks through.
+
+    Implemented by :class:`repro.sim.cache.CellBlockStore` (and its
+    claim-coordinated shard wrapper); the engine only sees this structural
+    interface, so it stays import-free of the cache layer.
+    """
+
+    def load(self) -> list[tuple[int, int, list[dict[str, float]]]]:
+        """Validated, contiguous-from-zero ``(start, stop, per_trial)`` blocks."""
+        ...  # pragma: no cover - protocol stub
+
+    def peek(self, start: int, stop: int) -> Optional[list[dict[str, float]]]:
+        """The per-trial metrics of block ``[start, stop)`` if present and valid."""
+        ...  # pragma: no cover - protocol stub
+
+    def append(self, start: int, stop: int, per_trial: list[dict[str, float]]) -> None:
+        """Persist block ``[start, stop)``; a no-op unless it extends the chain."""
+        ...  # pragma: no cover - protocol stub
+
+    def claim(self, start: int, stop: int) -> bool:
+        """Try to claim block ``[start, stop)`` for exactly-once execution."""
+        ...  # pragma: no cover - protocol stub
+
+    def release(self, start: int, stop: int) -> None:
+        """Release a claim previously granted by :meth:`claim`."""
+        ...  # pragma: no cover - protocol stub
+
+
+@dataclass(frozen=True)
+class AdaptiveOutcome:
+    """What :func:`run_adaptive_trials` produced for one cell.
+
+    ``per_trial`` holds the first ``trials`` trials' metric dicts in trial
+    order — the ground truth ``stats`` is folded from, bit-identical to a
+    fixed-budget run at ``trials`` total trials.  ``blocks_reused`` /
+    ``blocks_run`` split the executed blocks into served-from-cache and
+    freshly simulated.
+    """
+
+    per_trial: list[dict[str, float]]
+    stats: dict[str, MetricStats]
+    trials: int
+    blocks_reused: int
+    blocks_run: int
+
+    @property
+    def achieved_halfwidth(self) -> Optional[float]:
+        """Largest 95% CI half-width across metrics (``None`` if unknown)."""
+        widths = [s.ci95_halfwidth for s in self.stats.values()]
+        known = [w for w in widths if w is not None]
+        if not known or len(known) != len(widths):
+            return None
+        return max(known)
+
+    def meta(self) -> dict[str, Any]:
+        """Summary-entry metadata (block counts, achieved half-width)."""
+        return {
+            "trials": self.trials,
+            "blocks": self.blocks_reused + self.blocks_run,
+            "achieved_halfwidth": self.achieved_halfwidth,
+        }
+
+
+#: Seconds between re-checks while another worker holds a block claim.
+BLOCK_CLAIM_POLL_SECONDS = 0.05
+
+
+def run_adaptive_trials(
+    budget: TrialBudget,
+    metrics_fn: Callable[[Any], dict[str, float]],
+    task_for: Callable[[np.random.SeedSequence], Any],
+    seeds: Sequence[np.random.SeedSequence],
+    workers: Optional[int] = 1,
+    store: Optional[TrialBlockStore] = None,
+) -> AdaptiveOutcome:
+    """Run one cell's trials until ``budget``'s stopping rule is satisfied.
+
+    At each checkpoint of ``budget`` the missing trial range is built by
+    calling ``task_for`` on the canonical per-trial ``seeds`` (one
+    :class:`~numpy.random.SeedSequence` child per trial index, at least
+    ``budget.max_trials`` of them), executed with ``metrics_fn`` through
+    :func:`parallel_map` (``workers`` as everywhere), and appended to
+    ``store`` as a block.  Blocks already in ``store`` are reused instead
+    of re-simulated; a block claimed by another worker is awaited rather
+    than duplicated (exactly-once under shard claim coordination).  The
+    stopping rule is evaluated over the *prefix* of trials at each
+    checkpoint, so the final trial count — and therefore the returned
+    statistics — is bit-identical to a fixed-budget run at that count,
+    regardless of what the store already held.
+    """
+    if len(seeds) < budget.max_trials:
+        raise InvalidParameterError(
+            f"need at least max_trials={budget.max_trials} seeds, got {len(seeds)}"
+        )
+    per_trial: list[dict[str, float]] = []
+    blocks_reused = 0
+    blocks_run = 0
+    if store is not None:
+        for _start, _stop, chunk in store.load():
+            per_trial.extend(chunk)
+            blocks_reused += 1
+
+    def run_block(start: int, stop: int) -> list[dict[str, float]]:
+        tasks = [task_for(seeds[i]) for i in range(start, stop)]
+        return parallel_map(metrics_fn, tasks, workers=workers)
+
+    final = budget.max_trials
+    stats: dict[str, MetricStats] = {}
+    for checkpoint in budget.checkpoints():
+        if checkpoint > len(per_trial):
+            start, stop = len(per_trial), checkpoint
+            if store is None:
+                per_trial.extend(run_block(start, stop))
+                blocks_run += 1
+            else:
+                chunk: Optional[list[dict[str, float]]] = None
+                while True:
+                    if store.claim(start, stop):
+                        try:
+                            chunk = store.peek(start, stop)
+                            if chunk is None:
+                                chunk = run_block(start, stop)
+                                store.append(start, stop, chunk)
+                                blocks_run += 1
+                            else:
+                                blocks_reused += 1
+                        finally:
+                            store.release(start, stop)
+                        break
+                    chunk = store.peek(start, stop)
+                    if chunk is not None:
+                        blocks_reused += 1
+                        break
+                    time.sleep(BLOCK_CLAIM_POLL_SECONDS)
+                per_trial.extend(chunk)
+        stats = aggregate_metrics(per_trial[:checkpoint])
+        if checkpoint >= budget.max_trials or budget.met(stats):
+            final = checkpoint
+            break
+    return AdaptiveOutcome(
+        per_trial=per_trial[:final],
+        stats=stats,
+        trials=final,
+        blocks_reused=blocks_reused,
+        blocks_run=blocks_run,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -585,10 +823,14 @@ def trial_metrics(task: TrialTask) -> dict[str, float]:
 
 
 __all__ = [
+    "AdaptiveOutcome",
+    "BLOCK_CLAIM_POLL_SECONDS",
     "CallCounter",
     "DEFAULT_CHUNK_USERS",
     "MetricStats",
     "TASK_COUNTER",
+    "TrialBlockStore",
+    "TrialBudget",
     "TrialTask",
     "Welford",
     "aggregate_metrics",
@@ -599,6 +841,7 @@ __all__ = [
     "parallel_map",
     "resolve_star_targets",
     "resolve_workers",
+    "run_adaptive_trials",
     "run_chunked_trial",
     "trial_metrics",
 ]

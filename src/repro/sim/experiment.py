@@ -32,13 +32,21 @@ from repro.attacks.base import PoisoningAttack
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.protocols.base import FrequencyOracle
-from repro.sim.cache import CellCache, evaluation_cell_spec, resolved_cohort_chunk
+from repro.sim.cache import (
+    CellCache,
+    evaluation_cell_spec,
+    resolved_cohort_chunk,
+    trial_stream_spec,
+)
 from repro.sim.engine import (
+    AdaptiveOutcome,
     MetricStats,
+    TrialBudget,
     TrialTask,
     aggregate_metrics,
     parallel_map,
     resolve_star_targets,
+    run_adaptive_trials,
     trial_metrics,
 )
 from repro.sim.pipeline import SimulationMode, malicious_count
@@ -138,6 +146,7 @@ def evaluate_recovery(
     olh_cohort: Optional[int] = None,
     strict_beta: bool = False,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> RecoveryEvaluation:
     """Run one experimental cell and average over ``trials``.
 
@@ -195,6 +204,15 @@ def evaluate_recovery(
         Optional :class:`repro.sim.cache.CellCache`.  On a hit the cached
         :class:`RecoveryEvaluation` is returned without running any
         trials; on a miss the freshly computed cell is stored.
+    budget:
+        Optional :class:`repro.sim.engine.TrialBudget`.  When given,
+        ``trials`` is superseded: the cell runs adaptive trial batches
+        through :func:`repro.sim.engine.run_adaptive_trials` until every
+        metric's 95% CI half-width reaches the budget's target (or its
+        ``max_trials`` cap), and — with a ``cache`` — trials persist as
+        appendable blocks so a later, larger budget resumes instead of
+        recomputing.  The result is bit-identical to a fixed-budget call
+        at the achieved trial count under the same ``rng``.
     """
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
@@ -234,8 +252,10 @@ def evaluate_recovery(
 
     # Seeds are spawned before the cache lookup so the parent RNG advances
     # identically on hits and misses — later cells see the same streams
-    # whether or not this one came from disk.
-    seeds = spawn_sequences(rng, trials)
+    # whether or not this one came from disk.  A budget spawns the full
+    # max_trials stream up front: the first k children are identical to a
+    # fixed k-trial run's seeds, which is the bit-identity anchor.
+    seeds = spawn_sequences(rng, trials if budget is None else budget.max_trials)
     spec = None
     if cache is not None:
         spec = evaluation_cell_spec(
@@ -244,7 +264,7 @@ def evaluate_recovery(
             attack,
             beta=beta,
             eta=eta,
-            trials=trials,
+            trials=trials if budget is None else budget.max_trials,
             mode=mode,
             with_star=with_star,
             with_detection=with_detection,
@@ -252,12 +272,14 @@ def evaluate_recovery(
             seeds=seeds,
             cohort_chunk_users=resolved_cohort_chunk(protocol, mode, chunk_users),
         )
+        if budget is not None:
+            spec["budget"] = budget.fingerprint()
         cached = cache.get_evaluation(spec)
         if cached is not None:
             return cached
 
-    tasks = [
-        TrialTask(
+    def _task(seed) -> TrialTask:
+        return TrialTask(
             dataset=dataset,
             protocol=protocol,
             attack=attack,
@@ -270,9 +292,20 @@ def evaluate_recovery(
             aa_top_k=aa_top_k,
             chunk_users=chunk_users,
         )
-        for seed in seeds
-    ]
-    stats = aggregate_metrics(parallel_map(trial_metrics, tasks, workers=workers))
+
+    outcome: Optional[AdaptiveOutcome] = None
+    if budget is not None:
+        store = None
+        if cache is not None and spec is not None:
+            store = cache.block_store(trial_stream_spec(spec))
+        outcome = run_adaptive_trials(
+            budget, trial_metrics, _task, seeds, workers=workers, store=store
+        )
+        stats = outcome.stats
+        trials = outcome.trials
+    else:
+        tasks = [_task(seed) for seed in seeds]
+        stats = aggregate_metrics(parallel_map(trial_metrics, tasks, workers=workers))
 
     def _mean(metric: str) -> Optional[float]:
         entry = stats.get(metric)
@@ -298,7 +331,9 @@ def evaluate_recovery(
         stats=stats,
     )
     if cache is not None and spec is not None:
-        cache.put_evaluation(spec, evaluation)
+        cache.put_evaluation(
+            spec, evaluation, meta=None if outcome is None else outcome.meta()
+        )
     return evaluation
 
 

@@ -54,8 +54,19 @@ from repro.core.recover import recover_frequencies
 from repro.datasets import Dataset, fire_like, ipums_like
 from repro.exceptions import InvalidParameterError
 from repro.protocols import PROTOCOL_NAMES, make_protocol
-from repro.sim.cache import CellCache, resolved_cohort_chunk, row_cell_spec
-from repro.sim.engine import MetricStats, aggregate_metrics, parallel_map
+from repro.sim.cache import (
+    CellCache,
+    resolved_cohort_chunk,
+    row_cell_spec,
+    trial_stream_spec,
+)
+from repro.sim.engine import (
+    MetricStats,
+    TrialBudget,
+    aggregate_metrics,
+    parallel_map,
+    run_adaptive_trials,
+)
 from repro.sim.experiment import RecoveryEvaluation, evaluate_recovery
 from repro.sim.metrics import mse
 from repro.sim.pipeline import SimulationMode, run_trial
@@ -183,18 +194,56 @@ def _cached_cell_row(
     cache: Optional[CellCache],
     spec: Optional[dict[str, object]],
     compute: Callable[[], dict[str, object]],
+    meta: Optional[Callable[[], Optional[dict[str, object]]]] = None,
 ) -> dict[str, object]:
     """Serve one exhibit row from ``cache`` under ``spec``, or ``compute``
     and store it — the shared lookup/store protocol of the generators
-    whose cells do not go through :func:`evaluate_recovery`."""
+    whose cells do not go through :func:`evaluate_recovery`.  ``meta`` is
+    an optional zero-argument callable evaluated *after* ``compute`` whose
+    result (adaptive-budget trial counts, achieved half-widths) is stored
+    on the entry next to — never inside — the row payload."""
     if cache is not None and spec is not None:
         cached = cache.get(spec)
         if cached is not None:
             return cached
     row = compute()
     if cache is not None and spec is not None:
-        cache.put(spec, row)
+        cache.put(spec, row, meta=None if meta is None else meta())
     return row
+
+
+def _cell_trial_stats(
+    metrics_fn: Callable[[object], dict[str, float]],
+    task_for: Callable[[np.random.SeedSequence], object],
+    seeds: list[np.random.SeedSequence],
+    workers: Optional[int],
+    budget: Optional[TrialBudget],
+    cache: Optional[CellCache],
+    spec: Optional[dict[str, object]],
+) -> tuple[dict[str, MetricStats], Optional[dict[str, object]]]:
+    """Aggregate one row cell's trial metrics, fixed-budget or adaptive.
+
+    With ``budget`` ``None`` every seed in ``seeds`` becomes one task via
+    ``task_for`` and runs through :func:`parallel_map` with
+    ``metrics_fn`` — the historical fixed-budget path, byte-identical
+    cache keys and all.  With a :class:`~repro.sim.engine.TrialBudget`,
+    trials run in batches until the budget's stopping rule is met,
+    resuming from (and appending to) the cell's trial-block store when
+    ``cache`` and the cell's summary ``spec`` are given.  Returns the
+    aggregated stats plus the adaptive outcome metadata (``None`` on the
+    fixed path).
+    """
+    if budget is None:
+        tasks = [task_for(seed) for seed in seeds]
+        stats = aggregate_metrics(parallel_map(metrics_fn, tasks, workers=workers))
+        return stats, None
+    store = None
+    if cache is not None and spec is not None:
+        store = cache.block_store(trial_stream_spec(spec))
+    outcome = run_adaptive_trials(
+        budget, metrics_fn, task_for, seeds, workers=workers, store=store
+    )
+    return outcome.stats, outcome.meta()
 
 
 #: The (attack, protocol) cells of Figures 3-4: Manip is shown on GRR only
@@ -221,6 +270,7 @@ def figure3_rows(
     workers: Optional[int] = 1,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 3: MSE of LDPRecover/LDPRecover*/Detection per cell.
 
@@ -248,6 +298,10 @@ def figure3_rows(
         batch; changes those cells' cache keys).
     cache:
         Optional cell cache; completed cells are reused across runs.
+    budget:
+        Optional :class:`~repro.sim.engine.TrialBudget`; each cell then
+        runs trials adaptively until its CI target is met (``trials`` is
+        superseded by the budget's checkpoints).
     """
     dataset = load_dataset(dataset_name, num_users)
     rows = []
@@ -269,6 +323,7 @@ def figure3_rows(
             rng=gen,
             workers=workers,
             cache=cache,
+            budget=budget,
         )
         rows.append(
             {
@@ -298,6 +353,7 @@ def figure4_rows(
     workers: Optional[int] = 1,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 4: frequency gain of MGA per protocol, before/after.
 
@@ -306,8 +362,9 @@ def figure4_rows(
     averaged per cell at privacy budget ``epsilon`` with malicious
     fraction ``beta`` and recovery threshold ``eta``; ``rng`` seeds the
     cells, ``workers`` fans trials out, ``olh_cohort`` switches the OLH
-    cell to seed-cohort perturbation, and ``cache`` reuses completed
-    cells.
+    cell to seed-cohort perturbation, ``cache`` reuses completed cells,
+    and ``budget`` switches the cells to adaptive CI-targeted trial
+    allocation.
     """
     dataset = load_dataset(dataset_name, num_users)
     rows = []
@@ -328,6 +385,7 @@ def figure4_rows(
             rng=gen,
             workers=workers,
             cache=cache,
+            budget=budget,
         )
         rows.append(
             {
@@ -363,6 +421,7 @@ def sweep_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figures 5-6: MSE under AA while one of (beta, epsilon, eta) varies.
 
@@ -392,6 +451,9 @@ def sweep_rows(
     cache:
         Optional cell cache — this is the exhibit where resumable sweeps
         pay off most: an interrupted grid rerun skips completed cells.
+    budget:
+        Optional :class:`~repro.sim.engine.TrialBudget`; each grid cell
+        then stops as soon as its 95% CI half-widths reach the target.
     """
     grids = {"beta": BETA_GRID, "epsilon": EPSILON_GRID, "eta": ETA_GRID}
     if parameter not in grids:
@@ -426,6 +488,7 @@ def sweep_rows(
                 chunk_users=chunk_users,
                 olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
+                budget=budget,
             )
             rows.append(
                 {
@@ -455,6 +518,7 @@ def figure7_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 7: MSE of estimated vs. true malicious frequencies (IPUMS).
 
@@ -462,7 +526,9 @@ def figure7_rows(
     per (protocol, beta) cell, ``rng`` seeds the cells, ``workers`` fans
     trials over a process pool, ``chunk_users`` selects the bounded-memory
     exact path, ``olh_cohort`` switches the OLH cells to seed-cohort
-    perturbation, and ``cache`` reuses completed cells across runs.
+    perturbation, ``cache`` reuses completed cells across runs, and
+    ``budget`` switches the cells to adaptive CI-targeted trial
+    allocation.
     """
     dataset = load_dataset("ipums", num_users)
     rows = []
@@ -487,6 +553,7 @@ def figure7_rows(
                 chunk_users=chunk_users,
                 olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
+                budget=budget,
             )
             rows.append(
                 {
@@ -546,6 +613,7 @@ def figure8_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 8: poisoning strength of MGA vs. MGA-IPA (no recovery).
 
@@ -553,7 +621,10 @@ def figure8_rows(
     pairs are averaged per (protocol, beta) cell, ``rng`` seeds the cells,
     ``workers`` fans trials out, ``chunk_users`` selects the chunked exact
     simulation, ``olh_cohort`` switches the OLH cells to seed-cohort
-    perturbation, and ``cache`` reuses completed cells.
+    perturbation, ``cache`` reuses completed cells, and ``budget``
+    switches the cells to adaptive CI-targeted trial allocation over the
+    same canonical seed stream (cached trial blocks are resumed and
+    extended rather than recomputed).
     """
     dataset = load_dataset("ipums", num_users)
     mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
@@ -575,21 +646,24 @@ def figure8_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             ipa = InputPoisoningAttack(mga)
-            seeds = spawn_sequences(gen, trials)
+            seeds = spawn_sequences(gen, trials if budget is None else budget.max_trials)
             spec = None
             if cache is not None:
                 params = _row_cell_params(protocol, mode, chunk_users, beta=beta, mode=mode)
                 spec = row_cell_spec(
                     "figure8", dataset, protocol, (mga, ipa), params, seeds
                 )
+                if budget is not None:
+                    spec["budget"] = budget.fingerprint()
+
+            def task_for(seed: np.random.SeedSequence) -> _Fig8Task:
+                return _Fig8Task(dataset, protocol, mga, ipa, beta, mode, chunk_users, seed)
+
+            cell_meta: list[Optional[dict[str, object]]] = [None]
 
             def compute() -> dict[str, object]:
-                tasks = [
-                    _Fig8Task(dataset, protocol, mga, ipa, beta, mode, chunk_users, seed)
-                    for seed in seeds
-                ]
-                stats = aggregate_metrics(
-                    parallel_map(_figure8_trial, tasks, workers=workers)
+                stats, cell_meta[0] = _cell_trial_stats(
+                    _figure8_trial, task_for, seeds, workers, budget, cache, spec
                 )
                 return {
                     "cell": f"{protocol_name}",
@@ -597,7 +671,7 @@ def figure8_rows(
                     **_stat_columns(stats, columns),
                 }
 
-            rows.append(_cached_cell_row(cache, spec, compute))
+            rows.append(_cached_cell_row(cache, spec, compute, meta=lambda: cell_meta[0]))
     return rows
 
 
@@ -643,6 +717,7 @@ def figure9_rows(
     workers: Optional[int] = 1,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 9: LDPRecover-KM vs. plain k-means under MGA-IPA (IPUMS).
 
@@ -650,7 +725,8 @@ def figure9_rows(
     default), ``trials`` rounds are averaged per (protocol, xi) cell at
     malicious fraction ``beta``, ``rng`` seeds the cells, ``workers``
     fans trials out, ``olh_cohort`` switches the OLH cells to seed-cohort
-    perturbation, and ``cache`` reuses completed cells.
+    perturbation, ``cache`` reuses completed cells, and ``budget``
+    switches the cells to adaptive CI-targeted trial allocation.
     """
     dataset = load_dataset("ipums", num_users)
     columns = ("mse_before", "mse_kmeans", "mse_ldprecover_km")
@@ -666,7 +742,7 @@ def figure9_rows(
             )
             mga = MGAAttack(domain_size=dataset.domain_size, r=DEFAULT_R, rng=gen)
             attack = InputPoisoningAttack(mga)
-            seeds = spawn_sequences(gen, trials)
+            seeds = spawn_sequences(gen, trials if budget is None else budget.max_trials)
             spec = None
             if cache is not None:
                 spec = row_cell_spec(
@@ -682,14 +758,17 @@ def figure9_rows(
                     },
                     seeds,
                 )
+                if budget is not None:
+                    spec["budget"] = budget.fingerprint()
+
+            def task_for(seed: np.random.SeedSequence) -> _Fig9Task:
+                return _Fig9Task(dataset, protocol, attack, beta, xi, seed)
+
+            cell_meta: list[Optional[dict[str, object]]] = [None]
 
             def compute() -> dict[str, object]:
-                tasks = [
-                    _Fig9Task(dataset, protocol, attack, beta, xi, seed)
-                    for seed in seeds
-                ]
-                stats = aggregate_metrics(
-                    parallel_map(_figure9_trial, tasks, workers=workers)
+                stats, cell_meta[0] = _cell_trial_stats(
+                    _figure9_trial, task_for, seeds, workers, budget, cache, spec
                 )
                 return {
                     "cell": f"{protocol_name}",
@@ -697,7 +776,7 @@ def figure9_rows(
                     **_stat_columns(stats, columns),
                 }
 
-            rows.append(_cached_cell_row(cache, spec, compute))
+            rows.append(_cached_cell_row(cache, spec, compute, meta=lambda: cell_meta[0]))
     return rows
 
 
@@ -713,6 +792,7 @@ def figure10_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Figure 10: LDPRecover against 5 independent adaptive attackers.
 
@@ -720,8 +800,9 @@ def figure10_rows(
     averaged per (protocol, beta) cell, ``rng`` seeds the cells (and the
     independent attackers), ``workers`` fans trials out, ``chunk_users``
     selects the chunked exact simulation, ``olh_cohort`` switches the OLH
-    cells to seed-cohort perturbation, and ``cache`` reuses completed
-    cells.
+    cells to seed-cohort perturbation, ``cache`` reuses completed cells,
+    and ``budget`` switches the cells to adaptive CI-targeted trial
+    allocation.
     """
     dataset = load_dataset("ipums", num_users)
     rows = []
@@ -751,6 +832,7 @@ def figure10_rows(
                 chunk_users=chunk_users,
                 olh_cohort=_cohort_for(protocol, olh_cohort),
                 cache=cache,
+                budget=budget,
             )
             rows.append(
                 {
@@ -803,6 +885,7 @@ def table1_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Table I: LDPRecover executed on *unpoisoned* frequencies (beta=0).
 
@@ -810,7 +893,8 @@ def table1_rows(
     per (dataset, protocol) cell, ``rng`` seeds the cells, ``workers``
     fans trials out, ``chunk_users`` selects the chunked exact simulation,
     ``olh_cohort`` switches the OLH cells to seed-cohort perturbation,
-    and ``cache`` reuses completed cells.
+    ``cache`` reuses completed cells, and ``budget`` switches the cells
+    to adaptive CI-targeted trial allocation.
     """
     rows = []
     mode: SimulationMode = "chunked" if chunk_users is not None else "fast"
@@ -829,21 +913,24 @@ def table1_rows(
                 dataset.domain_size,
                 olh_cohort if mode == "chunked" else None,
             )
-            seeds = spawn_sequences(gen, trials)
+            seeds = spawn_sequences(gen, trials if budget is None else budget.max_trials)
             spec = None
             if cache is not None:
                 params = _row_cell_params(
                     protocol, mode, chunk_users, beta=0.0, eta=DEFAULT_ETA, mode=mode
                 )
                 spec = row_cell_spec("table1", dataset, protocol, (), params, seeds)
+                if budget is not None:
+                    spec["budget"] = budget.fingerprint()
+
+            def task_for(seed: np.random.SeedSequence) -> _Table1Task:
+                return _Table1Task(dataset, protocol, mode, chunk_users, seed)
+
+            cell_meta: list[Optional[dict[str, object]]] = [None]
 
             def compute() -> dict[str, object]:
-                tasks = [
-                    _Table1Task(dataset, protocol, mode, chunk_users, seed)
-                    for seed in seeds
-                ]
-                stats = aggregate_metrics(
-                    parallel_map(_table1_trial, tasks, workers=workers)
+                stats, cell_meta[0] = _cell_trial_stats(
+                    _table1_trial, task_for, seeds, workers, budget, cache, spec
                 )
                 return {
                     "dataset": dataset.name,
@@ -851,5 +938,5 @@ def table1_rows(
                     **_stat_columns(stats, columns),
                 }
 
-            rows.append(_cached_cell_row(cache, spec, compute))
+            rows.append(_cached_cell_row(cache, spec, compute, meta=lambda: cell_meta[0]))
     return rows

@@ -43,11 +43,19 @@ from repro.datasets.synthetic import zipf_dataset
 from repro.exceptions import InvalidParameterError
 from repro.kv import KeyValueProtocol, KVPoisoningAttack, recover_key_value
 from repro.sim.cache import SHARD_PLACEHOLDER_KEY, CellCache, scenario_cell_spec
-from repro.sim.engine import MetricStats, aggregate_metrics, parallel_map
+from repro.sim.engine import (
+    MetricStats,
+    TrialBlockStore,
+    TrialBudget,
+    aggregate_metrics,
+    parallel_map,
+    run_adaptive_trials,
+)
 from repro.sim.figures import (
     DEFAULT_EPSILON,
     _cached_cell_row,
     _cell_protocol,
+    _cell_trial_stats,
     _row_cell_params,
     _stat_columns,
     load_dataset,
@@ -253,6 +261,8 @@ def evaluate_kv_recovery(
     rng: RngLike = None,
     workers: Optional[int] = 1,
     seeds: Optional[Sequence[np.random.SeedSequence]] = None,
+    budget: Optional[TrialBudget] = None,
+    store: Optional[TrialBlockStore] = None,
 ) -> dict[str, MetricStats]:
     """Run one key-value recovery cell and average over ``trials``.
 
@@ -266,20 +276,26 @@ def evaluate_kv_recovery(
     caller pre-spawned them for a cache spec) — fanned out through
     :func:`repro.sim.engine.parallel_map` over ``workers`` processes and
     folded into streaming per-metric statistics.  ``eta`` is the
-    server-side ratio knob of both recovery variants.  Returns the
-    ``{metric: MetricStats}`` aggregation of
+    server-side ratio knob of both recovery variants.  With a
+    :class:`~repro.sim.engine.TrialBudget` in ``budget`` the cell instead
+    runs adaptively over the first ``budget.max_trials`` seeds of the
+    same canonical stream (``trials`` is superseded), stopping at the
+    first checkpoint whose 95% CI half-widths meet the target and
+    resuming from ``store`` (a trial-block store) when one is given.
+    Returns the ``{metric: MetricStats}`` aggregation of
     :func:`kv_trial_metrics` (mean / variance / stderr / count per
     metric); results are bit-identical for any ``workers``.
     """
     if seeds is None:
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        seeds = spawn_sequences(rng, trials)
+        seeds = spawn_sequences(rng, trials if budget is None else budget.max_trials)
     elif not len(seeds):
         raise InvalidParameterError("seeds must be non-empty when provided")
     malicious_count(population.num_users, beta)  # surface m == 0 rounding early
-    tasks = [
-        KVTrialTask(
+
+    def task_for(seed: np.random.SeedSequence) -> KVTrialTask:
+        return KVTrialTask(
             population=population,
             protocol=protocol,
             attack=attack,
@@ -287,8 +303,13 @@ def evaluate_kv_recovery(
             beta=beta,
             eta=eta,
         )
-        for seed in seeds
-    ]
+
+    if budget is not None:
+        outcome = run_adaptive_trials(
+            budget, kv_trial_metrics, task_for, list(seeds), workers=workers, store=store
+        )
+        return outcome.stats
+    tasks = [task_for(seed) for seed in seeds]
     return aggregate_metrics(parallel_map(kv_trial_metrics, tasks, workers=workers))
 
 
@@ -326,6 +347,7 @@ def kv_rows(
     rng: RngLike = 11,
     workers: Optional[int] = 1,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Scenario ``kv``: key-value recovery across privacy budget and beta.
 
@@ -338,9 +360,12 @@ def kv_rows(
     the attacker's target keys.  ``num_users`` sizes the genuine
     population (``None`` = 100k), ``trials`` rounds are averaged per cell
     through :func:`evaluate_kv_recovery`, ``rng`` seeds the cells
-    independently, ``workers`` fans trials over the process pool, and
+    independently, ``workers`` fans trials over the process pool,
     ``cache`` serves completed cells across runs (row payloads keyed by
-    :func:`repro.sim.cache.scenario_cell_spec`).
+    :func:`repro.sim.cache.scenario_cell_spec`), and ``budget`` switches
+    the cells to adaptive CI-targeted trial allocation over the same
+    canonical seed stream (cached trial blocks are resumed and extended
+    rather than recomputed).
     """
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
@@ -362,7 +387,7 @@ def kv_rows(
             attack = KVPoisoningAttack(
                 num_keys=KV_NUM_KEYS, targets=targets, target_bit=1
             )
-            seeds = spawn_sequences(gen, trials)
+            seeds = spawn_sequences(gen, trials if budget is None else budget.max_trials)
             spec = None
             if cache is not None:
                 spec = scenario_cell_spec(
@@ -373,16 +398,24 @@ def kv_rows(
                     {"beta": beta, "epsilon": epsilon, "eta": DEFAULT_ETA},
                     seeds,
                 )
+                if budget is not None:
+                    spec["budget"] = budget.fingerprint()
 
-            def compute() -> dict[str, object]:
-                stats = evaluate_kv_recovery(
-                    population,
-                    protocol,
-                    attack,
+            def task_for(seed: np.random.SeedSequence) -> KVTrialTask:
+                return KVTrialTask(
+                    population=population,
+                    protocol=protocol,
+                    attack=attack,
+                    seed=seed,
                     beta=beta,
                     eta=DEFAULT_ETA,
-                    seeds=seeds,
-                    workers=workers,
+                )
+
+            cell_meta: list[Optional[dict[str, object]]] = [None]
+
+            def compute() -> dict[str, object]:
+                stats, cell_meta[0] = _cell_trial_stats(
+                    kv_trial_metrics, task_for, seeds, workers, budget, cache, spec
                 )
                 return {
                     "cell": attack.describe(),
@@ -391,7 +424,7 @@ def kv_rows(
                     **_stat_columns(stats, _KV_COLUMNS),
                 }
 
-            rows.append(_cached_cell_row(cache, spec, compute))
+            rows.append(_cached_cell_row(cache, spec, compute, meta=lambda: cell_meta[0]))
     return rows
 
 
@@ -478,6 +511,7 @@ def heavyhitter_rows(
     chunk_users: Optional[int] = None,
     olh_cohort: Optional[int] = None,
     cache: Optional[CellCache] = None,
+    budget: Optional[TrialBudget] = None,
 ) -> list[dict[str, object]]:
     """Scenario ``heavyhitter``: top-k promotion and repair per cell.
 
@@ -493,7 +527,9 @@ def heavyhitter_rows(
     average per cell, ``rng`` seeds the cells, ``workers`` fans trials
     out, ``chunk_users`` switches to the bounded-memory exact simulation,
     ``olh_cohort`` applies seed-cohort perturbation to the OLH cells in
-    chunked mode, and ``cache`` serves completed cells across runs.
+    chunked mode, ``cache`` serves completed cells across runs, and
+    ``budget`` switches the cells to adaptive CI-targeted trial
+    allocation.
     """
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
@@ -515,7 +551,7 @@ def heavyhitter_rows(
                 olh_cohort if mode == "chunked" else None,
             )
             attack = MGAAttack(domain_size=dataset.domain_size, targets=targets)
-            seeds = spawn_sequences(gen, trials)
+            seeds = spawn_sequences(gen, trials if budget is None else budget.max_trials)
             spec = None
             if cache is not None:
                 params = _row_cell_params(
@@ -525,20 +561,23 @@ def heavyhitter_rows(
                 spec = scenario_cell_spec(
                     "heavyhitter", dataset, protocol, (attack,), params, seeds
                 )
+                if budget is not None:
+                    spec["budget"] = budget.fingerprint()
+
+            def task_for(seed: np.random.SeedSequence) -> _HHTask:
+                return _HHTask(
+                    dataset, protocol, attack, beta, HH_KS, DEFAULT_ETA,
+                    mode, chunk_users, seed,
+                )
+
+            cell_meta: list[Optional[dict[str, object]]] = [None]
 
             def compute() -> dict[str, object]:
                 # One cell per (protocol, beta): the simulation does not
                 # depend on k, so every HH_KS entry is read off the same
                 # trials and the cached payload carries all of them.
-                tasks = [
-                    _HHTask(
-                        dataset, protocol, attack, beta, HH_KS, DEFAULT_ETA,
-                        mode, chunk_users, seed,
-                    )
-                    for seed in seeds
-                ]
-                stats = aggregate_metrics(
-                    parallel_map(_heavyhitter_trial, tasks, workers=workers)
+                stats, cell_meta[0] = _cell_trial_stats(
+                    _heavyhitter_trial, task_for, seeds, workers, budget, cache, spec
                 )
                 per_k = {
                     str(k): _stat_columns(
@@ -549,7 +588,7 @@ def heavyhitter_rows(
                 }
                 return {"cell": f"mga-{protocol_name}", "beta": beta, "per_k": per_k}
 
-            payload = _cached_cell_row(cache, spec, compute)
+            payload = _cached_cell_row(cache, spec, compute, meta=lambda: cell_meta[0])
             if SHARD_PLACEHOLDER_KEY in payload:
                 # Placeholder payload from the shard/enumeration cache
                 # adapters (the cell belongs to another shard, or only its
@@ -577,7 +616,8 @@ class ScenarioExhibit:
     ``description`` the one-liner shown by ``ldprecover list``, and
     ``rows`` the generator callable (``kv_rows``-shaped: it must accept
     ``num_users``, ``trials``, ``rng``, ``workers`` and ``cache``
-    keywords).  ``uses_chunk_users`` / ``uses_olh_cohort`` declare which
+    keywords, plus ``budget`` to support adaptive CI-targeted sweeps).
+    ``uses_chunk_users`` / ``uses_olh_cohort`` declare which
     optional engine knobs the generator additionally accepts — the sweep
     dispatch (:meth:`run`) forwards only declared knobs, and
     :meth:`repro.sim.shard.SweepConfig.digest` drops undeclared ones so
@@ -601,6 +641,7 @@ class ScenarioExhibit:
         chunk_users: Optional[int] = None,
         olh_cohort: Optional[int] = None,
         cache: Optional[CellCache] = None,
+        budget: Optional[TrialBudget] = None,
     ) -> list[dict[str, object]]:
         """Execute the scenario sweep and return its exhibit rows.
 
@@ -608,7 +649,10 @@ class ScenarioExhibit:
         forward to the generator unconditionally; ``chunk_users`` and
         ``olh_cohort`` forward only when the exhibit declares support for
         them (undeclared knobs are dropped — they cannot shape the
-        cells, exactly like the figure generators that ignore them).
+        cells, exactly like the figure generators that ignore them), and
+        ``budget`` forwards only when one is actually set, so generators
+        that predate adaptive budgets keep working for fixed-budget
+        sweeps (requesting ``--target-ci`` against one fails loudly).
         """
         kwargs: dict[str, object] = {
             "num_users": num_users,
@@ -617,6 +661,8 @@ class ScenarioExhibit:
             "workers": workers,
             "cache": cache,
         }
+        if budget is not None:
+            kwargs["budget"] = budget
         if self.uses_chunk_users:
             kwargs["chunk_users"] = chunk_users
         if self.uses_olh_cohort:

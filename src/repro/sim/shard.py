@@ -54,8 +54,13 @@ from typing import Any, Callable, Optional, Protocol
 
 from repro.exceptions import InvalidParameterError, ShardIncompleteError
 from repro.sim import figures, scenarios
-from repro.sim.cache import SHARD_PLACEHOLDER_KEY, CellCache, canonical_key
-from repro.sim.engine import TASK_COUNTER, Welford
+from repro.sim.cache import (
+    SHARD_PLACEHOLDER_KEY,
+    CellBlockStore,
+    CellCache,
+    canonical_key,
+)
+from repro.sim.engine import TASK_COUNTER, TrialBudget, Welford
 from repro.sim.experiment import RecoveryEvaluation
 
 __all__ = [
@@ -97,7 +102,10 @@ class SweepConfig:
     match across the fleet — including ``chunk_users``, whose *presence*
     switches fast-mode exhibits to ``mode="chunked"``, a spec field of
     every cell key (and whose resolved size additionally keys
-    cohort-mode OLH cells).
+    cohort-mode OLH cells).  ``target_ci``/``max_trials``/``trial_batch``
+    select adaptive CI-targeted trial allocation (see :meth:`budget`);
+    they shape every cell's budget checkpoints and therefore must also
+    match across the fleet.
     """
 
     figure: str
@@ -109,6 +117,9 @@ class SweepConfig:
     workers: Optional[int] = 1
     chunk_users: Optional[int] = None
     olh_cohort: Optional[int] = None
+    target_ci: Optional[float] = None
+    max_trials: Optional[int] = None
+    trial_batch: Optional[int] = None
 
     #: Paper figures runnable as sharded sweeps (the CLI's ``--figure``
     #: names); scenario exhibits (:data:`repro.sim.scenarios.SCENARIOS`)
@@ -129,6 +140,27 @@ class SweepConfig:
                 f"figure must be one of {list(self.exhibit_names())}, "
                 f"got {self.figure!r}"
             )
+        self.budget()  # surface inconsistent budget knobs at construction
+
+    def budget(self) -> Optional[TrialBudget]:
+        """The sweep's adaptive :class:`~repro.sim.engine.TrialBudget`.
+
+        ``None`` when none of ``target_ci`` / ``max_trials`` /
+        ``trial_batch`` is set — the sweep then runs the historical fixed
+        ``trials`` budget with byte-identical cell keys and digests.
+        Otherwise ``trials`` becomes the budget's ``min_trials`` (the
+        first stopping-rule checkpoint), ``max_trials`` defaults to
+        ``10 * trials`` and ``trial_batch`` (the checkpoint stride)
+        defaults to ``trials``.
+        """
+        if self.target_ci is None and self.max_trials is None and self.trial_batch is None:
+            return None
+        return TrialBudget(
+            target_halfwidth=self.target_ci,
+            min_trials=self.trials,
+            max_trials=self.max_trials if self.max_trials is not None else 10 * self.trials,
+            batch=self.trial_batch if self.trial_batch is not None else self.trials,
+        )
 
     def run(self, cache: Optional[CellCache]) -> list[dict[str, object]]:
         """Execute the sweep against ``cache`` and return its exhibit rows.
@@ -137,6 +169,7 @@ class SweepConfig:
         subcommand, shard execution, enumeration, and merging — so every
         one of them reproduces the exact same cells.
         """
+        budget = self.budget()
         scenario = scenarios.SCENARIOS.get(self.figure)
         if scenario is not None:
             return scenario.run(
@@ -147,6 +180,7 @@ class SweepConfig:
                 chunk_users=self.chunk_users,
                 olh_cohort=self.olh_cohort,
                 cache=cache,
+                budget=budget,
             )
         common: dict[str, Any] = dict(
             num_users=self.num_users,
@@ -155,6 +189,7 @@ class SweepConfig:
             workers=self.workers,
             olh_cohort=self.olh_cohort,
             cache=cache,
+            budget=budget,
         )
         chunked = dict(common, chunk_users=self.chunk_users)
         if self.figure == "fig3":
@@ -186,10 +221,16 @@ class SweepConfig:
         sweeps (fig5/fig6), ``chunk_users`` only where the generator
         accepts it.  A worker that passes a flag its figure ignores
         (``--dataset fire`` on fig8) therefore still reports under the
-        same digest as every other worker of that sweep.
+        same digest as every other worker of that sweep.  The adaptive
+        budget knobs participate only when at least one is set, so every
+        fixed-budget digest is byte-identical to what it was before the
+        knobs existed.
         """
         spec = asdict(self)
         spec.pop("workers")
+        if self.budget() is None:
+            for knob in ("target_ci", "max_trials", "trial_batch"):
+                spec.pop(knob)
         scenario = scenarios.SCENARIOS.get(self.figure)
         if scenario is not None:
             # Scenario generators never take dataset/parameter; the other
@@ -265,12 +306,20 @@ class _RecordingCache(CellCache):
         self._record(spec)
         return _placeholder_evaluation(spec)
 
-    def put(self, spec: dict[str, Any], payload: dict[str, Any]) -> pathlib.Path:
+    def put(
+        self,
+        spec: dict[str, Any],
+        payload: dict[str, Any],
+        meta: Optional[dict[str, Any]] = None,
+    ) -> pathlib.Path:
         """Unreachable in normal enumeration (every get hits); no disk IO."""
         return pathlib.Path(os.devnull)  # pragma: no cover
 
     def put_evaluation(
-        self, spec: dict[str, Any], evaluation: RecoveryEvaluation
+        self,
+        spec: dict[str, Any],
+        evaluation: RecoveryEvaluation,
+        meta: Optional[dict[str, Any]] = None,
     ) -> pathlib.Path:
         """Unreachable in normal enumeration (every get hits); no disk IO."""
         return pathlib.Path(os.devnull)  # pragma: no cover
@@ -523,6 +572,78 @@ class _ClaimPolicy:
         self.queue.release(key)
 
 
+class _BudgetClaimPolicy:
+    """Claim-mode ownership for adaptive-budget sweeps: block-grained.
+
+    Under a :class:`~repro.sim.engine.TrialBudget`, arbitrating whole
+    cells would serialize a top-up behind one worker even when the cell
+    only needs more trial blocks.  This policy therefore lets *every*
+    claims-mode shard enter every missing cell's adaptive driver
+    (``acquire`` always succeeds, holding nothing) and moves the
+    exactly-once arbitration down to the cell's trial blocks — each block
+    range is claimed through the same :class:`ClaimQueue` via
+    :class:`_ClaimedBlockStore`, so a block is simulated by exactly one
+    worker while its peers await the appended result.  Both workers then
+    write byte-identical cell summaries (idempotent puts), which is why
+    exactly-once accounting under budgets is asserted on engine tasks,
+    not on cells.
+    """
+
+    #: A peer may complete the whole cell while this shard polls blocks;
+    #: the pre-compute store re-check keeps the common case cheap.
+    rechecks: bool = True
+
+    def __init__(self, queue: ClaimQueue) -> None:
+        self.queue = queue
+
+    def acquire(self, key: str) -> bool:
+        """Always own ``key`` — block claims do the real arbitration."""
+        return True
+
+    def release(self, key: str) -> None:
+        """Nothing to release: no cell-level claim was taken."""
+
+
+class _ClaimedBlockStore:
+    """A :class:`~repro.sim.cache.CellBlockStore` whose block claims are
+    arbitrated through a shard :class:`ClaimQueue`.
+
+    ``load``/``peek``/``append`` delegate to the wrapped store; ``claim``
+    and ``release`` map a block's trial range onto a queue key derived
+    from the cell's stream key (``<stream-key>.b<start>-<stop>``), so two
+    workers extending the same cell contend per block exactly like
+    claims-mode shards contend per cell — same atomic create, same
+    stale-claim TTL.  Satisfies :class:`repro.sim.engine.TrialBlockStore`.
+    """
+
+    def __init__(self, store: CellBlockStore, queue: ClaimQueue) -> None:
+        self.store = store
+        self.queue = queue
+
+    def _claim_key(self, start: int, stop: int) -> str:
+        return f"{self.store.stream_key}.b{start:08d}-{stop:08d}"
+
+    def load(self) -> list[tuple[int, int, list[dict[str, float]]]]:
+        """The wrapped store's contiguous block chain (see its ``load``)."""
+        return self.store.load()
+
+    def peek(self, start: int, stop: int) -> Optional[list[dict[str, float]]]:
+        """The wrapped store's block ``[start, stop)``, if valid on disk."""
+        return self.store.peek(start, stop)
+
+    def append(self, start: int, stop: int, per_trial: list[dict[str, float]]) -> Any:
+        """Append ``per_trial`` as block ``[start, stop)`` to the wrapped store."""
+        return self.store.append(start, stop, per_trial)
+
+    def claim(self, start: int, stop: int) -> bool:
+        """Atomically claim block ``[start, stop)`` through the queue."""
+        return self.queue.acquire(self._claim_key(start, stop))
+
+    def release(self, start: int, stop: int) -> None:
+        """Release block ``[start, stop)``'s claim."""
+        self.queue.release(self._claim_key(start, stop))
+
+
 class _ShardExecutionCache:
     """Cache adapter steering a generator to compute only owned cells.
 
@@ -612,17 +733,41 @@ class _ShardExecutionCache:
         self.ran.append(key)
         self.policy.release(key)
 
-    def put(self, spec: dict[str, Any], payload: dict[str, Any]) -> pathlib.Path:
-        path = self.base.put(spec, payload)
+    def put(
+        self,
+        spec: dict[str, Any],
+        payload: dict[str, Any],
+        meta: Optional[dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        path = self.base.put(spec, payload, meta=meta)
         self._complete(self.base.key_for(spec))
         return path
 
     def put_evaluation(
-        self, spec: dict[str, Any], evaluation: RecoveryEvaluation
+        self,
+        spec: dict[str, Any],
+        evaluation: RecoveryEvaluation,
+        meta: Optional[dict[str, Any]] = None,
     ) -> pathlib.Path:
-        path = self.base.put_evaluation(spec, evaluation)
+        path = self.base.put_evaluation(spec, evaluation, meta=meta)
         self._complete(self.base.key_for(spec))
         return path
+
+    # -- appendable trial blocks (adaptive budgets) ---------------------
+    def block_store(self, stream_spec: dict[str, Any]) -> Any:
+        """The trial-block store of one owned cell's stream, claim-wrapped.
+
+        Generators running under an adaptive budget fetch this for every
+        cell they compute; in claims mode the returned store arbitrates
+        each block range through the shard's :class:`ClaimQueue`
+        (block-exact exactly-once), while static assignment — exclusive
+        per cell by construction — uses the base store directly.
+        """
+        store = self.base.block_store(stream_spec)
+        queue = getattr(self.policy, "queue", None)
+        if isinstance(queue, ClaimQueue):
+            return _ClaimedBlockStore(store, queue)
+        return store
 
     # -- cleanup --------------------------------------------------------
     def abandon_pending(self) -> None:
@@ -790,6 +935,7 @@ def run_shard(
             "pick exactly one assignment mode: shard_index/shard_count "
             "(static) or claims=True (dynamic)"
         )
+    policy: ShardPolicy
     if static:
         if shard_index is None or shard_count is None:
             raise InvalidParameterError(
@@ -808,7 +954,13 @@ def run_shard(
         if label is not None:
             owner = f"{label}@{socket.gethostname()}-{os.getpid()}"
         queue = ClaimQueue(_shard_dir(cache) / "claims", owner=owner, ttl=claim_ttl)
-        policy = _ClaimPolicy(queue)
+        # Adaptive budgets arbitrate per trial block instead of per cell:
+        # a top-up of an existing cell must not serialize behind a single
+        # worker when its peers could be appending other blocks.
+        if config.budget() is not None:
+            policy = _BudgetClaimPolicy(queue)
+        else:
+            policy = _ClaimPolicy(queue)
         mode = "claims"
         label = queue.owner
     runner = _ShardExecutionCache(cache, policy)

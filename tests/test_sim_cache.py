@@ -331,6 +331,167 @@ class TestStoreMaintenance:
         assert new.stats.misses == 1
 
 
+class TestTrialBlockIntegrity:
+    """Appendable trial blocks (ISSUE 7): integrity of the block chain.
+
+    A budgeted cell's trials persist as contiguous ``[start, stop)``
+    blocks; any violation — corrupt file, gap, overlap, tampered Welford
+    payload — must turn the *whole cell* into a miss (never a partial
+    hit), be reported by ``verify``, and never break the summary-entry
+    store the blocks live beside.
+    """
+
+    SPEC = {"kind": "trial-stream", "suite": "block-integrity"}
+
+    def _store(self, root):
+        cache = CellCache(root)
+        return cache, cache.block_store(self.SPEC)
+
+    def _fill(self, store, stop=6, batch=2):
+        for start in range(0, stop, batch):
+            per_trial = [{"x": float(i)} for i in range(start, start + batch)]
+            assert store.append(start, start + batch, per_trial) is not None
+
+    def test_roundtrip_preserves_trials_and_counts_reuse(self, tmp_path):
+        cache, store = self._store(tmp_path)
+        self._fill(store)
+        chain = store.load()
+        assert [(start, stop) for start, stop, _ in chain] == [(0, 2), (2, 4), (4, 6)]
+        values = [m["x"] for _, _, chunk in chain for m in chunk]
+        assert values == [float(i) for i in range(6)]
+        assert cache.stats.block_hits == 3
+        assert cache.stats.block_trials_reused == 6
+        assert cache.stats.block_stores == 3
+
+    def test_corrupt_block_is_a_whole_cell_miss(self, tmp_path):
+        _, store = self._store(tmp_path)
+        self._fill(store)
+        store._block_path(2, 4).write_text("{ truncated", encoding="utf-8")
+        cache, store = self._store(tmp_path)  # fresh stats
+        assert store.load() == []
+        assert cache.stats.errors == 1
+        assert cache.stats.block_hits == 0, "no partial hit from the valid blocks"
+
+    def test_gapped_chain_is_a_whole_cell_miss(self, tmp_path):
+        _, store = self._store(tmp_path)
+        self._fill(store)
+        store._block_path(0, 2).unlink()
+        cache, store = self._store(tmp_path)
+        assert store.load() == []
+        assert cache.stats.errors == 1
+
+    def test_overlapping_chain_is_a_whole_cell_miss(self, tmp_path):
+        # append refuses overlaps, so forge one: build the [1, 3) block in
+        # a scratch cache (same spec => same stream key => valid content)
+        # and drop its file into the real chain.
+        scratch_cache, scratch = self._store(tmp_path / "scratch")
+        scratch.append(0, 1, [{"x": 0.5}])
+        scratch.append(1, 3, [{"x": 1.5}, {"x": 2.5}])
+        _, store = self._store(tmp_path / "real")
+        self._fill(store)
+        overlap = scratch._block_path(1, 3)
+        (store._block_path(1, 3)).write_text(
+            overlap.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        cache, store = self._store(tmp_path / "real")
+        assert store.load() == []
+        assert cache.stats.errors == 1
+
+    def test_tampered_welford_payload_is_rejected(self, tmp_path):
+        _, store = self._store(tmp_path)
+        self._fill(store)
+        path = store._block_path(4, 6)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["welford"]["x"]["mean"] += 1.0  # stats no longer refold
+        path.write_text(json.dumps(data), encoding="utf-8")
+        cache, store = self._store(tmp_path)
+        assert store.peek(4, 6) is None
+        assert store.load() == []
+        assert cache.stats.errors == 2  # one per failed read path
+
+    def test_append_refuses_gaps_and_invalid_ranges(self, tmp_path):
+        _, store = self._store(tmp_path)
+        assert store.append(2, 4, [{"x": 0.0}, {"x": 1.0}]) is None  # gap at 0
+        assert store.append(0, 2, [{"x": 0.0}, {"x": 1.0}]) is not None
+        assert store.append(4, 6, [{"x": 0.0}, {"x": 1.0}]) is None  # gap at 2
+        assert store.append(0, 2, [{"x": 9.0}, {"x": 9.0}]) is None  # re-append
+        assert [(s, t) for s, t, _ in store.load()] == [(0, 2)]
+        with pytest.raises(InvalidParameterError):
+            store.append(2, 2, [])
+        with pytest.raises(InvalidParameterError):
+            store.append(2, 4, [{"x": 0.0}])  # wrong trial count
+
+    def test_verify_walks_block_problems_to_a_clean_store(self, tmp_path):
+        cache, store = self._store(tmp_path)
+        self._fill(store)
+        store._block_path(2, 4).write_text("{ truncated", encoding="utf-8")
+        # One pass reports the corrupt block AND the chain gap it leaves:
+        # the valid tail no longer connects to the valid head.
+        problems = dict(cache.verify())
+        assert len(problems) == 2
+        assert any("unreadable or inconsistent trial block" in p for p in problems.values())
+        assert any("gapped trial blocks" in p for p in problems.values())
+        # Deleting both offenders yields a clean (short) chain.
+        assert dict(cache.verify(delete=True)) == problems
+        assert cache.verify() == []
+        assert [(s, t) for s, t, _ in store.load()] == [(0, 2)]
+
+    def test_blocks_are_invisible_to_entries_and_count(self, tmp_path):
+        cache, store = self._store(tmp_path)
+        self._fill(store)
+        assert cache.entries() == []
+        assert cache.count() == 0
+        assert cache.verify() == []
+
+    def test_prune_sweeps_aged_blocks(self, tmp_path):
+        cache, store = self._store(tmp_path)
+        self._fill(store)
+        assert cache.prune(older_than_days=1.0) == 0  # all fresh
+        old = time.time() - 2 * 86_400.0
+        for _, _, _ in store.load():
+            pass
+        for path in sorted(store.directory.glob("*.json")):
+            os.utime(path, (old, old))
+        assert cache.prune(older_than_days=1.0) == 3
+        assert store.load() == []
+
+    def test_corrupt_block_recovers_bit_identically(self, tmp_path):
+        """End to end through evaluate_recovery: a corrupt block voids the
+        chain (the cell-level load is a miss, never a partial chain), the
+        adaptive driver re-simulates the corrupt range — reusing only
+        blocks that individually revalidate (range, stream key, Welford
+        refold) — and the result equals the uncached run bit for bit."""
+        from repro.sim.engine import TrialBudget
+
+        budget = TrialBudget(target_halfwidth=1e-12, min_trials=2, max_trials=4, batch=2)
+
+        def run(cache):
+            return evaluate_recovery(
+                DATASET, GRR(epsilon=0.5, domain_size=D),
+                MGAAttack(domain_size=D, r=3, rng=0),
+                trials=2, rng=4, cache=cache, budget=budget,
+            )
+
+        cache = CellCache(tmp_path)
+        reference = run(cache)
+        block_dirs = sorted(tmp_path.rglob("*.blocks"))
+        assert len(block_dirs) == 1
+        victim, survivor = sorted(block_dirs[0].glob("*.json"))
+        victim.write_text("{ truncated", encoding="utf-8")
+        [entry] = cache.entries()
+        entry.path.unlink()  # force the rerun past the summary entry
+        fresh = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        healed = run(fresh)
+        # Trials [0, 2) re-simulate; the [2, 4) block revalidates and is
+        # reused — never the voided chain as a whole.
+        assert TASK_COUNTER.count == 2
+        assert fresh.stats.errors >= 1
+        assert fresh.stats.block_trials_reused == 2
+        assert healed == reference
+        assert survivor.exists()
+
+
 class TestSourceDigest:
     """In-place source edits auto-invalidate the cache (ROADMAP PR 2
     follow-up): the version tag mixes in a content hash of the

@@ -25,7 +25,7 @@ import pytest
 
 from repro.exceptions import InvalidParameterError, ShardIncompleteError
 from repro.sim.cache import CellCache
-from repro.sim.engine import TASK_COUNTER, Welford
+from repro.sim.engine import TASK_COUNTER, TrialBudget, Welford
 from repro.sim.shard import (
     ClaimQueue,
     ShardReport,
@@ -77,6 +77,44 @@ class TestSweepConfig:
 
         direct = figures.table1_rows(num_users=3_000, trials=2, rng=0, workers=1)
         assert CONFIG.run(None) == direct
+
+    def test_digest_without_budget_knobs_is_unchanged(self):
+        """Fixed-budget digests must stay byte-identical to pre-adaptive
+        versions: the three budget knobs leave the spec when all None, so
+        mixed-version fleets running fixed sweeps still agree."""
+        base = SweepConfig(figure="fig8", trials=3)
+        explicit = SweepConfig(
+            figure="fig8", trials=3, target_ci=None, max_trials=None, trial_batch=None
+        )
+        assert base.digest() == explicit.digest()
+
+    def test_digest_changes_with_every_budget_knob(self):
+        budgeted = SweepConfig(figure="fig8", trials=3, target_ci=0.5)
+        assert budgeted.digest() != SweepConfig(figure="fig8", trials=3).digest()
+        assert budgeted.digest() != dataclasses.replace(budgeted, target_ci=0.25).digest()
+        assert budgeted.digest() != dataclasses.replace(budgeted, max_trials=40).digest()
+        assert budgeted.digest() != dataclasses.replace(budgeted, trial_batch=2).digest()
+
+    def test_budget_resolution_and_defaults(self):
+        assert CONFIG.budget() is None
+        resolved = SweepConfig(figure="table1", trials=2, target_ci=0.5).budget()
+        assert resolved == TrialBudget(
+            target_halfwidth=0.5, min_trials=2, max_trials=20, batch=2
+        )
+        explicit = SweepConfig(
+            figure="table1", trials=2, target_ci=0.5, max_trials=8, trial_batch=3
+        ).budget()
+        assert explicit == TrialBudget(
+            target_halfwidth=0.5, min_trials=2, max_trials=8, batch=3
+        )
+
+    def test_inconsistent_budget_knobs_fail_at_construction(self):
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(figure="table1", trials=4, max_trials=2)
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(figure="table1", trials=2, target_ci=-0.1)
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(figure="table1", trials=2, trial_batch=0)
 
 
 class TestEnumeration:
@@ -338,6 +376,74 @@ class TestConcurrentClaimRace:
         TASK_COUNTER.reset()
         assert merge_sweep(CONFIG, cache) == single
         assert TASK_COUNTER.count == 0
+        assert cache.verify() == []
+
+
+#: Adaptive sweep over the same 6 table1 cells: an unreachable CI target
+#: drives every cell to max_trials, in appendable 2-trial blocks.
+BUDGET_CONFIG = dataclasses.replace(CONFIG, target_ci=1e-12, max_trials=4, trial_batch=2)
+
+#: The same sweep extended: trials [4, 6) of every cell are the only new work.
+TOPUP_CONFIG = dataclasses.replace(BUDGET_CONFIG, max_trials=6)
+
+
+def _topup_worker(cache_dir: str, label: str) -> None:
+    """One contender of the multi-process cell-extension race (forked child)."""
+    cache = CellCache(cache_dir)
+    run_shard(TOPUP_CONFIG, cache, claims=True, label=label, claim_ttl=600.0)
+
+
+class TestAdaptiveBudgetSharding:
+    def test_sequential_topup_runs_only_missing_blocks(self, tmp_path):
+        """A claims shard extending converged-short cells simulates only
+        the new trial range and merges bit-identical to a fixed-budget
+        run at the final count."""
+        cache = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        seeded = run_shard(BUDGET_CONFIG, cache, claims=True, label="seed")
+        assert seeded.cells_run == 6
+        assert TASK_COUNTER.count == 6 * 4  # 2-trial blocks up to max_trials=4
+        fresh = CellCache(tmp_path)  # separate stats for the top-up pass
+        TASK_COUNTER.reset()
+        topup = run_shard(TOPUP_CONFIG, fresh, claims=True, label="extend")
+        assert TASK_COUNTER.count == 6 * 2, "only trials [4, 6) are new work"
+        assert topup.tasks_run == 6 * 2
+        assert fresh.stats.block_trials_reused >= 6 * 4
+        TASK_COUNTER.reset()
+        merged = merge_sweep(TOPUP_CONFIG, fresh)
+        assert TASK_COUNTER.count == 0
+        assert merged == TOPUP_CONFIG.run(None)  # unsharded adaptive reference
+        assert merged == dataclasses.replace(CONFIG, trials=6).run(None)
+
+    def test_two_processes_extend_each_block_exactly_once(self, tmp_path):
+        """Two claims-mode shards topping up the same converged-short
+        cells: block-grained claims keep execution exactly-once (asserted
+        on tasks, since both shards legitimately visit every cell), and
+        the merge equals a single-shard extension bit for bit."""
+        cache = CellCache(tmp_path)
+        run_shard(BUDGET_CONFIG, cache, claims=True, label="seed")
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_topup_worker, args=(str(tmp_path), f"extender-{i}"))
+            for i in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        status = sweep_status(TOPUP_CONFIG, cache)
+        assert status.complete
+        assert status.claimed == 0  # cell and block claims all released
+        racers = [r for r in status.reports if r.label.startswith("extender-")]
+        assert len(racers) == 2
+        # Exactly-once at the block level: the 6 cells' [4, 6) ranges are
+        # 12 new trials total, however they were split between the racers.
+        assert sum(r.tasks_run for r in racers) == 6 * 2
+        TASK_COUNTER.reset()
+        merged = merge_sweep(TOPUP_CONFIG, cache)
+        assert TASK_COUNTER.count == 0
+        assert merged == dataclasses.replace(CONFIG, trials=6).run(None)
         assert cache.verify() == []
 
 

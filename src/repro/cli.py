@@ -13,9 +13,11 @@ Examples::
     ldprecover run --exhibit kv --trials 3
     ldprecover run --exhibit heavyhitter --workers 0
     ldprecover demo --protocol oue --beta 0.1
-    ldprecover lint src/repro benchmarks
+    ldprecover lint src/repro tests benchmarks
     ldprecover lint --list-rules
     ldprecover lint --format github --select REP001,REP002
+    ldprecover lint --format sarif > repro-lint.sarif
+    ldprecover lint --changed-only origin/main
     ldprecover cache ls
     ldprecover cache verify
     ldprecover cache prune --older-than-days 30
@@ -48,9 +50,13 @@ cache, bit-identical to an unsharded run.
 The ``lint`` subcommand runs the determinism & cache-contract analyzer
 (:mod:`repro.lint`) over a source tree: every registered ``REPnnn`` rule
 (unseeded randomness, wall-clock leaks, fingerprint coverage, trial-task
-picklability, unordered iteration) plus the runtime fingerprint contract
-scan, with ``--format github`` emitting CI workflow annotations and the
-checked-in ``.repro-lint-baseline.json`` absorbing reviewed findings.
+picklability, unordered iteration, plus the REP2xx whole-program flow
+rules: seed provenance, claim leaks, fingerprint mutation, unordered
+reductions, entropy re-exports) and the runtime fingerprint contract
+scan.  ``--format github`` emits CI workflow annotations, ``--format
+sarif`` a SARIF 2.1.0 log for code-scanning upload, ``--changed-only
+REF`` narrows reporting to files changed since a git ref, and the
+checked-in ``.repro-lint-baseline.json`` absorbs reviewed findings.
 
 Beyond the paper's figures, registered *scenario exhibits*
 (:mod:`repro.sim.scenarios`) — key-value recovery (``--exhibit kv``) and
@@ -258,11 +264,15 @@ def _lint_command(args: argparse.Namespace) -> int:
         return 0
     paths = args.paths
     if not paths:
-        # Default to the working tree's src/repro when run from a checkout,
-        # else the installed package directory.
+        # Default to the working tree's src/repro (plus the tests and
+        # benchmarks tiers when present) in a checkout, else the
+        # installed package directory.
         src = pathlib.Path("src/repro")
         if src.is_dir():
             paths = [src]
+            for tier in (pathlib.Path("tests"), pathlib.Path("benchmarks")):
+                if tier.is_dir():
+                    paths.append(tier)
         else:
             import repro
 
@@ -282,6 +292,7 @@ def _lint_command(args: argparse.Namespace) -> int:
             baseline_path=pathlib.Path(args.baseline) if args.baseline else None,
             use_baseline=not args.no_baseline,
             run_contracts=not args.no_contracts,
+            changed_only=args.changed_only,
         )
     except InvalidParameterError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -420,9 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files/directories to scan (default: src/repro in a "
                            "checkout, else the installed repro package)")
-    lint.add_argument("--format", default="text", choices=["text", "github"],
+    lint.add_argument("--format", default="text",
+                      choices=["text", "github", "sarif"],
                       help="text: path:line:col lines for humans; github: "
-                           "::error workflow annotations for CI")
+                           "::error workflow annotations for CI; sarif: "
+                           "a SARIF 2.1.0 log for code-scanning upload")
+    lint.add_argument("--changed-only", default=None, metavar="REF",
+                      dest="changed_only",
+                      help="only report findings in files changed since the "
+                           "given git ref (plus untracked files); analysis "
+                           "still spans the full tree so cross-module flow "
+                           "rules see every alias")
     lint.add_argument("--select", action="append", default=None, metavar="RULES",
                       help="comma-separated rule ids to run (default: all); "
                            "may repeat")

@@ -13,9 +13,16 @@ Entries match findings on ``(rule, path, code)`` where ``code`` is the
 stripped source line, **not** the line number: unrelated edits above a
 baselined line do not invalidate the baseline, while any edit to the
 flagged line itself (or moving the file) surfaces the finding again for
-re-review.  Each entry also declares how many identical occurrences it
-covers (``count``, default 1), so a *new* copy of an already-baselined
-pattern is still reported.
+re-review.
+
+Identical occurrences are matched **by slot**, not by budget.  The
+file's findings for one ``(rule, path, code)`` key are numbered 0, 1, 2…
+in line order; an entry covers the ``count`` consecutive slots starting
+at ``occurrence`` (default 0).  Slot accounting is exact in both
+directions: a *new* copy of an already-baselined pattern lands in an
+uncovered slot and is reported, and an entry whose covered slot no
+longer exists is stale — a ``count: 2`` entry can no longer silently
+absorb one surviving occurrence plus one brand-new one.
 
 Stale entries — baselined findings the tree no longer produces — are
 reported by the runner so the baseline shrinks as code improves.
@@ -36,17 +43,29 @@ DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
 
 @dataclass(frozen=True)
 class BaselineEntry:
-    """One accepted finding: rule + location-independent match + why."""
+    """One accepted finding: rule + location-independent match + why.
+
+    ``occurrence`` is the 0-based index (in line order) of the first
+    identical occurrence this entry covers; ``count`` how many
+    consecutive occurrences from there.  Two entries may share a
+    ``(rule, path, code)`` key only when their slot ranges are disjoint.
+    """
 
     rule: str
     path: str
     code: str
     justification: str
     count: int = 1
+    occurrence: int = 0
 
     @property
     def key(self) -> tuple[str, str, str]:
         return (self.rule, self.path, self.code)
+
+    @property
+    def slots(self) -> range:
+        """The occurrence indices this entry covers."""
+        return range(self.occurrence, self.occurrence + self.count)
 
 
 def load_baseline(path: pathlib.Path) -> list[BaselineEntry]:
@@ -54,7 +73,8 @@ def load_baseline(path: pathlib.Path) -> list[BaselineEntry]:
 
     Every entry must provide ``rule``, ``path``, ``code`` and a non-empty
     ``justification``; anything else raises so review debt cannot hide in
-    a malformed file.
+    a malformed file.  Entries sharing a ``(rule, path, code)`` key must
+    cover disjoint occurrence slots.
     """
     try:
         raw = json.loads(path.read_text(encoding="utf-8"))
@@ -65,7 +85,7 @@ def load_baseline(path: pathlib.Path) -> list[BaselineEntry]:
             f"baseline {path} must be an object with an 'entries' list"
         )
     entries: list[BaselineEntry] = []
-    seen: set[tuple[str, str, str]] = set()
+    claimed: dict[tuple[str, str, str], set[int]] = {}
     for index, item in enumerate(raw["entries"]):
         if not isinstance(item, dict):
             raise InvalidParameterError(f"baseline entry #{index} is not an object")
@@ -86,19 +106,30 @@ def load_baseline(path: pathlib.Path) -> list[BaselineEntry]:
             raise InvalidParameterError(
                 f"baseline entry #{index} has invalid count {count!r} (need int >= 1)"
             )
+        occurrence = item.get("occurrence", 0)
+        if not isinstance(occurrence, int) or occurrence < 0:
+            raise InvalidParameterError(
+                f"baseline entry #{index} has invalid occurrence {occurrence!r} "
+                "(need int >= 0)"
+            )
         entry = BaselineEntry(
             rule=str(item["rule"]),
             path=str(item["path"]),
             code=str(item["code"]).strip(),
             justification=justification,
             count=count,
+            occurrence=occurrence,
         )
-        if entry.key in seen:
+        taken = claimed.setdefault(entry.key, set())
+        overlap = taken.intersection(entry.slots)
+        if overlap:
             raise InvalidParameterError(
-                f"baseline entry #{index} duplicates {entry.key}; merge them and "
-                "bump 'count' instead"
+                f"baseline entry #{index} duplicates occurrence slot(s) "
+                f"{sorted(overlap)} of {entry.key}; entries for the same "
+                "(rule, path, code) must cover disjoint slots — widen one "
+                "entry's 'count' or move the other's 'occurrence'"
             )
-        seen.add(entry.key)
+        taken.update(entry.slots)
         entries.append(entry)
     return entries
 
@@ -108,20 +139,34 @@ def apply_baseline(
 ) -> tuple[list[Finding], list[BaselineEntry]]:
     """Split findings into (still-reported, ...) and collect stale entries.
 
-    Returns ``(kept_findings, stale_entries)``: a finding is absorbed when
-    an entry with the same ``(rule, path, stripped-code)`` still has
-    budget left (``count``); entries that absorb **nothing** are stale
-    and should be deleted from the baseline file.
+    Occurrences of one ``(rule, path, code)`` key are numbered in line
+    order and matched slot-for-slot against the entries covering them.
+    A finding in an uncovered slot is kept; an entry with **any** covered
+    slot that matched no finding is stale — exact accounting in both
+    directions, so one justified entry cannot absorb a different, newer
+    occurrence of the same pattern.
     """
-    budget: dict[tuple[str, str, str], int] = {e.key: e.count for e in entries}
-    used: set[tuple[str, str, str]] = set()
+    slot_owner: dict[tuple[str, str, str, int], BaselineEntry] = {}
+    for entry in entries:
+        for slot in entry.slots:
+            # load_baseline guarantees disjoint slots; last-wins is fine
+            # for hand-built entry lists in tests.
+            slot_owner[entry.key + (slot,)] = entry
+    next_slot: dict[tuple[str, str, str], int] = {}
+    matched: set[tuple[str, str, str, int]] = set()
     kept: list[Finding] = []
     for finding in sorted(findings):
         key = (finding.rule, finding.path, finding.code.strip())
-        if budget.get(key, 0) > 0:
-            budget[key] -= 1
-            used.add(key)
+        slot = next_slot.get(key, 0)
+        next_slot[key] = slot + 1
+        owner = slot_owner.get(key + (slot,))
+        if owner is not None:
+            matched.add(key + (slot,))
         else:
             kept.append(finding)
-    stale = [entry for entry in entries if entry.key not in used]
+    stale = [
+        entry
+        for entry in entries
+        if any(entry.key + (slot,) not in matched for slot in entry.slots)
+    ]
     return kept, stale

@@ -1,0 +1,527 @@
+"""Project-wide symbol table, alias resolution, and call graph.
+
+The per-module pass (:mod:`repro.lint.checks`) sees one file at a time;
+the invariants most likely to rot are *inter-procedural* — an RNG minted
+in one module and threaded through three calls into trial code, or a
+banned entropy source laundered through ``from helpers import clock``.
+This module builds the whole-program view the REP2xx flow rules
+(:mod:`repro.lint.flowchecks`) consume:
+
+* :class:`ModuleTable` — one module's top-level symbols: functions,
+  classes (with their methods and base expressions), module-level
+  assignments, and the import-alias map already collected by
+  :class:`~repro.lint.context.ModuleContext`;
+* :class:`ProjectIndex` — the cross-module resolver.  :meth:`resolve`
+  follows a dotted name through import aliases, re-exports
+  (``from repro.sim.engine import parallel_map`` re-exported by
+  ``repro.sim``) and module-level assignment aliases (``now =
+  time.time``) to a terminal :class:`Resolution`: a project function,
+  class, method, module-level value, or an external dotted name;
+* a **call graph** attributing ``self.m()``, ``obj.m()`` (via local
+  constructor/annotation type inference) and plain calls to known
+  functions, plus :meth:`reachable` for transitive-closure queries;
+* a **subclass closure** (:meth:`ProjectIndex.subclass_closure`)
+  accumulating ``FINGERPRINT_EXCLUDE`` sets down inheritance chains.
+
+Everything here is deterministic by construction: modules, symbols and
+edges are stored and iterated in sorted order so two scans of the same
+tree yield identical findings (pinned by ``tests/test_lint_flow.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.lint.context import ModuleContext
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleTable",
+    "ProjectContext",
+    "ProjectIndex",
+    "Resolution",
+    "name_chain",
+    "module_name_for",
+]
+
+#: Function-ish AST nodes (async variants behave identically here).
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def module_name_for(ctx: ModuleContext) -> str:
+    """The dotted module name a file answers imports under.
+
+    Files inside the ``repro`` package get their full dotted path
+    (``repro/sim/engine.py`` -> ``repro.sim.engine``, with ``__init__``
+    collapsing to the package itself); anything else — fixtures,
+    benchmark scripts — answers to its bare stem, which is how sibling
+    fixture modules import each other.
+    """
+    rel = ctx.relpath
+    if rel.startswith("repro/") or rel == "repro":
+        dotted = rel[: -len(".py")] if rel.endswith(".py") else rel
+        parts = [p for p in dotted.split("/") if p]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+    stem = ctx.path.stem
+    return stem if stem != "__init__" else ctx.path.parent.name
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method."""
+
+    module: str
+    qualname: str  # "f" for functions, "Cls.m" for methods
+    node: FunctionNode
+
+    @property
+    def key(self) -> str:
+        """Graph node id: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, base expressions, class-level names."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    base_exprs: list[ast.expr] = field(default_factory=list)
+    #: Literal FINGERPRINT_EXCLUDE strings declared on this class itself.
+    own_excludes: frozenset[str] = frozenset()
+    has_exclude: bool = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Where a dotted name landed after following every alias.
+
+    ``kind`` is one of ``"function"``, ``"class"``, ``"value"`` (a
+    module-level assignment whose right side is not a plain name chain,
+    e.g. an RNG construction), ``"module"``, or ``"external"`` (the
+    terminal dotted name does not live in the scanned tree — stdlib,
+    numpy, or simply unknown).  ``dotted`` always carries the terminal
+    dotted name; project symbols also carry ``module``/``qualname`` and
+    the defining AST node.
+    """
+
+    kind: str
+    dotted: tuple[str, ...]
+    module: Optional[str] = None
+    qualname: Optional[str] = None
+    node: Optional[ast.AST] = None
+
+
+class ModuleTable:
+    """The top-level symbols of one parsed module."""
+
+    def __init__(self, name: str, ctx: ModuleContext) -> None:
+        self.name = name
+        self.ctx = ctx
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Module-level ``name = <expr>`` assignments (last one wins,
+        #: matching runtime semantics for linear module bodies).
+        self.assigns: dict[str, ast.expr] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(self.name, stmt.name, stmt)
+                self.functions[stmt.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._collect_class(stmt)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.assigns[stmt.target.id] = stmt.value
+
+    def _collect_class(self, cls: ast.ClassDef) -> None:
+        info = ClassInfo(self.name, cls.name, cls, base_exprs=list(cls.bases))
+        excludes: set[str] = set()
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(self.name, f"{cls.name}.{stmt.name}", stmt)
+                info.methods[stmt.name] = method
+                self.functions[method.qualname] = method
+            value: Optional[ast.expr] = None
+            target: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "FINGERPRINT_EXCLUDE"
+                and value is not None
+            ):
+                info.has_exclude = True
+                excludes.update(_literal_strings(value))
+        info.own_excludes = frozenset(excludes)
+        self.classes[cls.name] = info
+
+
+def _literal_strings(node: ast.AST) -> set[str]:
+    """Literal string elements of a (possibly frozenset-wrapped) display."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "frozenset"
+        and len(node.args) == 1
+    ):
+        return _literal_strings(node.args[0])
+    out: set[str] = set()
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.add(element.value)
+    return out
+
+
+def name_chain(node: ast.AST) -> Optional[tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name bases."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.append(node.id)
+    chain.reverse()
+    return tuple(chain)
+
+
+class ProjectIndex:
+    """Cross-module resolver + call graph over a set of ModuleContexts."""
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        self.modules: dict[str, ModuleTable] = {}
+        for ctx in sorted(contexts, key=lambda c: c.display_path):
+            name = module_name_for(ctx)
+            # First writer wins on a stem collision; dotted repro names
+            # are unique by construction.
+            self.modules.setdefault(name, ModuleTable(name, ctx))
+        self._edges: Optional[dict[str, tuple[str, ...]]] = None
+
+    # -- name resolution --------------------------------------------------
+    def resolve(
+        self, module: str, chain: tuple[str, ...], _seen: Optional[set] = None
+    ) -> Resolution:
+        """Follow ``chain`` (a dotted name as written in ``module``)
+        through aliases, re-exports and assignment aliases to a terminal
+        :class:`Resolution`.  Never raises: unknown names come back as
+        ``"external"`` with the best-known dotted form, mirroring
+        :meth:`ModuleContext.resolve`'s "treat as canonical" fallback.
+        """
+        if _seen is None:
+            _seen = set()
+        probe = (module, chain)
+        if not chain or probe in _seen:
+            return Resolution(kind="external", dotted=chain)
+        _seen.add(probe)
+        table = self.modules.get(module)
+        if table is None:
+            return Resolution(kind="external", dotted=chain)
+        head = chain[0]
+        if head in table.ctx.aliases:
+            target = table.ctx.aliases[head] + chain[1:]
+            return self._resolve_dotted(target, _seen)
+        if head in table.classes:
+            return self._resolve_in_class(table.classes[head], chain[1:])
+        if head in table.functions:
+            return Resolution(
+                kind="function",
+                dotted=(module,) + chain,
+                module=module,
+                qualname=head,
+                node=table.functions[head].node,
+            )
+        if head in table.assigns:
+            value = table.assigns[head]
+            value_chain = name_chain(value)
+            if value_chain is not None:
+                return self.resolve(module, value_chain + chain[1:], _seen)
+            return Resolution(
+                kind="value",
+                dotted=(module,) + chain,
+                module=module,
+                qualname=head,
+                node=value,
+            )
+        return Resolution(kind="external", dotted=chain)
+
+    def _resolve_dotted(
+        self, dotted: tuple[str, ...], _seen: set
+    ) -> Resolution:
+        """Resolve a fully-dotted path: longest module prefix, then the
+        remainder as a symbol inside that module."""
+        for split in range(len(dotted), 0, -1):
+            prefix = ".".join(dotted[:split])
+            if prefix in self.modules:
+                remainder = dotted[split:]
+                if not remainder:
+                    return Resolution(kind="module", dotted=dotted, module=prefix)
+                return self.resolve(prefix, remainder, _seen)
+        return Resolution(kind="external", dotted=dotted)
+
+    def _resolve_in_class(
+        self, cls: ClassInfo, rest: tuple[str, ...]
+    ) -> Resolution:
+        if rest:
+            method = self.method_on(cls, rest[0])
+            if method is not None:
+                return Resolution(
+                    kind="function",
+                    dotted=(cls.module, cls.name) + rest,
+                    module=method.module,
+                    qualname=method.qualname,
+                    node=method.node,
+                )
+        return Resolution(
+            kind="class",
+            dotted=(cls.module, cls.name) + rest,
+            module=cls.module,
+            qualname=cls.name,
+            node=cls.node,
+        )
+
+    def external_name(
+        self, module: str, chain: tuple[str, ...]
+    ) -> Optional[tuple[str, ...]]:
+        """The terminal external dotted name of ``chain``, if it resolves
+        out of the project (``from helpers import clock`` where helpers
+        says ``clock = time.time`` -> ``("time", "time")``)."""
+        res = self.resolve(module, chain)
+        if res.kind == "external":
+            return res.dotted
+        if res.kind == "value":
+            value_chain = name_chain(res.node) if res.node is not None else None
+            if value_chain is not None and res.module is not None:
+                return self.external_name(res.module, value_chain)
+        return None
+
+    # -- class machinery ---------------------------------------------------
+    def resolve_base(self, cls: ClassInfo, base: ast.expr) -> Optional[ClassInfo]:
+        """Resolve one written base-class expression of ``cls`` to its
+        in-project :class:`ClassInfo`, or ``None`` for external bases."""
+        chain = name_chain(base)
+        if chain is None:
+            return None
+        res = self.resolve(cls.module, chain)
+        if res.kind == "class" and res.module is not None and res.qualname:
+            table = self.modules.get(res.module)
+            if table is not None:
+                return table.classes.get(res.qualname)
+        return None
+
+    def method_on(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        """``name`` looked up on ``cls`` then its project-resolvable bases."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            if name in current.methods:
+                return current.methods[name]
+            for base in current.base_exprs:
+                resolved = self.resolve_base(current, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def subclass_closure(
+        self, base_names: frozenset[str], *, include_marked: bool = True
+    ) -> dict[str, frozenset[str]]:
+        """Classes transitively rooted at ``base_names`` (matched on the
+        written base name, so unimported fixture bases still count) — the
+        fingerprinted set.  ``include_marked`` additionally seeds classes
+        that declare ``FINGERPRINT_EXCLUDE`` themselves.  Returns
+        ``class key -> accumulated excluded attribute names`` with
+        excludes union-ed down each inheritance chain.
+        """
+        marked: dict[str, frozenset[str]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for module in sorted(self.modules):
+                for cls in self.modules[module].classes.values():
+                    excludes = set(marked.get(cls.key, frozenset()))
+                    hit = cls.key in marked
+                    if include_marked and cls.has_exclude:
+                        hit = True
+                    if cls.has_exclude:
+                        excludes.update(cls.own_excludes)
+                    for base in cls.base_exprs:
+                        chain = name_chain(base)
+                        if chain and chain[-1] in base_names:
+                            hit = True
+                        resolved = self.resolve_base(cls, base)
+                        if resolved is not None and resolved.key in marked:
+                            hit = True
+                            excludes.update(marked[resolved.key])
+                    if hit and (
+                        cls.key not in marked
+                        or frozenset(excludes) != marked[cls.key]
+                    ):
+                        marked[cls.key] = frozenset(excludes)
+                        changed = True
+        return marked
+
+    def class_of(self, key: str) -> Optional[ClassInfo]:
+        """The :class:`ClassInfo` behind a ``module:ClassName`` key."""
+        module, _, name = key.partition(":")
+        table = self.modules.get(module)
+        return table.classes.get(name) if table else None
+
+    # -- call graph ---------------------------------------------------------
+    def functions(self) -> Iterable[FunctionInfo]:
+        """Every function/method in the project, in sorted (module,
+        qualname) order — the deterministic iteration the rules rely on."""
+        for module in sorted(self.modules):
+            table = self.modules[module]
+            for qualname in sorted(table.functions):
+                yield table.functions[qualname]
+
+    def edges(self) -> dict[str, tuple[str, ...]]:
+        """``caller key -> callee keys`` over every indexed function."""
+        if self._edges is None:
+            built: dict[str, tuple[str, ...]] = {}
+            for info in self.functions():
+                built[info.key] = tuple(sorted(self._callees(info)))
+            self._edges = built
+        return self._edges
+
+    def _local_types(self, info: FunctionInfo) -> dict[str, ClassInfo]:
+        """Local variable -> project class, from parameter annotations and
+        direct constructor assignments (``v = ClassName(...)``)."""
+        out: dict[str, ClassInfo] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            chain = name_chain(arg.annotation)
+            if chain is None:
+                continue
+            res = self.resolve(info.module, chain)
+            if res.kind == "class" and res.module and res.qualname:
+                cls = self.class_of(f"{res.module}:{res.qualname}")
+                if cls is not None:
+                    out[arg.arg] = cls
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            chain = name_chain(node.value.func)
+            if chain is None:
+                continue
+            res = self.resolve(info.module, chain)
+            if res.kind == "class" and res.module and res.qualname:
+                cls = self.class_of(f"{res.module}:{res.qualname}")
+                if cls is not None:
+                    out[target.id] = cls
+        return out
+
+    def local_class_types(self, info: FunctionInfo) -> dict[str, ClassInfo]:
+        """Public alias of the call graph's local type inference, used by
+        REP203 to spot post-construction writes through local variables."""
+        return self._local_types(info)
+
+    def _callees(self, info: FunctionInfo) -> set[str]:
+        out: set[str] = set()
+        own_class: Optional[ClassInfo] = None
+        if "." in info.qualname:
+            own_class = self.class_of(
+                f"{info.module}:{info.qualname.split('.', 1)[0]}"
+            )
+        local_types = self._local_types(info)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                receiver = func.value.id
+                target_cls: Optional[ClassInfo] = None
+                if receiver == "self" and own_class is not None:
+                    target_cls = own_class
+                elif receiver in local_types:
+                    target_cls = local_types[receiver]
+                if target_cls is not None:
+                    method = self.method_on(target_cls, func.attr)
+                    if method is not None:
+                        out.add(method.key)
+                        continue
+            chain = name_chain(func)
+            if chain is None:
+                continue
+            res = self.resolve(info.module, chain)
+            if res.kind == "function" and res.module and res.qualname:
+                out.add(f"{res.module}:{res.qualname}")
+            elif res.kind == "class" and res.module and res.qualname:
+                cls = self.class_of(f"{res.module}:{res.qualname}")
+                if cls is not None:
+                    init = self.method_on(cls, "__init__")
+                    if init is not None:
+                        out.add(init.key)
+        return out
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Function keys reachable from ``roots`` through the call graph
+        (roots included when they exist in the index)."""
+        edges = self.edges()
+        seen: set[str] = set()
+        queue = sorted(set(roots) & set(edges))
+        while queue:
+            key = queue.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            for callee in edges.get(key, ()):
+                if callee not in seen:
+                    queue.append(callee)
+        return seen
+
+    def function(self, key: str) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` behind a ``module:qualname`` key."""
+        module, _, qualname = key.partition(":")
+        table = self.modules.get(module)
+        return table.functions.get(qualname) if table else None
+
+
+@dataclass
+class ProjectContext:
+    """What a ``scope="project"`` rule checker receives: every scanned
+    module plus the built index.  ``by_display`` keys contexts by the
+    display path findings carry, so the runner can look suppressions up."""
+
+    contexts: list[ModuleContext]
+    index: ProjectIndex
+
+    @classmethod
+    def build(cls, contexts: Iterable[ModuleContext]) -> "ProjectContext":
+        ordered = sorted(contexts, key=lambda c: c.display_path)
+        return cls(contexts=ordered, index=ProjectIndex(ordered))
+
+    @property
+    def by_display(self) -> dict[str, ModuleContext]:
+        return {ctx.display_path: ctx for ctx in self.contexts}

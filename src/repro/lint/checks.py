@@ -34,7 +34,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
-from repro.lint.registry import LintRule, register_rule
+from repro.lint.registry import ALL_TIERS, LintRule, register_rule
 
 __all__ = [
     "REP001",
@@ -505,6 +505,7 @@ REP004 = register_rule(
             "the tests did not run."
         ),
         check=_check_rep004,
+        tiers=ALL_TIERS,
     )
 )
 
@@ -650,6 +651,7 @@ REP101 = register_rule(
             "determinism bug that depends on call history."
         ),
         check=_check_rep101,
+        tiers=ALL_TIERS,
     )
 )
 
@@ -677,5 +679,6 @@ REP102 = register_rule(
             "to surface, and it catches SystemExit/KeyboardInterrupt."
         ),
         check=_check_rep102,
+        tiers=ALL_TIERS,
     )
 )

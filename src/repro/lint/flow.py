@@ -1,0 +1,454 @@
+"""Intraprocedural CFG, reaching-definitions/taint engine, must-analysis.
+
+Three small pieces, shared by the REP2xx flow rules
+(:mod:`repro.lint.flowchecks`):
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function body.  ``if``/``while``/``for``/``try``/``with``, ``break``/
+  ``continue``/``return``/``raise`` are modeled precisely enough for
+  forward may-analyses; exceptions are approximated by an edge from a
+  ``try`` body's entry to each handler (any statement may raise).
+* :func:`analyze_taint` — a forward fixpoint over the CFG propagating
+  tag sets (``var -> frozenset[str]``) through assignments, with
+  rule-supplied sources and call effects (``"clean"`` drops tags —
+  ``sorted(...)``; ``"pass"`` unions argument tags — ``list(...)``).
+  The result maps every statement to the state *before* it executes,
+  which is exactly what a sink check wants.  The same machinery doubles
+  as reaching-definitions: a tag per definition site.
+* :func:`release_guarantee` — a three-valued structural must-analysis
+  for claim/release pairing: does every non-exception path through a
+  statement list hit a matching release?  ``raise`` paths are exempt by
+  contract (REP202 only demands release on *non-exception* paths or a
+  ``try/finally``); a release anywhere in a ``finally`` suite satisfies
+  the whole ``try``.
+
+Like everything under :mod:`repro.lint`, the analyses are deterministic:
+block ids are allocation-ordered, worklists are processed in id order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+__all__ = [
+    "CFG",
+    "GUARANTEE_FALLTHROUGH",
+    "GUARANTEE_LEAK",
+    "GUARANTEE_RELEASED",
+    "TaintSpec",
+    "analyze_taint",
+    "build_cfg",
+    "release_guarantee",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Calls whose result order/content mirrors their (single) argument.
+_PASSTHROUGH_CALLS = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+#: Calls that impose a deterministic order (cleansing unordered taint).
+_CLEANSING_CALLS = frozenset({"sorted"})
+
+
+# ----------------------------------------------------------------------
+# Control-flow graph
+# ----------------------------------------------------------------------
+@dataclass
+class CFG:
+    """Basic blocks of simple statements plus successor edges.
+
+    Compound statements (``if``/``for``/``while``/``try``/``with``)
+    appear as the *last* statement of the block that evaluates their
+    header (test / iterable / context managers); their suites live in
+    successor blocks.
+    """
+
+    blocks: list[list[ast.stmt]] = field(default_factory=list)
+    succs: list[set[int]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def new_block(self) -> int:
+        """Allocate an empty basic block and return its index."""
+        self.blocks.append([])
+        self.succs.append(set())
+        return len(self.blocks) - 1
+
+    def edge(self, src: int, dst: int) -> None:
+        """Add a control-flow edge from block ``src`` to block ``dst``."""
+        self.succs[src].add(dst)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self.cfg.new_block()
+        self.cfg.exit = self.cfg.new_block()
+        #: (continue-target, break-target) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        out = self._stmts(body, self.cfg.entry)
+        if out is not None:
+            self.cfg.edge(out, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, stmts: list[ast.stmt], cur: Optional[int]) -> Optional[int]:
+        """Thread ``stmts`` from block ``cur``; ``None`` means the path
+        already diverted (return/raise/break) and the rest is dead."""
+        for stmt in stmts:
+            if cur is None:
+                return None
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.blocks[cur].append(stmt)
+            after = cfg.new_block()
+            then_entry = cfg.new_block()
+            cfg.edge(cur, then_entry)
+            then_out = self._stmts(stmt.body, then_entry)
+            if then_out is not None:
+                cfg.edge(then_out, after)
+            if stmt.orelse:
+                else_entry = cfg.new_block()
+                cfg.edge(cur, else_entry)
+                else_out = self._stmts(stmt.orelse, else_entry)
+                if else_out is not None:
+                    cfg.edge(else_out, after)
+            else:
+                cfg.edge(cur, after)
+            reachable = any(after in succ for succ in cfg.succs)
+            return after if reachable else None
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            cfg.blocks[cur].append(stmt)
+            header = cfg.new_block()
+            cfg.blocks[header].append(stmt)  # re-evaluated each iteration
+            after = cfg.new_block()
+            cfg.edge(cur, header)
+            cfg.edge(header, after)  # zero-iteration / loop-exit path
+            body_entry = cfg.new_block()
+            cfg.edge(header, body_entry)
+            self.loops.append((header, after))
+            body_out = self._stmts(stmt.body, body_entry)
+            self.loops.pop()
+            if body_out is not None:
+                cfg.edge(body_out, header)
+            if stmt.orelse:
+                else_out = self._stmts(stmt.orelse, after)
+                return else_out
+            return after
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            cfg.blocks[cur].append(stmt)
+            body_entry = cfg.new_block()
+            cfg.edge(cur, body_entry)
+            after = cfg.new_block()
+            handler_entries = []
+            for handler in stmt.handlers:
+                h_entry = cfg.new_block()
+                handler_entries.append(h_entry)
+                # Any statement in the body may raise: approximate with an
+                # edge from the body's entry to each handler.
+                cfg.edge(body_entry, h_entry)
+            body_out = self._stmts(stmt.body, body_entry)
+            if stmt.orelse and body_out is not None:
+                body_out = self._stmts(stmt.orelse, body_out)
+            outs = [body_out] + [
+                self._stmts(handler.body, h_entry)
+                for handler, h_entry in zip(stmt.handlers, handler_entries)
+            ]
+            live = [o for o in outs if o is not None]
+            if stmt.finalbody:
+                final_entry = cfg.new_block()
+                for out in live:
+                    cfg.edge(out, final_entry)
+                if not live:
+                    # All paths diverted; the finally still runs on the
+                    # way out — keep it connected for analysis.
+                    cfg.edge(body_entry, final_entry)
+                final_out = self._stmts(stmt.finalbody, final_entry)
+                if final_out is not None:
+                    cfg.edge(final_out, after)
+                    return after
+                return None
+            for out in live:
+                cfg.edge(out, after)
+            return after if live else None
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.blocks[cur].append(stmt)
+            body_entry = cfg.new_block()
+            cfg.edge(cur, body_entry)
+            return self._stmts(stmt.body, body_entry)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[cur].append(stmt)
+            cfg.edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cfg.blocks[cur].append(stmt)
+            if self.loops:
+                cfg.edge(cur, self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            cfg.blocks[cur].append(stmt)
+            if self.loops:
+                cfg.edge(cur, self.loops[-1][0])
+            return None
+        cfg.blocks[cur].append(stmt)
+        return cur
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """The control-flow graph of ``func``'s body."""
+    return _Builder().build(func.body)
+
+
+# ----------------------------------------------------------------------
+# Taint / reaching definitions
+# ----------------------------------------------------------------------
+@dataclass
+class TaintSpec:
+    """Rule-supplied taint semantics.
+
+    ``source(expr)`` returns the tags an expression introduces by itself
+    (e.g. ``{"unordered"}`` for a set display).  ``call_effect(call)``
+    classifies a call: ``"clean"`` (result unconditionally untagged),
+    ``"pass"`` (result carries the union of its arguments' tags), or
+    ``"opaque"`` (result untagged — unknown calls launder taint, which
+    keeps the rules low-noise at the cost of missing deep flows).
+    """
+
+    source: Callable[[ast.expr], frozenset[str]]
+    call_effect: Optional[Callable[[ast.Call], str]] = None
+
+    def effect(self, call: ast.Call) -> str:
+        """How ``call`` treats tainted arguments: ``"clean"`` (taint is
+        scrubbed, e.g. ``sorted``), ``"pass"`` (taint flows through) or
+        ``"opaque"`` (unknown callee — taint is dropped conservatively)."""
+        if self.call_effect is not None:
+            verdict = self.call_effect(call)
+            if verdict in ("clean", "pass", "opaque"):
+                return verdict
+        if isinstance(call.func, ast.Name):
+            if call.func.id in _CLEANSING_CALLS:
+                return "clean"
+            if call.func.id in _PASSTHROUGH_CALLS:
+                return "pass"
+        return "opaque"
+
+
+TaintState = dict[str, frozenset[str]]
+
+
+def expr_tags(expr: Optional[ast.expr], state: TaintState, spec: TaintSpec) -> frozenset[str]:
+    """Tags carried by ``expr`` under ``state``."""
+    if expr is None:
+        return frozenset()
+    tags = spec.source(expr)
+    if isinstance(expr, ast.Name):
+        return tags | state.get(expr.id, frozenset())
+    if isinstance(expr, ast.Call):
+        effect = spec.effect(expr)
+        if effect == "clean":
+            return frozenset()
+        if effect == "pass":
+            for arg in expr.args:
+                tags |= expr_tags(arg, state, spec)
+            return tags
+        return tags
+    if isinstance(expr, (ast.Lambda,)):
+        return tags
+    if isinstance(expr, ast.Subscript):
+        # The index does not flow into the element: rngs[idx] carries
+        # rngs' tags, not idx's.
+        return tags | expr_tags(expr.value, state, spec)
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            tags |= expr_tags(child, state, spec)
+    return tags
+
+
+def _assign_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_assign_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _assign_names(target.value)
+    return []
+
+
+def _transfer(stmt: ast.stmt, state: TaintState, spec: TaintSpec) -> None:
+    """Apply one statement's effect to ``state`` in place."""
+    if isinstance(stmt, ast.Assign):
+        tags = expr_tags(stmt.value, state, spec)
+        for target in stmt.targets:
+            for name in _assign_names(target):
+                state[name] = tags
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        for name in _assign_names(stmt.target):
+            state[name] = expr_tags(stmt.value, state, spec)
+    elif isinstance(stmt, ast.AugAssign):
+        extra = expr_tags(stmt.value, state, spec)
+        for name in _assign_names(stmt.target):
+            state[name] = state.get(name, frozenset()) | extra
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # Loop target inherits the iterable's tags (iterating an
+        # unordered collection yields elements in unordered order).
+        tags = expr_tags(stmt.iter, state, spec)
+        for name in _assign_names(stmt.target):
+            state[name] = tags
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                tags = expr_tags(item.context_expr, state, spec)
+                for name in _assign_names(item.optional_vars):
+                    state[name] = tags
+
+
+def _join(a: TaintState, b: TaintState) -> TaintState:
+    out = dict(a)
+    for name, tags in b.items():
+        out[name] = out.get(name, frozenset()) | tags
+    return out
+
+
+def analyze_taint(
+    func: FunctionNode, spec: TaintSpec
+) -> dict[int, TaintState]:
+    """Forward may-analysis over ``func``'s CFG.
+
+    Returns ``id(stmt) -> state-before-stmt`` for every statement the
+    CFG placed (compound headers included), after iterating block entry
+    states to a fixpoint.  Parameters start untagged.
+    """
+    cfg = build_cfg(func)
+    entry_states: list[Optional[TaintState]] = [None] * len(cfg.blocks)
+    entry_states[cfg.entry] = {}
+    worklist = [cfg.entry]
+    while worklist:
+        block = min(worklist)
+        worklist.remove(block)
+        state = dict(entry_states[block] or {})
+        for stmt in cfg.blocks[block]:
+            _transfer(stmt, state, spec)
+        for succ in sorted(cfg.succs[block]):
+            merged = (
+                state
+                if entry_states[succ] is None
+                else _join(entry_states[succ], state)
+            )
+            if merged != entry_states[succ]:
+                entry_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    # Second pass: record the state before each statement.
+    before: dict[int, TaintState] = {}
+    for block, stmts in enumerate(cfg.blocks):
+        state = dict(entry_states[block] or {})
+        for stmt in stmts:
+            existing = before.get(id(stmt))
+            before[id(stmt)] = (
+                dict(state) if existing is None else _join(existing, state)
+            )
+            _transfer(stmt, state, spec)
+    return before
+
+
+# ----------------------------------------------------------------------
+# Must-release guarantee (REP202)
+# ----------------------------------------------------------------------
+GUARANTEE_RELEASED = "released"
+GUARANTEE_LEAK = "leak"
+GUARANTEE_FALLTHROUGH = "fallthrough"
+
+
+def _contains_match(node: ast.AST, is_release: Callable[[ast.Call], bool]) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and is_release(child):
+            return True
+    return False
+
+
+def release_guarantee(
+    stmts: list[ast.stmt], is_release: Callable[[ast.Call], bool]
+) -> str:
+    """Three-valued must-analysis over a statement list.
+
+    * ``"released"`` — every non-exception path through ``stmts``
+      reaches a matching release (or diverts via ``raise``, which REP202
+      exempts by contract);
+    * ``"leak"`` — some path returns / breaks out of the analyzed region
+      *without* releasing;
+    * ``"fallthrough"`` — no verdict yet: execution can fall off the end
+      still holding the claim (the caller keeps scanning the enclosing
+      suite).
+    """
+    for stmt in stmts:
+        if isinstance(stmt, ast.Raise):
+            return GUARANTEE_RELEASED  # exception path: exempt
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and _contains_match(stmt.value, is_release):
+                return GUARANTEE_RELEASED
+            return GUARANTEE_LEAK
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # Leaves the analyzed region sideways; the claim is still
+            # held, so the caller's fallthrough handling applies.
+            return GUARANTEE_FALLTHROUGH
+        if isinstance(stmt, ast.If):
+            then_g = release_guarantee(stmt.body, is_release)
+            else_g = release_guarantee(stmt.orelse, is_release)
+            if GUARANTEE_LEAK in (then_g, else_g):
+                return GUARANTEE_LEAK
+            if then_g == GUARANTEE_RELEASED and else_g == GUARANTEE_RELEASED:
+                return GUARANTEE_RELEASED
+            continue  # some path falls through: keep scanning
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            body_g = release_guarantee(stmt.body, is_release)
+            if body_g == GUARANTEE_LEAK:
+                return GUARANTEE_LEAK
+            if stmt.orelse:
+                else_g = release_guarantee(stmt.orelse, is_release)
+                if else_g == GUARANTEE_LEAK:
+                    return GUARANTEE_LEAK
+                if else_g == GUARANTEE_RELEASED:
+                    return GUARANTEE_RELEASED
+            # `while True: ... break`-style loops: a released body whose
+            # only exits are breaks after releasing is still "released".
+            if body_g == GUARANTEE_RELEASED and _loop_cannot_fall_through(stmt):
+                return GUARANTEE_RELEASED
+            continue
+        if isinstance(stmt, ast.Try):
+            if any(
+                _contains_match(final_stmt, is_release)
+                for final_stmt in stmt.finalbody
+            ):
+                return GUARANTEE_RELEASED
+            body_g = release_guarantee(list(stmt.body) + list(stmt.orelse), is_release)
+            if body_g != GUARANTEE_FALLTHROUGH:
+                return body_g
+            continue
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_g = release_guarantee(stmt.body, is_release)
+            if body_g != GUARANTEE_FALLTHROUGH:
+                return body_g
+            continue
+        if _contains_match(stmt, is_release):
+            return GUARANTEE_RELEASED
+    return GUARANTEE_FALLTHROUGH
+
+
+def _loop_cannot_fall_through(loop: ast.stmt) -> bool:
+    """``while True`` loops never exit via the test, only via break —
+    the one loop shape where a released body proves the whole loop."""
+    return (
+        isinstance(loop, ast.While)
+        and isinstance(loop.test, ast.Constant)
+        and bool(loop.test.value)
+    )

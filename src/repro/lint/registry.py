@@ -20,14 +20,19 @@ Checkers come in two shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.exceptions import InvalidParameterError
 from repro.lint.findings import Finding
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (context -> registry)
-    from repro.lint.context import ModuleContext
+#: The walk tiers a file can belong to.  Contract rules run over the
+#: product and benchmark trees; test code is held to the hygiene and
+#: picklability rules but may freely seed RNGs, read clocks, etc.
+ALL_TIERS = frozenset({"src", "tests", "benchmarks"})
+
+#: Tier set for determinism/cache contract rules (everything but tests).
+CONTRACT_TIERS = frozenset({"src", "benchmarks"})
 
 
 @dataclass(frozen=True)
@@ -37,15 +42,27 @@ class LintRule:
     ``id`` is the stable code suppressions and baselines reference
     (``REPnnn``), ``name`` a kebab-case slug, ``summary`` the one-liner
     shown by ``lint --list-rules``, ``rationale`` the invariant the rule
-    guards (rendered in the docs catalog), and ``check`` the per-module
-    AST checker.
+    guards (rendered in the docs catalog), and ``check`` the checker.
+
+    ``scope`` selects the checker's calling convention: ``"module"``
+    checkers receive one :class:`~repro.lint.context.ModuleContext` per
+    file; ``"project"`` checkers (the REP2xx flow rules) receive a single
+    :class:`~repro.lint.callgraph.ProjectContext` spanning every scanned
+    module and may follow imports, aliases and calls across files.
+
+    ``tiers`` scopes where findings apply when walking directories:
+    a finding in a ``tests/`` file is dropped unless the rule lists the
+    ``"tests"`` tier.  Explicitly-passed files bypass tier gating (the
+    fixture harness depends on that).
     """
 
     id: str
     name: str
     summary: str
     rationale: str
-    check: Callable[["ModuleContext"], Iterable[Finding]]
+    check: Callable[..., Iterable[Finding]]
+    scope: str = "module"
+    tiers: frozenset[str] = field(default=CONTRACT_TIERS)
 
 
 #: Registered rules by id, in registration order (the order reports use).

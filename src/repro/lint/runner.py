@@ -4,18 +4,37 @@
 It walks the requested files/directories in sorted order (the runner
 practices the determinism it preaches), builds one
 :class:`~repro.lint.context.ModuleContext` per module, executes every
-selected registered rule, folds in the runtime contract scan
-(:mod:`repro.lint.contracts`) when REP003 is in play, honors inline
-suppressions, and finally subtracts the checked-in baseline.
+selected registered rule — per-module rules file by file, then the
+project-scoped flow rules (:mod:`repro.lint.flowchecks`) once over a
+whole-program :class:`~repro.lint.callgraph.ProjectContext` — folds in
+the runtime contract scan (:mod:`repro.lint.contracts`) when REP003 is
+in play, honors inline suppressions, and finally subtracts the
+checked-in baseline.
 
-The resulting :class:`LintReport` renders as plain text or as GitHub
-workflow annotations and knows its own exit code: findings (or a stale
-baseline entry, or an unparseable file) mean failure.
+Directory walks are **tiered**: a file under ``tests/`` only receives
+findings from rules that opt into the ``"tests"`` tier (hygiene and
+picklability), while ``src``/``benchmarks`` get the full contract set.
+Files passed explicitly bypass tier gating — the fixture harness lints
+single files with every rule.  ``fixtures`` directories encountered
+*below* a requested root are skipped entirely: planted violations are
+test data, not tree debt.
+
+``changed_only`` narrows *reporting* to files touched since a git ref
+(plus untracked files) without narrowing *analysis*: the project index
+still spans every discovered module, so a change to a re-export is
+still seen by flow rules, but only findings in changed files — and only
+stale-baseline debt attributable to them — fail the run.
+
+The resulting :class:`LintReport` renders as plain text, GitHub workflow
+annotations, or SARIF 2.1.0 (:mod:`repro.lint.sarif`) and knows its own
+exit code: findings (or a stale baseline entry, or an unparseable file)
+mean failure.
 """
 
 from __future__ import annotations
 
 import pathlib
+import subprocess
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -32,6 +51,7 @@ from repro.lint.registry import LintRule, resolve_rules
 
 # Importing the checkers registers every rule as a side effect.
 import repro.lint.checks  # noqa: F401  (registration import)
+import repro.lint.flowchecks  # noqa: F401  (registration import)
 
 #: Rule id used for files the scanner cannot parse at all.
 PARSE_RULE_ID = "REP000"
@@ -93,27 +113,41 @@ class LintReport:
             )
         return "\n".join(lines)
 
+    def render_sarif(self) -> str:
+        """The SARIF 2.1.0 rendering (see :mod:`repro.lint.sarif`)."""
+        from repro.lint.sarif import render_sarif
+
+        return render_sarif(self)
+
     def render(self, fmt: str) -> str:
-        """Render as ``"text"`` or ``"github"`` (the CLI's ``--format``)."""
+        """Render as ``"text"``, ``"github"`` or ``"sarif"`` (``--format``)."""
         if fmt == "text":
             return self.render_text()
         if fmt == "github":
             return self.render_github()
+        if fmt == "sarif":
+            return self.render_sarif()
         raise InvalidParameterError(f"unknown lint output format {fmt!r}")
 
 
 def discover_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
     """The sorted ``.py`` files under the requested paths.
 
-    Directories recurse; explicit files are taken as given (and may be
-    non-``.py`` if the caller insists).  Missing paths raise — a typo'd
-    path silently scanning nothing is how lint rot starts.
+    Directories recurse, skipping anything under a ``fixtures`` directory
+    *below* the requested root (planted lint violations are test data);
+    naming a fixtures directory — or a file inside one — explicitly still
+    scans it.  Explicit files are taken as given (and may be non-``.py``
+    if the caller insists).  Missing paths raise — a typo'd path silently
+    scanning nothing is how lint rot starts.
     """
     out: list[pathlib.Path] = []
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            out.extend(sorted(path.rglob("*.py")))
+            for found in sorted(path.rglob("*.py")):
+                if "fixtures" in found.relative_to(path).parts[:-1]:
+                    continue
+                out.append(found)
         elif path.is_file():
             out.append(path)
         else:
@@ -131,6 +165,57 @@ def _display_path(path: pathlib.Path) -> str:
         return path.as_posix()
 
 
+def file_tier(display: str) -> str:
+    """The walk tier of a scanned file: ``tests``/``benchmarks``/``src``.
+
+    Classified from the (repo-relative) path components, so a test helper
+    in ``tests/helpers/`` and the suite itself land in the same tier.
+    """
+    parts = pathlib.PurePosixPath(display).parts
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "src"
+
+
+def changed_files(
+    ref: str, root: Optional[pathlib.Path] = None
+) -> set[pathlib.Path]:
+    """Resolved paths git reports as changed since ``ref``, plus untracked.
+
+    Uses ``git diff --name-only <ref>`` (worktree vs. ref, so staged and
+    unstaged edits both count) and ``git ls-files --others
+    --exclude-standard`` for files git does not track yet.  Raises when
+    git is unavailable or the ref does not resolve — a diff-aware run
+    silently scanning nothing would defeat its purpose.
+    """
+    base = (root or pathlib.Path.cwd()).resolve()
+    changed: set[pathlib.Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=base, capture_output=True, text=True, check=True
+            )
+        except FileNotFoundError as exc:
+            raise InvalidParameterError(
+                "--changed-only requires git on PATH"
+            ) from exc
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit code {exc.returncode}"
+            raise InvalidParameterError(
+                f"--changed-only: {' '.join(cmd)} failed: {detail}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            name = line.strip()
+            if name:
+                changed.add((base / name).resolve())
+    return changed
+
+
 def lint_paths(
     paths: Sequence[str | pathlib.Path],
     *,
@@ -138,6 +223,7 @@ def lint_paths(
     baseline_path: Optional[pathlib.Path] = None,
     use_baseline: bool = True,
     run_contracts: bool = True,
+    changed_only: Optional[str] = None,
 ) -> LintReport:
     """Lint ``paths`` with the selected rules and return the report.
 
@@ -147,33 +233,80 @@ def lint_paths(
     contract scan runs when REP003 is selected and ``run_contracts`` is
     true; its findings are kept only when they anchor inside a scanned
     file, so linting a fixture directory does not drag in the live tree.
+    ``changed_only`` is a git ref: analysis still spans every discovered
+    file (project rules need the whole program), but only findings in
+    files changed since the ref are reported.
     """
     rules: tuple[LintRule, ...] = resolve_rules(select)
+    module_rules = tuple(rule for rule in rules if rule.scope == "module")
+    project_rules = tuple(rule for rule in rules if rule.scope == "project")
     files = discover_files(paths)
+    explicit = {
+        pathlib.Path(raw).resolve()
+        for raw in paths
+        if pathlib.Path(raw).is_file()
+    }
     scanned_resolved = {path.resolve() for path in files}
+    if changed_only is not None:
+        changed = changed_files(changed_only)
+        reportable = {path for path in scanned_resolved if path in changed}
+    else:
+        reportable = scanned_resolved
 
     findings: list[Finding] = []
     suppressed = 0
+    contexts: list[ModuleContext] = []
+    tiers: dict[int, str] = {}
+    bypass: dict[int, bool] = {}
     for path in files:
         display = _display_path(path)
+        reported = path.resolve() in reportable
         source = path.read_text(encoding="utf-8")
         try:
             ctx = ModuleContext(path, source, display)
         except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=display,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule=PARSE_RULE_ID,
-                    message=f"file does not parse: {exc.msg}",
+            if reported:
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule=PARSE_RULE_ID,
+                        message=f"file does not parse: {exc.msg}",
+                    )
                 )
-            )
             continue
         if ctx.skip_file:
             continue
-        for rule in rules:
+        tier = file_tier(display)
+        contexts.append(ctx)
+        tiers[id(ctx)] = tier
+        bypass[id(ctx)] = path.resolve() in explicit
+        if not reported:
+            continue
+        for rule in module_rules:
+            if tier not in rule.tiers and not bypass[id(ctx)]:
+                continue
             for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+    if project_rules and contexts:
+        from repro.lint.callgraph import ProjectContext
+
+        project = ProjectContext.build(contexts)
+        by_display = project.by_display
+        for rule in project_rules:
+            for finding in rule.check(project):
+                ctx = by_display.get(finding.path)
+                if ctx is None:
+                    continue
+                if ctx.path.resolve() not in reportable:
+                    continue
+                if tiers[id(ctx)] not in rule.tiers and not bypass[id(ctx)]:
+                    continue
                 if ctx.is_suppressed(finding.rule, finding.line):
                     suppressed += 1
                 else:
@@ -186,7 +319,7 @@ def lint_paths(
             anchor = pathlib.Path(finding.path)
             if not anchor.is_absolute():
                 anchor = pathlib.Path.cwd() / anchor
-            if anchor.resolve() in scanned_resolved:
+            if anchor.resolve() in reportable:
                 findings.append(finding)
 
     findings.sort()
@@ -207,13 +340,13 @@ def lint_paths(
             stale = [
                 entry
                 for entry in stale
-                if pathlib.Path(entry.path).resolve() in scanned_resolved
+                if pathlib.Path(entry.path).resolve() in reportable
             ]
 
     return LintReport(
         findings=findings,
         stale_baseline=stale,
-        files_scanned=len(files),
+        files_scanned=len([p for p in files if p.resolve() in reportable]),
         rules_run=tuple(rule.id for rule in rules),
         baselined=baselined,
         suppressed=suppressed,

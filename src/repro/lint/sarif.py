@@ -1,0 +1,332 @@
+"""SARIF 2.1.0 output for repro-lint, plus a structural validator.
+
+:func:`sarif_document` renders a :class:`~repro.lint.runner.LintReport`
+as a SARIF ``log`` object: one run, the full rule catalog from the
+registry as ``tool.driver.rules`` (id, slug, summary, rationale), one
+``result`` per finding (and per stale baseline entry, so a SARIF
+consumer sees everything that fails the exit code).  GitHub code
+scanning ingests this directly via ``codeql-action/upload-sarif``.
+
+:func:`validate_sarif` is a dependency-free structural validator for the
+constraints the SARIF 2.1.0 schema imposes on documents of this shape —
+CI validates the emitted file with it (``python -m repro.lint.sarif
+<file>``), so a regression in the writer fails the build without needing
+the 100 kB official JSON schema vendored in.  When :mod:`jsonschema` and
+a schema file are available the CLI check composes with them; neither is
+required.
+
+SARIF quick reference (§ numbers from the OASIS 2.1.0 spec):
+
+* ``version`` must be the string ``"2.1.0"`` (§3.13.2);
+* ``runs`` is a non-empty array; each run needs ``tool.driver.name``
+  (§3.14/§3.19);
+* ``results[].ruleId`` should match a ``rules[]`` descriptor id, and
+  ``ruleIndex`` (when present) must point at it (§3.27.5);
+* ``message.text`` is required on every result (§3.27.11);
+* regions are 1-based: ``startLine``/``startColumn`` >= 1 (§3.30).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> sarif)
+    from repro.lint.runner import LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_document", "render_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+#: Result levels SARIF allows (§3.27.10).
+_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+#: Synthetic rule id for stale baseline entries (they fail the run but
+#: are bookkeeping debt, not a code-contract violation at a line).
+STALE_BASELINE_RULE = "REP901"
+
+
+def _rule_catalog() -> list[dict[str, Any]]:
+    from repro.lint.registry import RULES
+    from repro.lint.runner import PARSE_RULE_ID
+
+    rules: list[dict[str, Any]] = [
+        {
+            "id": PARSE_RULE_ID,
+            "name": "parse-error",
+            "shortDescription": {"text": "file does not parse"},
+            "fullDescription": {
+                "text": "The scanner could not parse the file; nothing in it "
+                "was checked."
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    for rule in RULES.values():
+        rules.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    rules.append(
+        {
+            "id": STALE_BASELINE_RULE,
+            "name": "stale-baseline-entry",
+            "shortDescription": {
+                "text": "baseline entry no longer matched by any finding"
+            },
+            "fullDescription": {
+                "text": "The tree no longer produces the baselined finding; "
+                "delete the entry so the baseline cannot mask a future "
+                "regression under a dead justification."
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return rules
+
+
+def sarif_document(report: "LintReport") -> dict[str, Any]:
+    """``report`` as a SARIF 2.1.0 log object (a plain dict)."""
+    rules = _rule_catalog()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            # Finding columns are 0-based (ast); SARIF is 1-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    for entry in report.stale_baseline:
+        results.append(
+            {
+                "ruleId": STALE_BASELINE_RULE,
+                "ruleIndex": rule_index[STALE_BASELINE_RULE],
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"stale baseline entry for {entry.rule} "
+                        f"({entry.code!r}): the tree no longer produces it — "
+                        "delete it from the baseline file"
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": entry.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/ldprecover"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: "LintReport") -> str:
+    """``report`` as pretty-printed SARIF JSON."""
+    return json.dumps(sarif_document(report), indent=2, sort_keys=False)
+
+
+def validate_sarif(doc: Any) -> list[str]:
+    """Structural SARIF 2.1.0 errors in ``doc`` (empty list = valid).
+
+    Checks every constraint the official schema would enforce on
+    documents repro-lint emits; written defensively so arbitrary JSON
+    never raises, only accumulates errors.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    if "$schema" in doc and not isinstance(doc["$schema"], str):
+        errors.append("$schema must be a string URI")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return errors
+    for run_no, run in enumerate(runs):
+        where = f"runs[{run_no}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {})
+        driver = driver.get("driver", {}) if isinstance(driver, dict) else {}
+        if not (isinstance(driver, dict) and isinstance(driver.get("name"), str) and driver["name"]):
+            errors.append(f"{where}.tool.driver.name must be a non-empty string")
+            driver = {}
+        rules = driver.get("rules", [])
+        rule_ids: list[str] = []
+        if not isinstance(rules, list):
+            errors.append(f"{where}.tool.driver.rules must be an array")
+            rules = []
+        for rule_no, rule in enumerate(rules):
+            if not (isinstance(rule, dict) and isinstance(rule.get("id"), str) and rule["id"]):
+                errors.append(
+                    f"{where}.tool.driver.rules[{rule_no}].id must be a "
+                    "non-empty string"
+                )
+                rule_ids.append("")
+                continue
+            if rule["id"] in rule_ids:
+                errors.append(
+                    f"{where}.tool.driver.rules has duplicate id {rule['id']!r}"
+                )
+            rule_ids.append(rule["id"])
+        if "columnKind" in run and run["columnKind"] not in (
+            "utf16CodeUnits",
+            "unicodeCodePoints",
+        ):
+            errors.append(f"{where}.columnKind is invalid: {run['columnKind']!r}")
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be an array")
+            continue
+        for result_no, result in enumerate(results):
+            rwhere = f"{where}.results[{result_no}]"
+            if not isinstance(result, dict):
+                errors.append(f"{rwhere} is not an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not (isinstance(rule_id, str) and rule_id):
+                errors.append(f"{rwhere}.ruleId must be a non-empty string")
+            elif rule_ids and rule_id not in rule_ids:
+                errors.append(
+                    f"{rwhere}.ruleId {rule_id!r} has no rules[] descriptor"
+                )
+            if "ruleIndex" in result:
+                index = result["ruleIndex"]
+                if not isinstance(index, int) or not 0 <= index < len(rule_ids):
+                    errors.append(f"{rwhere}.ruleIndex {index!r} out of range")
+                elif isinstance(rule_id, str) and rule_ids[index] != rule_id:
+                    errors.append(
+                        f"{rwhere}.ruleIndex points at "
+                        f"{rule_ids[index]!r}, not {rule_id!r}"
+                    )
+            message = result.get("message")
+            if not (
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str)
+                and message["text"]
+            ):
+                errors.append(f"{rwhere}.message.text must be a non-empty string")
+            if "level" in result and result["level"] not in _LEVELS:
+                errors.append(f"{rwhere}.level is invalid: {result['level']!r}")
+            for loc_no, location in enumerate(result.get("locations", []) or []):
+                lwhere = f"{rwhere}.locations[{loc_no}]"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    errors.append(f"{lwhere}.physicalLocation missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not (
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str)
+                ):
+                    errors.append(f"{lwhere}.artifactLocation.uri must be a string")
+                region = physical.get("region")
+                if region is None:
+                    continue
+                if not isinstance(region, dict):
+                    errors.append(f"{lwhere}.region is not an object")
+                    continue
+                for bound in ("startLine", "startColumn", "endLine", "endColumn"):
+                    if bound in region and (
+                        not isinstance(region[bound], int) or region[bound] < 1
+                    ):
+                        errors.append(
+                            f"{lwhere}.region.{bound} must be an int >= 1, "
+                            f"got {region[bound]!r}"
+                        )
+    return errors
+
+
+def assert_valid_sarif(doc: Any) -> None:
+    """Raise :class:`InvalidParameterError` on the first invalid SARIF."""
+    errors = validate_sarif(doc)
+    if errors:
+        raise InvalidParameterError(
+            "invalid SARIF 2.1.0 document: " + "; ".join(errors[:10])
+        )
+
+
+def _main(argv: list[str]) -> int:
+    """``python -m repro.lint.sarif FILE``: validate a SARIF file."""
+    if len(argv) != 1:
+        print("usage: python -m repro.lint.sarif <file.sarif>", file=sys.stderr)
+        return 2
+    path = pathlib.Path(argv[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable SARIF: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_sarif(doc)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if not errors:
+        results = sum(len(run.get("results", [])) for run in doc["runs"])
+        print(f"{path}: valid SARIF {SARIF_VERSION} ({results} result(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(_main(sys.argv[1:]))

@@ -550,8 +550,11 @@ def _bound_scan(protocol: FrequencyOracle, chunk_users: int) -> FrequencyOracle:
     with_cells = getattr(protocol, "with_chunk_cells", None)
     if with_cells is None:
         return protocol
-    budget = min(protocol.chunk_cells, chunk_users * protocol.domain_size)
-    if budget >= protocol.chunk_cells:
+    # ``chunk_cells`` only exists on protocols that expose the copy hook,
+    # so it is not part of the FrequencyOracle base interface.
+    cells = int(getattr(protocol, "chunk_cells"))
+    budget = min(cells, chunk_users * protocol.domain_size)
+    if budget >= cells:
         return protocol
     return with_cells(budget)
 

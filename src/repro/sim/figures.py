@@ -49,11 +49,12 @@ from repro.attacks import (
     MGAAttack,
     MultiAttacker,
 )
+from repro.attacks.base import PoisoningAttack
 from repro.core.kmeans import KMeansDefense, recover_with_kmeans
 from repro.core.recover import recover_frequencies
 from repro.datasets import Dataset, fire_like, ipums_like
 from repro.exceptions import InvalidParameterError
-from repro.protocols import PROTOCOL_NAMES, make_protocol
+from repro.protocols import PROTOCOL_NAMES, FrequencyOracle, make_protocol
 from repro.sim.cache import (
     CellCache,
     resolved_cohort_chunk,
@@ -100,7 +101,7 @@ def load_dataset(name: str, num_users: Optional[int]) -> Dataset:
 # update both modules (the scenario test suite pins the contract).
 def _cell_protocol(
     name: str, epsilon: float, domain_size: int, olh_cohort: Optional[int] = None
-) -> object:
+) -> FrequencyOracle:
     """Build one cell's protocol; ``olh_cohort`` applies to OLH cells only.
 
     The cohort knob is meaningless for GRR/OUE, so exhibits that iterate
@@ -114,7 +115,9 @@ def _cell_protocol(
     protocol = make_protocol(name, epsilon=epsilon, domain_size=domain_size)
     cohort = _cohort_for(protocol, olh_cohort)
     if cohort is not None:
-        protocol = protocol.with_cohort(cohort)
+        # ``with_cohort`` only exists on cohort-capable oracles (OLH); the
+        # _cohort_for gate above guarantees the hook is present here.
+        protocol = getattr(protocol, "with_cohort")(cohort)
     return protocol
 
 
@@ -131,7 +134,7 @@ def _cohort_for(protocol: object, olh_cohort: Optional[int]) -> Optional[int]:
 
 
 def _row_cell_params(
-    protocol: object,
+    protocol: FrequencyOracle,
     mode: SimulationMode,
     chunk_users: Optional[int],
     /,
@@ -151,7 +154,7 @@ def _row_cell_params(
     return params
 
 
-def _make_attack(kind: str, domain_size: int, rng: RngLike) -> object:
+def _make_attack(kind: str, domain_size: int, rng: RngLike) -> PoisoningAttack:
     gen = as_generator(rng)
     if kind == "manip":
         return ManipAttack(domain_size=domain_size, rng=gen)
@@ -579,7 +582,7 @@ class _Fig8Task:
     """Picklable per-trial unit of Figure 8 (one MGA + one IPA round)."""
 
     dataset: Dataset
-    protocol: object
+    protocol: FrequencyOracle
     mga: MGAAttack
     ipa: InputPoisoningAttack
     beta: float
@@ -684,7 +687,7 @@ class _Fig9Task:
     """Picklable per-trial unit of Figure 9 (one k-means defense round)."""
 
     dataset: Dataset
-    protocol: object
+    protocol: FrequencyOracle
     attack: InputPoisoningAttack
     beta: float
     xi: float
@@ -855,7 +858,7 @@ class _Table1Task:
     """Picklable per-trial unit of Table I (one unpoisoned recovery round)."""
 
     dataset: Dataset
-    protocol: object
+    protocol: FrequencyOracle
     mode: SimulationMode
     chunk_users: Optional[int]
     seed: np.random.SeedSequence

@@ -30,7 +30,7 @@ Adding a new workload is one :class:`ScenarioExhibit` registration
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, cast
 
 import numpy as np
 
@@ -62,7 +62,7 @@ from repro.sim.figures import (
 )
 from repro.sim.metrics import frequency_gain, mse
 from repro.sim.pipeline import SimulationMode, malicious_count, run_trial
-from repro.protocols import PROTOCOL_NAMES
+from repro.protocols import PROTOCOL_NAMES, FrequencyOracle
 
 __all__ = [
     "HH_BETAS",
@@ -458,7 +458,7 @@ class _HHTask:
     """
 
     dataset: Dataset
-    protocol: object
+    protocol: FrequencyOracle
     attack: MGAAttack
     beta: float
     ks: tuple[int, ...]
@@ -597,7 +597,7 @@ def heavyhitter_rows(
                 # payload must carry the per-k schema — fail loudly if not.
                 rows.append(payload)
                 continue
-            per_k = payload["per_k"]
+            per_k = cast("dict[str, dict[str, object]]", payload["per_k"])
             for k in HH_KS:
                 rows.append(
                     {"cell": payload["cell"], "beta": beta, "k": k, **per_k[str(k)]}

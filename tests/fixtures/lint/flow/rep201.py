@@ -1,0 +1,60 @@
+"""REP201 fixture: seed provenance in trial-reachable code.
+
+Violations carry inline LINT markers; the clean twins exercise
+the sanctioned pattern (per-trial ``spawn``ed streams) plus the
+reachability boundary (a constant seed in *unreachable* code is REP001's
+business, not a provenance leak).
+"""
+
+from numpy.random import default_rng
+
+from repro._rng import as_generator, spawn
+from repro.sim.engine import parallel_map
+
+_GLOBAL_RNG = default_rng(0)
+
+
+def run_trial(spec):
+    gen = default_rng(42)  # LINT: REP201
+    return helper(spec) + gen.normal()
+
+
+def helper(spec):
+    seed = 1234
+    gen = default_rng(seed)  # LINT: REP201
+    return gen.normal() + spec
+
+
+def trial_with_global(spec):
+    return _GLOBAL_RNG.normal() + spec  # LINT: REP201
+
+
+def fan_out(jobs, seed):
+    rng = default_rng(seed)
+    return parallel_map(lambda job: rng.normal() + job, jobs)  # LINT: REP201
+
+
+def good_trial(spec, seed_seq):
+    gen = as_generator(seed_seq)
+    return gen.normal() + spec
+
+
+def good_trial_spawned(spec, root_seq, index):
+    streams = spawn(root_seq, 4)
+    gen = as_generator(streams[index])
+    return gen.normal() + spec
+
+
+def fan_out_well(jobs, root_seq):
+    streams = spawn(root_seq, len(jobs))
+    return parallel_map(good_pair_trial, list(zip(jobs, streams)))
+
+
+def good_pair_trial(pair):
+    job, stream = pair
+    gen = as_generator(stream)
+    return gen.normal() + job
+
+
+def unreached_probe():
+    return default_rng(7)

@@ -1,0 +1,78 @@
+"""REP202 fixture: claim/release pairing through branches and loops.
+
+Violations carry inline LINT markers; the clean twins cover try/finally,
+the guard-clause shape, spin-acquire loops, delegation wrappers, and the
+exempt raise path.
+"""
+
+
+class ClaimQueue:
+    def __init__(self):
+        self._held = set()
+
+    def acquire(self, key):
+        if key in self._held:
+            return False
+        self._held.add(key)
+        return True
+
+    def release(self, key):
+        self._held.discard(key)
+
+
+def compute(key):
+    return len(key)
+
+
+def leaky(queue, key):
+    if queue.acquire(key):  # LINT: REP202
+        return compute(key)
+    return None
+
+
+def branch_leak(queue, key):
+    if queue.acquire(key):  # LINT: REP202
+        if compute(key) > 3:
+            queue.release(key)
+            return 1
+        return 2
+    return 0
+
+
+def balanced(queue, key):
+    if queue.acquire(key):
+        try:
+            return compute(key)
+        finally:
+            queue.release(key)
+    return None
+
+
+def guarded(queue, key):
+    if not queue.acquire(key):
+        return None
+    value = compute(key)
+    queue.release(key)
+    return value
+
+
+def spin(queue, key):
+    while not queue.acquire(key):
+        compute(key)
+    try:
+        return compute(key)
+    finally:
+        queue.release(key)
+
+
+def delegate(queue, key):
+    return queue.acquire(key)
+
+
+def raise_path(queue, key):
+    if queue.acquire(key):
+        if compute(key) < 0:
+            raise ValueError(key)
+        queue.release(key)
+        return True
+    return False

@@ -1,0 +1,46 @@
+"""REP203 fixture: attribute writes to fingerprinted classes.
+
+The base class name matches the fingerprinted set by *written name*, so
+no import of the real ``repro.sim`` class is needed.  Violations carry
+inline LINT markers; clean twins cover ``__init__``, ``with_*`` copies,
+``FINGERPRINT_EXCLUDE``d attributes and underscore memo caches.
+"""
+
+
+class FrequencyOracle:
+    pass
+
+
+class TunableOracle(FrequencyOracle):
+    FINGERPRINT_EXCLUDE = ("hits",)
+
+    def __init__(self, eps):
+        self.eps = eps
+        self.hits = 0
+        self._memo = None
+
+    def with_eps(self, eps):
+        clone = TunableOracle(eps)
+        clone.hits = self.hits
+        return clone
+
+    def retune(self, eps):
+        self.eps = eps  # LINT: REP203
+        self.hits += 1
+        self._memo = None
+
+
+class DeepOracle(TunableOracle):
+    def twist(self):
+        self.depth = 3  # LINT: REP203
+        self.hits = 0
+
+
+def tamper(oracle: TunableOracle):
+    oracle.eps = 0.5  # LINT: REP203
+
+
+def rebuild(eps):
+    oracle = TunableOracle(eps)
+    oracle.hits = 2
+    return oracle

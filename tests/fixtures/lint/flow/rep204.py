@@ -1,0 +1,50 @@
+"""REP204 fixture: float reductions over unordered sources.
+
+Violations carry inline LINT markers; clean twins show the ``sorted``
+refold.  ``list(...)`` is a pass-through — wrapping a set does not
+impose an order.
+"""
+
+import numpy as np
+from concurrent.futures import as_completed
+
+
+def total_badly(values):
+    pool = set(values)
+    return sum(pool)  # LINT: REP204
+
+
+def mean_badly(values):
+    pool = {round(v, 3) for v in values}
+    return np.mean(pool)  # LINT: REP204
+
+
+def accumulate_badly(results):
+    total = 0.0
+    for value in set(results):
+        total += value  # LINT: REP204
+    return total
+
+
+def drain_badly(futures):
+    total = 0.0
+    for fut in as_completed(futures):
+        total += fut.result()  # LINT: REP204
+    return total
+
+
+def listed_is_still_unordered(values):
+    pool = list(set(values))
+    return sum(pool)  # LINT: REP204
+
+
+def total_well(values):
+    pool = set(values)
+    return sum(sorted(pool))
+
+
+def accumulate_well(results):
+    total = 0.0
+    for value in sorted(set(results)):
+        total += value
+    return total

@@ -1,0 +1,32 @@
+"""REP205 fixture: entropy sources laundered through aliases.
+
+Scanned together with ``rep205_helpers.py``; violations carry
+inline LINT markers.  A *direct* ``time.time()`` call is deliberately
+not marked — that is REP002's finding, and REP205 must not double-fire.
+"""
+
+import time
+
+from rep205_helpers import clock, fresh_token
+
+now = time.time
+
+
+def stamp_imported():
+    return clock()  # LINT: REP205
+
+
+def token_imported():
+    return fresh_token()  # LINT: REP205
+
+
+def stamp_local_alias():
+    return now()  # LINT: REP205
+
+
+def honest_duration(start):
+    return time.monotonic() - start
+
+
+def direct_call_is_rep002s():
+    return time.time()

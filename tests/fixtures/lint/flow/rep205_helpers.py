@@ -1,0 +1,12 @@
+"""Cross-module entropy aliases for the REP205 fixture.
+
+Nothing here is a *call*, so the per-module REP002 pass sees nothing —
+the aliases only become violations at the call sites in ``rep205.py``.
+"""
+
+import time
+from uuid import uuid4 as fresh_token
+
+clock = time.time
+
+__all__ = ["clock", "fresh_token"]

@@ -1,0 +1,473 @@
+"""Tests for the REP2xx whole-program flow rules and their machinery.
+
+Four layers, mirroring the subsystem:
+
+* **fixtures** — every REP201–REP205 fixture under
+  ``tests/fixtures/lint/flow/`` is run through the real runner with its
+  rule selected and compared (line, rule)-exactly against the inline
+  ``LINT`` markers, so the planted violations *and* the clean twins are
+  both pinned;
+* **call graph** — :class:`repro.lint.callgraph.ProjectIndex` unit tests
+  for alias resolution, re-export chains, assignment aliases, method
+  attribution and the subclass closure;
+* **runner plumbing** — tier gating, fixtures-dir skipping, diff-aware
+  ``changed_only``, scan determinism;
+* **output & baseline** — SARIF 2.1.0 rendering + the structural
+  validator, and the occurrence-slot baseline matcher.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lint import BaselineEntry, Finding, apply_baseline, lint_paths, load_baseline
+from repro.lint.callgraph import ModuleTable, ProjectContext, ProjectIndex, module_name_for
+from repro.lint.context import ModuleContext
+from repro.lint.runner import discover_files, file_tier
+from repro.lint.sarif import sarif_document, validate_sarif
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FLOW_FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint" / "flow"
+
+_MARKER = re.compile(r"#\s*LINT:\s*([A-Z0-9,\s]+)")
+
+#: fixture -> (rule under test, companion modules scanned alongside).
+FLOW_CASES = {
+    "rep201.py": ("REP201", ()),
+    "rep202.py": ("REP202", ()),
+    "rep203.py": ("REP203", ()),
+    "rep204.py": ("REP204", ()),
+    "rep205.py": ("REP205", ("rep205_helpers.py",)),
+}
+
+
+def _markers(paths) -> list[tuple[str, int, str]]:
+    out = []
+    for path in paths:
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            match = _MARKER.search(line)
+            if match:
+                for rule in match.group(1).split(","):
+                    out.append((path.name, number, rule.strip()))
+    return sorted(out)
+
+
+def _findings(paths, select) -> list[tuple[str, int, str]]:
+    report = lint_paths(
+        paths, select=select, use_baseline=False, run_contracts=False
+    )
+    return sorted(
+        (pathlib.Path(f.path).name, f.line, f.rule) for f in report.findings
+    )
+
+
+class TestFlowFixtures:
+    @pytest.mark.parametrize("name", sorted(FLOW_CASES))
+    def test_fixture_matches_markers_exactly(self, name):
+        """The rule reports exactly the marked (file, line) pairs — every
+        planted violation caught, every clean twin silent."""
+        rule, extras = FLOW_CASES[name]
+        paths = [FLOW_FIXTURES / name] + [FLOW_FIXTURES / e for e in extras]
+        assert _findings(paths, [rule]) == _markers(paths)
+
+    def test_every_flow_rule_has_planted_violations(self):
+        covered = {
+            rule
+            for name, (r, extras) in FLOW_CASES.items()
+            for _, _, rule in _markers(
+                [FLOW_FIXTURES / name] + [FLOW_FIXTURES / e for e in extras]
+            )
+        }
+        assert covered == {"REP201", "REP202", "REP203", "REP204", "REP205"}
+
+    def test_rep205_does_not_double_fire_on_direct_calls(self):
+        """A direct time.time() call is REP002's finding only."""
+        source = (FLOW_FIXTURES / "rep205.py").read_text().splitlines()
+        flagged = {
+            line for _, line, _ in _findings(
+                [FLOW_FIXTURES / "rep205.py", FLOW_FIXTURES / "rep205_helpers.py"],
+                ["REP205"],
+            )
+        }
+        for number in flagged:
+            assert "time.time()" not in source[number - 1]
+
+
+def _ctx(tmp_path: pathlib.Path, name: str, source: str) -> ModuleContext:
+    path = tmp_path / name
+    path.write_text(source)
+    return ModuleContext(path, source, name)
+
+
+class TestCallGraph:
+    def test_module_naming(self, tmp_path):
+        repro_dir = tmp_path / "repro" / "sim"
+        repro_dir.mkdir(parents=True)
+        engine = repro_dir / "engine.py"
+        engine.write_text("x = 1\n")
+        ctx = ModuleContext(engine, "x = 1\n", "src/repro/sim/engine.py")
+        assert module_name_for(ctx) == "repro.sim.engine"
+        fixture = _ctx(tmp_path, "helpers.py", "x = 1\n")
+        assert module_name_for(fixture) == "helpers"
+
+    def test_import_alias_resolves_external(self, tmp_path):
+        ctx = _ctx(tmp_path, "a.py", "from time import time as now\n")
+        index = ProjectIndex([ctx])
+        res = index.resolve("a", ("now",))
+        assert res.kind == "external"
+        assert res.dotted == ("time", "time")
+
+    def test_assignment_alias_chain_across_modules(self, tmp_path):
+        helpers = _ctx(tmp_path, "helpers.py", "import time\nclock = time.time\n")
+        user = _ctx(tmp_path, "user.py", "from helpers import clock\n")
+        index = ProjectIndex([helpers, user])
+        assert index.external_name("user", ("clock",)) == ("time", "time")
+
+    def test_reexported_project_function_resolves_home(self, tmp_path):
+        engine = _ctx(tmp_path, "engine.py", "def parallel_map(f, xs):\n    return list(map(f, xs))\n")
+        pkg = _ctx(tmp_path, "pkg.py", "from engine import parallel_map\n")
+        user = _ctx(tmp_path, "user.py", "from pkg import parallel_map\n")
+        index = ProjectIndex([engine, pkg, user])
+        res = index.resolve("user", ("parallel_map",))
+        assert res.kind == "function"
+        assert (res.module, res.qualname) == ("engine", "parallel_map")
+
+    def test_method_attribution_and_reachability(self, tmp_path):
+        ctx = _ctx(
+            tmp_path,
+            "graph.py",
+            "class Task:\n"
+            "    def __call__(self):\n"
+            "        return self.step()\n"
+            "    def step(self):\n"
+            "        return leaf()\n"
+            "def leaf():\n"
+            "    return 1\n"
+            "def untouched():\n"
+            "    return 2\n",
+        )
+        index = ProjectIndex([ctx])
+        edges = index.edges()
+        assert "graph:Task.step" in edges["graph:Task.__call__"]
+        assert "graph:leaf" in edges["graph:Task.step"]
+        reached = index.reachable({"graph:Task.__call__"})
+        assert "graph:leaf" in reached
+        assert "graph:untouched" not in reached
+
+    def test_typed_local_method_attribution(self, tmp_path):
+        ctx = _ctx(
+            tmp_path,
+            "typed.py",
+            "class Worker:\n"
+            "    def run(self):\n"
+            "        return 1\n"
+            "def driver():\n"
+            "    w = Worker()\n"
+            "    return w.run()\n",
+        )
+        index = ProjectIndex([ctx])
+        assert "typed:Worker.run" in index.edges()["typed:driver"]
+
+    def test_subclass_closure_accumulates_excludes(self, tmp_path):
+        ctx = _ctx(
+            tmp_path,
+            "oracles.py",
+            "class FrequencyOracle:\n    pass\n"
+            "class Mid(FrequencyOracle):\n"
+            "    FINGERPRINT_EXCLUDE = ('hits',)\n"
+            "class Leaf(Mid):\n"
+            "    FINGERPRINT_EXCLUDE = ('cache',)\n",
+        )
+        index = ProjectIndex([ctx])
+        closure = index.subclass_closure(frozenset({"FrequencyOracle"}))
+        assert closure["oracles:Mid"] == frozenset({"hits"})
+        assert closure["oracles:Leaf"] == frozenset({"hits", "cache"})
+        assert "oracles:FrequencyOracle" not in closure
+
+    def test_resolution_cycle_does_not_hang(self, tmp_path):
+        a = _ctx(tmp_path, "a.py", "from b import thing\n")
+        b = _ctx(tmp_path, "b.py", "from a import thing\n")
+        index = ProjectIndex([a, b])
+        res = index.resolve("a", ("thing",))
+        assert res.kind == "external"
+
+    def test_project_context_orders_by_display(self, tmp_path):
+        zz = _ctx(tmp_path, "zz.py", "x = 1\n")
+        aa = _ctx(tmp_path, "aa.py", "y = 2\n")
+        pc = ProjectContext.build([zz, aa])
+        assert [c.display_path for c in pc.contexts] == ["aa.py", "zz.py"]
+        assert set(pc.by_display) == {"aa.py", "zz.py"}
+
+    def test_module_table_collects_symbols(self, tmp_path):
+        ctx = _ctx(
+            tmp_path,
+            "syms.py",
+            "import time\n"
+            "now = time.time\n"
+            "def f():\n    pass\n"
+            "class C:\n"
+            "    def m(self):\n        pass\n",
+        )
+        table = ModuleTable("syms", ctx)
+        assert set(table.functions) == {"f", "C.m"}
+        assert set(table.classes) == {"C"}
+        assert set(table.assigns) == {"now"}
+
+
+class TestRunnerPlumbing:
+    def test_fixtures_dirs_skipped_on_recursion(self):
+        files = discover_files([REPO_ROOT / "tests"])
+        assert files, "expected test files"
+        assert not any("fixtures" in f.parts for f in files)
+
+    def test_explicit_fixture_file_still_scans(self):
+        files = discover_files([FLOW_FIXTURES / "rep202.py"])
+        assert len(files) == 1
+
+    def test_fixtures_dir_as_root_still_scans(self):
+        files = discover_files([FLOW_FIXTURES])
+        assert any(f.name == "rep202.py" for f in files)
+
+    def test_file_tiers(self):
+        assert file_tier("src/repro/sim/engine.py") == "src"
+        assert file_tier("tests/test_engine.py") == "tests"
+        assert file_tier("benchmarks/bench_cache.py") == "benchmarks"
+
+    def test_tests_tier_exempt_from_contract_rules(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        module = tests_dir / "test_clocky.py"
+        module.write_text("import time\n\ndef test_x():\n    return time.time()\n")
+        report = lint_paths([tests_dir], use_baseline=False, run_contracts=False)
+        assert report.findings == []
+        # The same file passed explicitly bypasses tier gating.
+        report = lint_paths([module], use_baseline=False, run_contracts=False)
+        assert [f.rule for f in report.findings] == ["REP002"]
+
+    def test_scan_is_deterministic(self):
+        """Two scans of the same tree yield identical findings."""
+        first = lint_paths(
+            [REPO_ROOT / "src" / "repro"], use_baseline=False, run_contracts=False
+        )
+        second = lint_paths(
+            [REPO_ROOT / "src" / "repro"], use_baseline=False, run_contracts=False
+        )
+        assert first.findings == second.findings
+        assert [f.code for f in first.findings] == [f.code for f in second.findings]
+
+    @pytest.mark.skipif(shutil.which("git") is None, reason="git not on PATH")
+    def test_changed_only_reports_only_changed_files(self, tmp_path, monkeypatch):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+                env={
+                    "GIT_AUTHOR_NAME": "t",
+                    "GIT_AUTHOR_EMAIL": "t@example.invalid",
+                    "GIT_COMMITTER_NAME": "t",
+                    "GIT_COMMITTER_EMAIL": "t@example.invalid",
+                    "HOME": str(tmp_path),
+                    "PATH": "/usr/bin:/bin:/usr/local/bin",
+                },
+            )
+
+        git("init", "-q")
+        (tmp_path / "old.py").write_text("import time\nSTAMP = time.time()\n")
+        git("add", "old.py")
+        git("commit", "-qm", "seed")
+        (tmp_path / "new.py").write_text("import time\nSTAMP = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        full = lint_paths([tmp_path], use_baseline=False, run_contracts=False)
+        assert {pathlib.Path(f.path).name for f in full.findings} == {
+            "old.py",
+            "new.py",
+        }
+        diffed = lint_paths(
+            [tmp_path],
+            use_baseline=False,
+            run_contracts=False,
+            changed_only="HEAD",
+        )
+        assert {pathlib.Path(f.path).name for f in diffed.findings} == {"new.py"}
+        assert diffed.files_scanned == 1
+
+    def test_changed_only_bad_ref_raises(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        with pytest.raises(InvalidParameterError, match="changed-only"):
+            lint_paths(
+                [REPO_ROOT / "src" / "repro" / "_rng.py"],
+                use_baseline=False,
+                run_contracts=False,
+                changed_only="no-such-ref-anywhere",
+            )
+
+
+class TestSarif:
+    def _report(self):
+        return lint_paths(
+            [FLOW_FIXTURES / "rep202.py"],
+            select=["REP202"],
+            use_baseline=False,
+            run_contracts=False,
+        )
+
+    def test_document_validates_and_carries_findings(self):
+        report = self._report()
+        assert report.findings, "fixture should produce findings"
+        doc = sarif_document(report)
+        assert validate_sarif(doc) == []
+        results = doc["runs"][0]["results"]
+        assert len(results) == len(report.findings)
+        rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"REP202", "REP201", "REP000"} <= rules
+        first = results[0]
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_render_roundtrips_through_json(self):
+        report = self._report()
+        doc = json.loads(report.render("sarif"))
+        assert validate_sarif(doc) == []
+
+    def test_validator_rejects_structural_breakage(self):
+        report = self._report()
+        doc = sarif_document(report)
+        assert validate_sarif({"version": "1.0", "runs": []})
+        bad_version = json.loads(json.dumps(doc))
+        bad_version["version"] = "2.0.0"
+        assert any("version" in e for e in validate_sarif(bad_version))
+        bad_message = json.loads(json.dumps(doc))
+        bad_message["runs"][0]["results"][0]["message"] = {}
+        assert any("message" in e for e in validate_sarif(bad_message))
+        bad_region = json.loads(json.dumps(doc))
+        bad_region["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "region"
+        ]["startLine"] = 0
+        assert any("startLine" in e for e in validate_sarif(bad_region))
+        bad_rule = json.loads(json.dumps(doc))
+        bad_rule["runs"][0]["results"][0]["ruleIndex"] = 9999
+        assert any("ruleIndex" in e for e in validate_sarif(bad_rule))
+
+    def test_stale_baseline_entries_become_results(self):
+        report = self._report()
+        report.stale_baseline = [
+            BaselineEntry(
+                rule="REP202",
+                path="src/gone.py",
+                code="x = 1",
+                justification="was real once",
+            )
+        ]
+        doc = sarif_document(report)
+        assert validate_sarif(doc) == []
+        stale = [
+            r for r in doc["runs"][0]["results"] if r["ruleId"] == "REP901"
+        ]
+        assert len(stale) == 1
+
+
+def _finding(rule, path, code, line):
+    return Finding(path=path, line=line, col=0, rule=rule, message="m", code=code)
+
+
+class TestBaselineOccurrences:
+    def test_one_entry_cannot_absorb_two_occurrences(self):
+        findings = [
+            _finding("REP002", "a.py", "t = time.time()", 3),
+            _finding("REP002", "a.py", "t = time.time()", 9),
+        ]
+        entry = BaselineEntry("REP002", "a.py", "t = time.time()", "why")
+        kept, stale = apply_baseline(findings, [entry])
+        assert [f.line for f in kept] == [9]
+        assert stale == []
+
+    def test_occurrence_index_targets_a_specific_slot(self):
+        findings = [
+            _finding("REP002", "a.py", "t = time.time()", 3),
+            _finding("REP002", "a.py", "t = time.time()", 9),
+        ]
+        entry = BaselineEntry(
+            "REP002", "a.py", "t = time.time()", "second copy only", occurrence=1
+        )
+        kept, stale = apply_baseline(findings, [entry])
+        assert [f.line for f in kept] == [3]
+        assert stale == []
+
+    def test_partially_matched_entry_is_stale(self):
+        """count=2 with one surviving occurrence is stale — the old budget
+        matcher would silently keep absorbing."""
+        findings = [_finding("REP002", "a.py", "t = time.time()", 3)]
+        entry = BaselineEntry("REP002", "a.py", "t = time.time()", "why", count=2)
+        kept, stale = apply_baseline(findings, [entry])
+        assert kept == []
+        assert stale == [entry]
+
+    def test_disjoint_entries_cover_disjoint_slots(self):
+        findings = [
+            _finding("REP002", "a.py", "t = time.time()", 3),
+            _finding("REP002", "a.py", "t = time.time()", 9),
+        ]
+        entries = [
+            BaselineEntry("REP002", "a.py", "t = time.time()", "first"),
+            BaselineEntry(
+                "REP002", "a.py", "t = time.time()", "second", occurrence=1
+            ),
+        ]
+        kept, stale = apply_baseline(findings, entries)
+        assert kept == [] and stale == []
+
+    def test_overlapping_slots_rejected_at_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "REP002",
+                            "path": "a.py",
+                            "code": "x",
+                            "justification": "one",
+                            "count": 2,
+                        },
+                        {
+                            "rule": "REP002",
+                            "path": "a.py",
+                            "code": "x",
+                            "justification": "two",
+                            "occurrence": 1,
+                        },
+                    ]
+                }
+            )
+        )
+        with pytest.raises(InvalidParameterError, match="duplicates"):
+            load_baseline(path)
+
+    def test_invalid_occurrence_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "REP002",
+                            "path": "a.py",
+                            "code": "x",
+                            "justification": "why",
+                            "occurrence": -1,
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(InvalidParameterError, match="occurrence"):
+            load_baseline(path)

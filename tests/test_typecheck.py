@@ -38,5 +38,7 @@ def test_mypy_config_is_pinned():
     assert "check_untyped_defs = True" in config
     assert "warn_unused_ignores = True" in config
     for scoped in ("src/repro/core", "src/repro/protocols", "src/repro/lint",
-                   "src/repro/sim/cache.py", "src/repro/sim/shard.py"):
+                   "src/repro/sim/cache.py", "src/repro/sim/shard.py",
+                   "src/repro/sim/engine.py", "src/repro/sim/scenarios.py",
+                   "src/repro/sim/figures.py"):
         assert scoped in config

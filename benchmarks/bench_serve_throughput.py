@@ -1,0 +1,131 @@
+"""Sustained ingest throughput of the online recovery service.
+
+The ISSUE 9 acceptance exhibit: stream a paper-scale GRR workload
+(n = 10^7 reports by default, ``REPRO_BENCH_USERS`` overrides) through
+:class:`repro.serve.RecoveryService` in keep-alive-sized batches and
+report the sustained reports/sec of the streaming fold, plus the same
+workload pushed through the asyncio HTTP front end (wire codec + JSON
+framing included) over one keep-alive connection.  Both paths must land
+on frequencies byte-identical to the one-shot batch pipeline, and a warm
+``/frequencies`` read after the stream must cost zero recomputations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from conftest import bench_users, show
+from repro.protocols import make_protocol
+from repro.serve import RecoveryHTTPServer, RecoveryService
+
+EPSILON = 1.0
+DOMAIN = 128
+BATCH = 100_000
+
+
+def _grr_workload(n):
+    """A seeded GRR report stream: n perturbed reports plus batch bounds."""
+    protocol = make_protocol("grr", EPSILON, DOMAIN)
+    items = np.random.default_rng(7).integers(0, DOMAIN, size=n)
+    reports = protocol.perturb(items, np.random.default_rng(8))
+    bounds = [(start, min(start + BATCH, n)) for start in range(0, n, BATCH)]
+    return protocol, reports, bounds
+
+
+def test_service_ingest_throughput(benchmark):
+    """Core path: fold n~=10^7 GRR reports batch by batch into the service
+    and report sustained reports/sec; the streamed view must be byte-equal
+    to the batch aggregate and warm reads must not recompute."""
+    n = bench_users(10_000_000) or 10_000_000
+    protocol, reports, bounds = _grr_workload(n)
+    timing: dict[str, float] = {}
+
+    def run():
+        service = RecoveryService(protocol)
+        start = time.perf_counter()
+        for lo, hi in bounds:
+            service.ingest("live", protocol.slice_reports(reports, lo, hi))
+        timing["seconds"] = time.perf_counter() - start
+        return service
+
+    service = benchmark.pedantic(run, rounds=1, iterations=1)
+    view = service.frequencies("live")
+    assert view.num_reports == n
+    assert np.array_equal(view.frequencies, protocol.aggregate(reports))
+    before = service.recomputes.count
+    assert not service.frequencies("live").recomputed
+    assert service.recomputes.count == before  # warm read: zero recomputation
+
+    rate = n / timing["seconds"]
+    benchmark.extra_info["reports_per_sec"] = rate
+    benchmark.extra_info["num_reports"] = n
+    benchmark.extra_info["batches"] = len(bounds)
+    show(
+        f"Service ingest throughput (GRR, n={n:,}, batch={BATCH:,})",
+        [{"path": "service", "seconds": timing["seconds"], "reports_per_sec": rate}],
+    )
+
+
+async def _stream_over_http(protocol, reports, bounds):
+    """Ingest every batch over one keep-alive connection; returns timing."""
+    service = RecoveryService(protocol)
+    server = RecoveryHTTPServer(service)
+    await server.start()
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    start = time.perf_counter()
+    for lo, hi in bounds:
+        batch = protocol.slice_reports(reports, lo, hi)
+        body = json.dumps(
+            {"epoch": "live", "reports": protocol.encode_reports(batch)}
+        ).encode("utf-8")
+        head = (
+            f"POST /ingest HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        assert status_line.split()[1] == b"200"
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            if key.strip().lower() == "content-length":
+                length = int(value)
+        await reader.readexactly(length)
+    seconds = time.perf_counter() - start
+    writer.close()
+    await writer.wait_closed()
+    await server.stop()
+    return service, seconds
+
+
+def test_http_ingest_throughput(benchmark):
+    """End-to-end path: the same workload at one tenth the scale pushed
+    through the HTTP front end (base64 wire batches, JSON framing, one
+    keep-alive socket); the streamed view must still be byte-equal."""
+    n = bench_users(10_000_000) or 10_000_000
+    n = max(n // 10, BATCH)
+    protocol, reports, bounds = _grr_workload(n)
+
+    def run():
+        return asyncio.run(_stream_over_http(protocol, reports, bounds))
+
+    service, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    view = service.frequencies("live")
+    assert view.num_reports == n
+    assert np.array_equal(view.frequencies, protocol.aggregate(reports))
+
+    rate = n / seconds
+    benchmark.extra_info["reports_per_sec"] = rate
+    benchmark.extra_info["num_reports"] = n
+    show(
+        f"HTTP ingest throughput (GRR, n={n:,}, batch={BATCH:,})",
+        [{"path": "http", "seconds": seconds, "reports_per_sec": rate}],
+    )

@@ -13,6 +13,8 @@ Examples::
     ldprecover run --exhibit kv --trials 3
     ldprecover run --exhibit heavyhitter --workers 0
     ldprecover demo --protocol oue --beta 0.1
+    ldprecover serve --protocol grr --epsilon 1.0 --domain-size 128 --port 8080
+    ldprecover serve --protocol olh --olh-cohort 256 --retain-reports
     ldprecover lint src/repro tests benchmarks
     ldprecover lint --list-rules
     ldprecover lint --format github --select REP001,REP002
@@ -58,6 +60,14 @@ sarif`` a SARIF 2.1.0 log for code-scanning upload, ``--changed-only
 REF`` narrows reporting to files changed since a git ref, and the
 checked-in ``.repro-lint-baseline.json`` absorbs reviewed findings.
 
+The ``serve`` subcommand boots the online recovery service
+(:mod:`repro.serve`): an asyncio HTTP endpoint that ingests perturbed
+report batches per epoch (``POST /ingest``), serves raw / LDPRecover /
+LDPRecover* / Detection frequency views with lazy dirty-epoch
+recomputation (``GET /frequencies``), and exposes ``/healthz`` and
+``/stats``; ``--snapshot-dir`` enables crash-safe state snapshots
+(``POST /snapshot``) that ``--resume`` restores on the next boot.
+
 Beyond the paper's figures, registered *scenario exhibits*
 (:mod:`repro.sim.scenarios`) — key-value recovery (``--exhibit kv``) and
 heavy-hitter promotion/repair (``--exhibit heavyhitter``) — dispatch
@@ -73,7 +83,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.exceptions import InvalidParameterError, ShardIncompleteError
+from repro.exceptions import InvalidParameterError, ReproError, ShardIncompleteError
 from repro.sim.cache import resolve_cache
 from repro.sim.experiment import format_table
 from repro.sim.scenarios import SCENARIOS
@@ -164,6 +174,49 @@ def _demo(args: argparse.Namespace) -> int:
     fg = repro.frequency_gain(trial.genuine_frequencies, trial.poisoned_frequencies, attack.target_items)
     fg_rec = repro.frequency_gain(trial.genuine_frequencies, recovery.frequencies, attack.target_items)
     print(f"frequency gain          : {fg:+.3f} -> {fg_rec:+.3f} after recovery")
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: boot the online LDP recovery service."""
+    import repro
+    from repro.serve import RecoveryService, SnapshotStore, run_server
+
+    kwargs: dict[str, object] = {}
+    if args.olh_cohort is not None:
+        if args.protocol not in ("olh", "blh"):
+            print("error: --olh-cohort requires --protocol olh or blh", file=sys.stderr)
+            return 2
+        kwargs["cohort"] = args.olh_cohort
+    protocol = repro.make_protocol(
+        args.protocol, epsilon=args.epsilon, domain_size=args.domain_size, **kwargs
+    )
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    snapshot = store.latest() if store is not None and args.resume else None
+    if snapshot is not None:
+        try:
+            service = RecoveryService.restore(
+                snapshot,
+                protocol,
+                chunk_users=args.chunk_users,
+                retain_reports=args.retain_reports,
+            )
+        except ReproError as exc:
+            print(f"error: cannot resume from snapshot: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"resumed {service.ingested_reports} reports across "
+            f"{len(service.state.epochs)} epochs from {args.snapshot_dir}",
+            flush=True,
+        )
+    else:
+        service = RecoveryService(
+            protocol,
+            eta=args.eta,
+            chunk_users=args.chunk_users,
+            retain_reports=args.retain_reports,
+        )
+    run_server(service, host=args.host, port=args.port, snapshot_store=store)
     return 0
 
 
@@ -424,6 +477,42 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
                      help="simulate the round report-exactly in chunks of this size")
 
+    serve = sub.add_parser(
+        "serve",
+        help="boot the online LDP recovery service (repro.serve)",
+    )
+    serve.add_argument("--protocol", default="grr",
+                       choices=["grr", "oue", "olh", "sue", "blh"],
+                       help="frequency oracle the clients perturb with")
+    serve.add_argument("--epsilon", type=float, default=1.0,
+                       help="privacy budget of the served protocol")
+    serve.add_argument("--domain-size", type=int, default=128, dest="domain_size",
+                       help="item domain size d")
+    serve.add_argument("--eta", type=float, default=0.2,
+                       help="LDPRecover frequency-sum tuning parameter")
+    serve.add_argument("--olh-cohort", type=int, default=None, dest="olh_cohort",
+                       help="OLH/BLH only: draw hash keys from cohorts of this "
+                            "many shared seeds per ingest batch (enables the "
+                            "grouped O(K*d + n) aggregation path)")
+    serve.add_argument("--chunk-users", type=int, default=None, dest="chunk_users",
+                       help="reports folded per slice during ingest (bounds "
+                            "transient memory; cannot change results)")
+    serve.add_argument("--retain-reports", action="store_true", dest="retain_reports",
+                       help="keep raw reports in memory so the detection view "
+                            "is available (O(total reports) memory)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 binds an ephemeral port, announced "
+                            "on stdout as 'serving on http://HOST:PORT'")
+    serve.add_argument("--snapshot-dir", default=None, dest="snapshot_dir",
+                       help="directory for POST /snapshot persistence "
+                            "(atomic-replace JSON files)")
+    serve.add_argument("--resume", action="store_true",
+                       help="restore the latest snapshot from --snapshot-dir "
+                            "before serving (never double-counts: snapshots "
+                            "hold folded partial sums, not batches)")
+
     lint = sub.add_parser(
         "lint",
         help="run the determinism & cache-contract analyzer (repro.lint)",
@@ -484,6 +573,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _demo(args)
+    if args.command == "serve":
+        return _serve_command(args)
     if args.command == "cache":
         return _cache_command(args)
     if args.command == "lint":

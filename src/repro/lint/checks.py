@@ -11,8 +11,9 @@ determinism and cache contracts the rest of the repo sells:
   randomness, argument-less ``default_rng()`` and stdlib :mod:`random`
   break ``workers=N == workers=1`` bit-identity.
 * **REP002** ``wall-clock-entropy`` — wall clocks, OS entropy and UUIDs
-  must not feed cell specs or trial execution; shard claim bookkeeping
-  is the one allowlisted module.
+  must not feed cell specs or trial execution; the allowlisted modules
+  (shard claim bookkeeping, HTTP Date headers) use the clock as
+  operational metadata only.
 * **REP003** ``fingerprint-coverage`` (AST half) — ``FINGERPRINT_EXCLUDE``
   entries must name real attributes, and fingerprinted classes must not
   store callables in attributes (``fingerprint_object`` silently skips
@@ -155,11 +156,17 @@ REP001 = register_rule(
 # ----------------------------------------------------------------------
 #: Modules exempt from REP002, with the justification for each.  Claim
 #: bookkeeping in the shard coordinator is *about* wall-clock time (claim
-#: staleness TTLs, report stamps) and none of it enters cell identities.
+#: staleness TTLs, report stamps), and the HTTP front end stamps RFC 7231
+#: ``Date`` response headers; none of it enters cell identities or
+#: streamed aggregation state.
 REP002_ALLOWED_MODULES: dict[str, str] = {
     "repro/sim/shard.py": (
         "claim bookkeeping: TTL staleness and report stamps are coordination "
         "metadata, never part of a cell spec or trial"
+    ),
+    "repro/serve/http.py": (
+        "RFC 7231 Date response header: transport metadata stamped at "
+        "serialization time, never part of service or aggregation state"
     ),
 }
 
@@ -219,8 +226,10 @@ REP002 = register_rule(
             "makes the cell unreproducible and the key unstable (every run a "
             "cache miss). Duration measurement (time.monotonic, "
             "time.perf_counter) is allowed; identity must never come from the "
-            "clock. repro/sim/shard.py is allowlisted: claim TTLs and report "
-            "stamps are coordination metadata that never enter cell specs."
+            "clock. Allowlisted modules (REP002_ALLOWED_MODULES) use the "
+            "clock as operational metadata only: shard claim TTLs/report "
+            "stamps and the HTTP front end's Date headers never enter cell "
+            "specs or aggregation state."
         ),
         check=_check_rep002,
     )

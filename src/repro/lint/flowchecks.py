@@ -824,8 +824,9 @@ REP205 = register_rule(
             "project index follows assignment aliases and re-export chains "
             "across modules to the terminal callable; calls landing on a "
             "REP002-banned entropy source are flagged at the call site "
-            "with the full provenance. The REP002 module allowlist "
-            "(shard claim bookkeeping) applies to the calling module."
+            "with the full provenance. The REP002 module allowlist (shard "
+            "claim bookkeeping, HTTP Date headers) applies to the calling "
+            "module."
         ),
         check=_check_rep205,
         scope="project",

@@ -12,7 +12,14 @@ Public surface:
 * :func:`~repro.protocols.registry.make_protocol` — name-based factory.
 """
 
-from repro.protocols.base import FrequencyOracle, ProtocolParams, counts_to_items
+from repro.protocols.base import (
+    DEFAULT_CHUNK_USERS,
+    FrequencyOracle,
+    ProtocolParams,
+    counts_to_items,
+    decode_array,
+    encode_array,
+)
 from repro.protocols.blh import BLH
 from repro.protocols.grr import GRR
 from repro.protocols.harmony import Harmony
@@ -28,9 +35,12 @@ from repro.protocols.rr import BinaryRandomizedResponse
 from repro.protocols.sue import SUE
 
 __all__ = [
+    "DEFAULT_CHUNK_USERS",
     "FrequencyOracle",
     "ProtocolParams",
     "counts_to_items",
+    "decode_array",
+    "encode_array",
     "GRR",
     "OUE",
     "OLH",

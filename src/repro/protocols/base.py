@@ -24,6 +24,7 @@ Two simulation paths are offered:
 
 from __future__ import annotations
 
+import base64
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -33,6 +34,67 @@ import numpy as np
 
 from repro._rng import RngLike, as_generator
 from repro.exceptions import InvalidParameterError, ProtocolError
+
+#: Default number of reports folded per slice by
+#: :meth:`FrequencyOracle.fold_support_counts` (and therefore by the
+#: engine's chunked aggregation, which re-exports this constant).  At
+#: OUE's worst case one slice materializes ``DEFAULT_CHUNK_USERS * d``
+#: booleans, which is the transient-memory bound the engine budgets for.
+DEFAULT_CHUNK_USERS = 131_072
+
+#: Wire dtypes :func:`decode_array` accepts.  Report batches only ever
+#: carry item indices (``int64``), bit vectors (``bool``) or hash seeds
+#: (``uint64``); rejecting everything else keeps the decoder from
+#: constructing arbitrary dtypes out of untrusted payloads.
+WIRE_DTYPES = ("bool", "int64", "uint64")
+
+
+def encode_array(array: np.ndarray) -> dict[str, Any]:
+    """JSON-safe wire encoding of ``array`` (dtype, shape, base64 bytes).
+
+    The inverse is :func:`decode_array`; both restrict themselves to the
+    report dtypes in :data:`WIRE_DTYPES` so a payload round-trips
+    byte-for-byte without ever pickling.
+    """
+    arr = np.ascontiguousarray(array)
+    if str(arr.dtype) not in WIRE_DTYPES:
+        raise ProtocolError(
+            f"cannot wire-encode dtype {arr.dtype!r}; expected one of {WIRE_DTYPES}"
+        )
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict[str, Any]) -> np.ndarray:
+    """Decode the :func:`encode_array` wire form ``payload`` back to an array.
+
+    Validates the dtype against :data:`WIRE_DTYPES` and the byte count
+    against the declared shape, so malformed payloads fail loudly instead
+    of mis-slicing.
+    """
+    try:
+        dtype_s, shape, data = payload["dtype"], payload["shape"], payload["data"]
+    except (TypeError, KeyError) as exc:
+        raise ProtocolError(f"malformed wire array payload: {exc!r}") from exc
+    if dtype_s not in WIRE_DTYPES:
+        raise ProtocolError(
+            f"refusing wire dtype {dtype_s!r}; expected one of {WIRE_DTYPES}"
+        )
+    dtype = np.dtype(dtype_s)
+    shape_t = tuple(int(s) for s in shape)
+    raw = base64.b64decode(data)
+    expected = int(np.prod(shape_t, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"wire array payload has {len(raw)} bytes, expected {expected} "
+            f"for shape {shape_t} and dtype {dtype_s}"
+        )
+    # ``bytearray`` keeps the decoded batch writable (frombuffer over the
+    # immutable bytes would return a read-only view).
+    return np.frombuffer(bytearray(raw), dtype=dtype).reshape(shape_t)
 
 
 @dataclass(frozen=True)
@@ -240,6 +302,81 @@ class FrequencyOracle(ABC):
         against this.
         """
         return self.domain_size
+
+    # ------------------------------------------------------------------
+    # Streaming aggregation (explicit-state kernel)
+    # ------------------------------------------------------------------
+    def init_support_state(self) -> np.ndarray:
+        """Fresh, zeroed ``support_counts`` partial sums to fold batches into.
+
+        The explicit state of the streaming kernel: an ``int64`` vector of
+        length ``d``.  Because support counting is a sum over reports,
+        folding any sequence of report batches into this state with
+        :meth:`fold_support_counts` is byte-equal to one
+        :meth:`support_counts` pass over their concatenation.
+        """
+        return np.zeros(self.domain_size, dtype=np.int64)
+
+    def fold_support_counts(
+        self, state: np.ndarray, reports: Any, chunk_users: int | None = None
+    ) -> np.ndarray:
+        """Fold one report batch into explicit ``state``, slice by slice.
+
+        ``state`` is a partial-sum vector from :meth:`init_support_state`
+        (or a previous fold); it is updated in place and returned.
+        ``reports`` is walked through :meth:`slice_reports` in slices of at
+        most ``chunk_users`` reports (default :data:`DEFAULT_CHUNK_USERS`),
+        with the protocol's internal scan budget capped to the same slice
+        via :meth:`scan_bounded`, so peak transient memory is one slice's
+        worth regardless of the batch size or the chunking: any split of
+        the same reports folds to byte-equal counts.
+        """
+        arr = np.asarray(state)
+        if arr.shape != (self.domain_size,) or arr.dtype != np.int64:
+            raise ProtocolError(
+                f"state must be an int64 vector of shape ({self.domain_size},), "
+                f"got shape {arr.shape} and dtype {arr.dtype}"
+            )
+        chunk = DEFAULT_CHUNK_USERS if chunk_users is None else int(chunk_users)
+        if chunk < 1:
+            raise InvalidParameterError(f"chunk_users must be >= 1, got {chunk_users}")
+        bounded = self.scan_bounded(chunk)
+        n = bounded.num_reports(reports)
+        for start in range(0, n, chunk):
+            arr += bounded.support_counts(
+                bounded.slice_reports(reports, start, min(start + chunk, n))
+            )
+        return arr
+
+    def scan_bounded(self, chunk_users: int) -> "FrequencyOracle":
+        """A copy whose internal scan budget fits a ``chunk_users`` slice.
+
+        The default is ``self``: most protocols' :meth:`support_counts`
+        already costs one slice's memory.  Protocols that walk a
+        (reports x domain) grid internally (OLH's ``chunk_cells``)
+        override this to cap that budget at ``chunk_users * d`` cells.
+        Execution-only — the returned oracle must aggregate bit-identically
+        to ``self``.
+        """
+        return self
+
+    # ------------------------------------------------------------------
+    # Wire serialization (repro.serve ingest payloads)
+    # ------------------------------------------------------------------
+    def encode_reports(self, reports: Any) -> dict[str, Any]:
+        """JSON-safe wire encoding of a report batch.
+
+        The default covers every ndarray-shaped report batch (GRR's item
+        indices, OUE's bit matrix) via :func:`encode_array`; protocols
+        with structured batches (OLH's seed/value pairs) override both
+        codec methods.  ``decode_reports(encode_reports(r))`` round-trips
+        byte-for-byte.
+        """
+        return encode_array(np.asarray(reports))
+
+    def decode_reports(self, payload: dict[str, Any]) -> Any:
+        """Decode a batch produced by :meth:`encode_reports`."""
+        return decode_array(payload)
 
     # ------------------------------------------------------------------
     # Distributional primitives (fast path)

@@ -39,7 +39,7 @@ import numpy as np
 from repro._rng import RngLike, as_generator
 from repro.exceptions import InvalidParameterError, ProtocolError
 from repro.protocols import hashing
-from repro.protocols.base import FrequencyOracle
+from repro.protocols.base import FrequencyOracle, decode_array, encode_array
 
 
 @dataclass
@@ -164,6 +164,20 @@ class OLH(FrequencyOracle):
         clone = copy.copy(self)
         clone.chunk_cells = self._validate_chunk_cells(chunk_cells)
         return clone
+
+    def scan_bounded(self, chunk_users: int) -> "OLH":
+        """Cap :attr:`chunk_cells` at a ``chunk_users``-report slice's grid.
+
+        The streaming fold (and the engine's chunked paths) hand this
+        oracle slices of at most ``chunk_users`` reports; capping the scan
+        budget at ``chunk_users * d`` cells keeps the internal hash grid
+        within the memory the caller already budgets per slice.  Execution-
+        only, like :meth:`with_chunk_cells`.
+        """
+        budget = min(self.chunk_cells, int(chunk_users) * self.domain_size)
+        if budget >= self.chunk_cells:
+            return self
+        return self.with_chunk_cells(budget)
 
     # ------------------------------------------------------------------
     # Report-level path
@@ -364,6 +378,22 @@ class OLH(FrequencyOracle):
         return OLHReports(
             seeds=reports.seeds[start:stop], values=reports.values[start:stop]
         )
+
+    def encode_reports(self, reports: OLHReports) -> dict:
+        """Wire encoding of an OLH batch: seed and value arrays side by side."""
+        reports = self._validate_olh(reports)
+        return {
+            "seeds": encode_array(reports.seeds),
+            "values": encode_array(reports.values),
+        }
+
+    def decode_reports(self, payload: dict) -> OLHReports:
+        """Decode the :meth:`encode_reports` wire form back to reports."""
+        try:
+            seeds, values = payload["seeds"], payload["values"]
+        except (TypeError, KeyError) as exc:
+            raise ProtocolError(f"malformed OLH wire payload: {exc!r}") from exc
+        return OLHReports(seeds=decode_array(seeds), values=decode_array(values))
 
     # ------------------------------------------------------------------
     # Distributional path

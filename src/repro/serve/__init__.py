@@ -1,0 +1,36 @@
+"""Online LDP recovery service: the paper's aggregator as a system.
+
+The paper frames LDPRecover / LDPRecover* as something the *aggregator*
+runs over reports it has collected (Section V); the simulation stack
+reaches recovery only through batch trial loops.  This package serves the
+same pipeline online:
+
+* :class:`~repro.serve.service.RecoveryService` — ingest perturbed report
+  batches per epoch into streaming :class:`repro.sim.AggregatorState`
+  partial sums and serve raw / LDPRecover / LDPRecover* / Detection
+  frequency views, recomputed lazily with dirty-epoch invalidation.
+* :class:`~repro.serve.snapshots.SnapshotStore` — crash-safe snapshot
+  persistence (atomic-replace writes, like the cell cache's block store)
+  so a restarted service resumes mid-stream without double-counting.
+* :mod:`repro.serve.http` — a dependency-free asyncio HTTP front end
+  (``/ingest``, ``/frequencies``, ``/healthz``, ``/stats``) behind the
+  ``repro serve`` CLI subcommand.
+
+Everything the service computes is byte-equal to the batch pipeline on
+the same reports: ingest folds through the protocol's explicit-state
+kernel, and the recovery methods are the exact functions the exhibits
+call (:func:`repro.core.recover.recover_frequencies`,
+:func:`repro.core.detection.detect_and_aggregate`).
+"""
+
+from repro.serve.http import RecoveryHTTPServer, run_server
+from repro.serve.service import FrequencyView, RecoveryService
+from repro.serve.snapshots import SnapshotStore
+
+__all__ = [
+    "FrequencyView",
+    "RecoveryHTTPServer",
+    "RecoveryService",
+    "SnapshotStore",
+    "run_server",
+]

@@ -1,0 +1,289 @@
+"""The online recovery service behind the HTTP front end.
+
+:class:`RecoveryService` is the transport-free core: it owns one
+streaming :class:`repro.sim.AggregatorState`, folds ingested report
+batches into per-epoch ``support_counts`` partial sums, and serves four
+frequency views per epoch — ``raw`` (Eq. 11 estimates), ``recover``
+(LDPRecover), ``recover_star`` (LDPRecover* given target items) and
+``detection`` (the Section VI-A5 baseline, which needs the raw reports
+and is therefore only available with ``retain_reports=True``).
+
+Views are **recomputed lazily with dirty-epoch invalidation**: every
+ingest marks its epoch dirty; a read of a dirty epoch drops that epoch's
+cached views and recomputes on demand; warm reads after no new ingests
+run zero recovery recomputation.  The :class:`repro.sim.CallCounter` at
+:attr:`RecoveryService.recomputes` makes that claim testable, exactly
+like the engine's ``TASK_COUNTER`` does for cached cells.
+
+Every number the service produces is byte-equal to the batch pipeline on
+the same reports: ingest folds through
+:meth:`repro.protocols.base.FrequencyOracle.fold_support_counts` (the
+same arithmetic as ``chunked_support_counts``) and the views call the
+exact recovery functions the exhibits use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detection import detect_and_aggregate
+from repro.core.recover import DEFAULT_ETA, recover_frequencies
+from repro.exceptions import InvalidParameterError
+from repro.protocols.base import FrequencyOracle
+from repro.sim.engine import CallCounter
+from repro.sim.streaming import AggregatorState
+
+#: The frequency views a service can serve per epoch.
+METHODS = ("raw", "recover", "recover_star", "detection")
+
+#: Snapshot wire-format version of :meth:`RecoveryService.snapshot`.
+SERVICE_SNAPSHOT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FrequencyView:
+    """One served frequency vector plus its provenance.
+
+    ``recomputed`` says whether this read actually ran the recovery
+    computation (a cache miss on a dirty or never-read epoch) or was
+    served warm.
+    """
+
+    epoch: str
+    method: str
+    frequencies: np.ndarray
+    num_reports: int
+    recomputed: bool
+
+
+def _normalize_targets(targets: Optional[Sequence[int]]) -> tuple[int, ...]:
+    """Canonical (sorted, deduplicated) tuple form of a target-item list."""
+    if targets is None:
+        return ()
+    return tuple(sorted({int(t) for t in targets}))
+
+
+class RecoveryService:
+    """Ingest perturbed reports per epoch; serve recovered frequencies.
+
+    Parameters
+    ----------
+    protocol:
+        The frequency oracle the clients perturb with; also the identity
+        snapshots are pinned to.
+    eta:
+        LDPRecover's frequency-sum tuning parameter (paper Section V-D),
+        default :data:`repro.core.recover.DEFAULT_ETA`.
+    chunk_users:
+        Per-fold slice bound handed to the streaming kernel, like the
+        engine knob of the same name.  Execution-only.
+    retain_reports:
+        Keep every ingested batch in memory (O(total reports)) so the
+        ``detection`` view — which must rescan raw reports — is
+        available.  Off by default: the streaming partial sums alone are
+        O(d) per epoch.
+    """
+
+    def __init__(
+        self,
+        protocol: FrequencyOracle,
+        eta: float = DEFAULT_ETA,
+        chunk_users: Optional[int] = None,
+        retain_reports: bool = False,
+    ) -> None:
+        self.protocol = protocol
+        self.eta = float(eta)
+        self.retain_reports = bool(retain_reports)
+        self.state = AggregatorState(protocol, chunk_users=chunk_users)
+        #: Counts actual recovery recomputations (cache misses); warm
+        #: reads leave it untouched, which tests assert directly.
+        self.recomputes = CallCounter()
+        self.ingested_reports = 0
+        self.ingested_batches = 0
+        self._dirty: set[str] = set()
+        self._views: dict[str, dict[tuple[str, tuple[int, ...]], np.ndarray]] = {}
+        self._retained: dict[str, Any] = {}
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+    def ingest(self, epoch: str, reports: Any) -> int:
+        """Fold one report batch into ``epoch``; returns the batch size.
+
+        Marks the epoch dirty, so the next ``frequencies`` read of it
+        recomputes; other epochs' cached views are untouched.
+        """
+        n = self.state.ingest(epoch, reports)
+        if self.retain_reports:
+            held = self._retained.get(epoch)
+            self._retained[epoch] = (
+                reports if held is None else self.protocol.concat_reports(held, reports)
+            )
+        self.ingested_reports += n
+        self.ingested_batches += 1
+        self._dirty.add(epoch)
+        return n
+
+    def ingest_payload(self, epoch: str, payload: dict[str, Any]) -> int:
+        """Decode a wire-encoded batch (see ``encode_reports``) and ingest it."""
+        return self.ingest(epoch, self.protocol.decode_reports(payload))
+
+    # ------------------------------------------------------------------
+    # Read path (lazy, dirty-epoch invalidated)
+    # ------------------------------------------------------------------
+    def frequencies(
+        self,
+        epoch: str,
+        method: str = "raw",
+        targets: Optional[Sequence[int]] = None,
+    ) -> FrequencyView:
+        """The ``method`` frequency view of ``epoch``, recomputed if stale.
+
+        ``targets`` (attacker-selected items) is required by
+        ``recover_star`` and ``detection`` and ignored by the others; its
+        order does not matter.  Raises
+        :class:`~repro.exceptions.InvalidParameterError` for unknown
+        epochs, empty epochs, unknown methods, or a ``detection`` read on
+        a service built without ``retain_reports``.
+        """
+        if method not in METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if epoch not in self.state.epochs:
+            raise InvalidParameterError(f"unknown epoch {epoch!r}")
+        if self.state.num_reports(epoch) == 0:
+            raise InvalidParameterError(f"epoch {epoch!r} holds no reports")
+        if epoch in self._dirty:
+            self._views.pop(epoch, None)
+            self._dirty.discard(epoch)
+        key = (method, _normalize_targets(targets))
+        cached = self._views.setdefault(epoch, {})
+        freq = cached.get(key)
+        recomputed = freq is None
+        if freq is None:
+            freq = self._compute(epoch, method, key[1])
+            cached[key] = freq
+            self.recomputes.add(1)
+        return FrequencyView(
+            epoch=epoch,
+            method=method,
+            frequencies=freq,
+            num_reports=self.state.num_reports(epoch),
+            recomputed=recomputed,
+        )
+
+    def _compute(self, epoch: str, method: str, targets: tuple[int, ...]) -> np.ndarray:
+        """One actual recovery computation (the thing the counter counts)."""
+        raw = self.state.estimate_frequencies(epoch)
+        if method == "raw":
+            return raw
+        if method == "recover":
+            return recover_frequencies(raw, self.protocol, eta=self.eta).frequencies
+        if not targets:
+            raise InvalidParameterError(f"method {method!r} requires target items")
+        if method == "recover_star":
+            return recover_frequencies(
+                raw, self.protocol, eta=self.eta, target_items=list(targets)
+            ).frequencies
+        reports = self._retained.get(epoch)
+        if reports is None:
+            raise InvalidParameterError(
+                "detection needs raw reports; start the service with "
+                "retain_reports=True (note the O(total reports) memory cost)"
+            )
+        return detect_and_aggregate(self.protocol, reports, list(targets)).frequencies
+
+    # ------------------------------------------------------------------
+    # Observability and persistence
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Operational counters for the ``/stats`` endpoint.
+
+        ``recomputes`` is the running count of actual recovery
+        computations — a warm read sequence holds it constant, which is
+        the service-level "zero recomputation" guarantee in number form.
+        """
+        return {
+            "protocol": {
+                "name": self.protocol.name,
+                "epsilon": self.protocol.epsilon,
+                "domain_size": self.protocol.domain_size,
+            },
+            "eta": self.eta,
+            "retain_reports": self.retain_reports,
+            "uptime_seconds": time.monotonic() - self._started,
+            "ingested_reports": self.ingested_reports,
+            "ingested_batches": self.ingested_batches,
+            "recomputes": self.recomputes.count,
+            "epochs": {
+                name: {
+                    "num_reports": self.state.num_reports(name),
+                    "batches": self.state.epochs[name].batches,
+                    "dirty": name in self._dirty,
+                }
+                for name in self.state.epoch_names()
+            },
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe snapshot: the aggregator state plus ingest counters.
+
+        Cached views and retained raw reports are *not* persisted — views
+        recompute lazily after restore, and a restored service serves
+        ``detection`` only for reports ingested after the restore.
+        """
+        return {
+            "format": SERVICE_SNAPSHOT_FORMAT,
+            "eta": self.eta,
+            "ingested_reports": self.ingested_reports,
+            "ingested_batches": self.ingested_batches,
+            "aggregator": self.state.snapshot(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict[str, Any],
+        protocol: FrequencyOracle,
+        chunk_users: Optional[int] = None,
+        retain_reports: bool = False,
+    ) -> "RecoveryService":
+        """Resume a service from a :meth:`snapshot` dict.
+
+        ``protocol`` must fingerprint-match the snapshot (enforced by
+        :meth:`repro.sim.AggregatorState.restore`); ingesting the
+        remainder of a stream into the restored service yields the same
+        counts as an uninterrupted run — nothing is double-counted
+        because the snapshot holds folded partial sums, not batches.
+        """
+        if snapshot.get("format") != SERVICE_SNAPSHOT_FORMAT:
+            raise InvalidParameterError(
+                f"unsupported service snapshot format {snapshot.get('format')!r}; "
+                f"expected {SERVICE_SNAPSHOT_FORMAT}"
+            )
+        service = cls(
+            protocol,
+            eta=float(snapshot.get("eta", DEFAULT_ETA)),
+            chunk_users=chunk_users,
+            retain_reports=retain_reports,
+        )
+        service.state = AggregatorState.restore(
+            snapshot["aggregator"], protocol, chunk_users=chunk_users
+        )
+        service.ingested_reports = int(snapshot.get("ingested_reports", 0))
+        service.ingested_batches = int(snapshot.get("ingested_batches", 0))
+        return service
+
+
+__all__ = [
+    "METHODS",
+    "SERVICE_SNAPSHOT_FORMAT",
+    "FrequencyView",
+    "RecoveryService",
+]

@@ -40,18 +40,13 @@ from repro.core.detection import detect_and_aggregate
 from repro.core.recover import recover_frequencies
 from repro.datasets.base import Dataset
 from repro.exceptions import InvalidParameterError
-from repro.protocols.base import FrequencyOracle
+from repro.protocols.base import DEFAULT_CHUNK_USERS, FrequencyOracle
 from repro.sim.metrics import frequency_gain, mse
 from repro.sim.outliers import top_increase_items
 from repro.sim.pipeline import SimulationMode, TrialResult, malicious_count, run_trial
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-#: Default number of users simulated per chunk in the chunked exact path.
-#: At OUE's worst case this bounds the live report matrix to
-#: ``DEFAULT_CHUNK_USERS * d`` booleans regardless of the population size.
-DEFAULT_CHUNK_USERS = 131_072
 
 
 # ----------------------------------------------------------------------
@@ -538,25 +533,14 @@ def _validate_chunk(chunk_users: Optional[int]) -> int:
 def _bound_scan(protocol: FrequencyOracle, chunk_users: int) -> FrequencyOracle:
     """Cap a protocol's internal support-scan budget at the engine's chunk.
 
-    Protocols whose support counting walks a (reports x domain) grid
-    expose a ``chunk_cells`` budget plus a ``with_chunk_cells`` copy hook
-    (OLH); the engine caps that budget at ``chunk_users * d`` cells so the
+    Delegates to :meth:`repro.protocols.base.FrequencyOracle.scan_bounded`:
+    protocols whose support counting walks a (reports x domain) grid (OLH's
+    ``chunk_cells``) cap that budget at ``chunk_users * d`` cells so the
     scan's transient grid never exceeds the per-chunk memory the engine
-    already budgets for — this is how the ``chunk_users`` knob reaches
-    OLH's internal grid slicing.  ``chunk_cells`` is execution-only (it
-    cannot change results), and protocols without the hook pass through
-    unchanged.
+    already budgets for; everything else passes through unchanged.  The
+    cap is execution-only — it cannot change results.
     """
-    with_cells = getattr(protocol, "with_chunk_cells", None)
-    if with_cells is None:
-        return protocol
-    # ``chunk_cells`` only exists on protocols that expose the copy hook,
-    # so it is not part of the FrequencyOracle base interface.
-    cells = int(getattr(protocol, "chunk_cells"))
-    budget = min(cells, chunk_users * protocol.domain_size)
-    if budget >= cells:
-        return protocol
-    return with_cells(budget)
+    return protocol.scan_bounded(chunk_users)
 
 
 def chunked_support_counts(
@@ -564,20 +548,17 @@ def chunked_support_counts(
 ) -> np.ndarray:
     """Aggregate a report batch chunk by chunk into ``support_counts``.
 
-    Equals ``protocol.support_counts(reports)`` exactly (support counting
+    A one-shot fold through the protocol's explicit-state streaming kernel
+    (:meth:`~repro.protocols.base.FrequencyOracle.fold_support_counts`):
+    equals ``protocol.support_counts(reports)`` exactly (support counting
     is a sum over reports), including when the batch size is not divisible
     by ``chunk_users`` (default :data:`DEFAULT_CHUNK_USERS`); peak
     transient memory is one chunk's worth.
     """
     chunk = _validate_chunk(chunk_users)
-    protocol = _bound_scan(protocol, chunk)
-    n = protocol.num_reports(reports)
-    total = np.zeros(protocol.domain_size, dtype=np.int64)
-    for start in range(0, n, chunk):
-        total += protocol.support_counts(
-            protocol.slice_reports(reports, start, min(start + chunk, n))
-        )
-    return total
+    return protocol.fold_support_counts(
+        protocol.init_support_state(), reports, chunk_users=chunk
+    )
 
 
 def chunked_genuine_counts(

@@ -1,0 +1,244 @@
+"""Streaming aggregation core: fold report batches into per-epoch state.
+
+The paper's recovery pipeline is something an *aggregator* runs over
+reports it has collected; the batch trial loop reaches it by materializing
+a whole trial's reports first.  This module is the seam between the two:
+an :class:`AggregatorState` folds report batches into incremental
+``support_counts`` partial sums per epoch through the protocol's
+explicit-state kernel
+(:meth:`repro.protocols.base.FrequencyOracle.fold_support_counts`), the
+exact arithmetic of the engine's chunked paths — so streaming any split of
+the same reports is byte-equal to one batch ``support_counts`` pass.
+
+State survives restarts and shards:
+
+* :meth:`AggregatorState.merge` folds another aggregator's per-epoch sums
+  in (support counting is a sum over reports, so shard order is
+  irrelevant);
+* :meth:`AggregatorState.snapshot` /
+  :meth:`AggregatorState.restore` round-trip the state through a JSON-safe
+  dict, pinned to the protocol's cache fingerprint so a snapshot can never
+  silently resume under a different protocol configuration.
+
+:mod:`repro.serve` builds the online recovery service on top of this
+state; the engine keeps its one-shot wrappers
+(:func:`repro.sim.engine.chunked_support_counts`) over the same kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, ProtocolError
+from repro.protocols.base import FrequencyOracle, decode_array, encode_array
+from repro.sim.cache import canonical_key, fingerprint_object
+
+#: Version tag of the :meth:`AggregatorState.snapshot` wire format; bumped
+#: on incompatible layout changes so stale snapshots fail loudly.
+SNAPSHOT_FORMAT = 1
+
+
+def protocol_key(protocol: FrequencyOracle) -> str:
+    """Canonical identity string of ``protocol`` for snapshot pinning.
+
+    The cache layer's content fingerprint
+    (:func:`repro.sim.cache.fingerprint_object` hashed through
+    :func:`repro.sim.cache.canonical_key`): execution-only attributes
+    (OLH's ``chunk_cells``) are excluded, distribution-shaping ones
+    (``epsilon``, ``domain_size``, OLH's ``cohort``) are in — exactly the
+    identity under which folded counts are interchangeable.
+    """
+    return canonical_key(fingerprint_object(protocol))
+
+
+@dataclass
+class EpochState:
+    """Accumulated aggregation state of one epoch.
+
+    ``support_counts`` is the running partial-sum vector (the explicit
+    state of the streaming kernel), ``num_reports`` the reports folded
+    into it, and ``batches`` the ingest calls that contributed — the
+    latter purely observability, never part of the arithmetic.
+    """
+
+    support_counts: np.ndarray
+    num_reports: int = 0
+    batches: int = 0
+
+
+@dataclass
+class AggregatorState:
+    """Per-(protocol, epoch) streaming ``support_counts`` accumulator.
+
+    One instance is bound to one ``protocol`` configuration; report
+    batches fold into per-``epoch`` partial sums via :meth:`ingest`.
+    ``chunk_users`` bounds each fold's transient memory exactly like the
+    engine's knob of the same name (``None`` =
+    :data:`repro.protocols.base.DEFAULT_CHUNK_USERS`); it cannot change
+    results.  Epoch names are free-form strings (a day, an hour bucket, a
+    collection round) — the paper's aggregator collects one round at a
+    time, and recovery runs per round.
+    """
+
+    protocol: FrequencyOracle
+    chunk_users: Optional[int] = None
+    epochs: dict[str, EpochState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.chunk_users is not None and int(self.chunk_users) < 1:
+            raise InvalidParameterError(
+                f"chunk_users must be >= 1 or None, got {self.chunk_users}"
+            )
+        self._protocol_key = protocol_key(self.protocol)
+
+    @property
+    def key(self) -> str:
+        """The bound protocol's :func:`protocol_key` (snapshot identity)."""
+        return self._protocol_key
+
+    def epoch(self, name: str) -> EpochState:
+        """The state of epoch ``name``, created zeroed on first touch."""
+        state = self.epochs.get(name)
+        if state is None:
+            state = EpochState(support_counts=self.protocol.init_support_state())
+            self.epochs[name] = state
+        return state
+
+    def epoch_names(self) -> list[str]:
+        """All epochs seen so far, sorted (deterministic iteration order)."""
+        return sorted(self.epochs)
+
+    def ingest(self, name: str, reports: Any) -> int:
+        """Fold one report batch into epoch ``name``; returns its size.
+
+        Byte-equal to having aggregated the epoch's reports in one batch:
+        the fold routes through the protocol's explicit-state kernel,
+        which slices ``reports`` to at most ``chunk_users`` at a time, so
+        ingest cost is bounded regardless of batch size.
+        """
+        state = self.epoch(name)
+        n = self.protocol.num_reports(reports)
+        self.protocol.fold_support_counts(
+            state.support_counts, reports, chunk_users=self.chunk_users
+        )
+        state.num_reports += n
+        state.batches += 1
+        return n
+
+    def support_counts(self, name: str) -> np.ndarray:
+        """A copy of epoch ``name``'s accumulated ``support_counts``."""
+        return self.epoch(name).support_counts.copy()
+
+    def num_reports(self, name: str) -> int:
+        """Reports folded into epoch ``name`` so far."""
+        return self.epoch(name).num_reports
+
+    def estimate_frequencies(self, name: str) -> np.ndarray:
+        """Unbiased frequency estimates for epoch ``name`` (paper Eq. 11).
+
+        Identical to ``protocol.aggregate`` over the epoch's full report
+        batch, computed from the streamed partial sums instead.
+        """
+        state = self.epoch(name)
+        return self.protocol.estimate_frequencies(
+            state.support_counts, state.num_reports
+        )
+
+    def merge(self, other: "AggregatorState") -> None:
+        """Fold another aggregator's per-epoch sums into this one.
+
+        ``other`` must be bound to a fingerprint-identical protocol
+        (support counts are only interchangeable under the same report
+        distribution).  Shared epochs add their partial sums — support
+        counting is a sum over reports, so shard boundaries and merge
+        order are arithmetic no-ops.
+        """
+        if other.key != self.key:
+            raise ProtocolError(
+                "cannot merge aggregator state across protocol identities: "
+                f"{self.key[:12]}... != {other.key[:12]}..."
+            )
+        for name in other.epoch_names():
+            theirs = other.epochs[name]
+            mine = self.epoch(name)
+            mine.support_counts += theirs.support_counts
+            mine.num_reports += theirs.num_reports
+            mine.batches += theirs.batches
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe snapshot of every epoch's accumulated state.
+
+        Carries the :data:`SNAPSHOT_FORMAT` tag and the protocol's
+        :func:`protocol_key`; :meth:`restore` refuses a snapshot whose key
+        does not match the protocol it is asked to resume under.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "protocol": self._protocol_key,
+            "chunk_users": self.chunk_users,
+            "epochs": {
+                name: {
+                    "support_counts": encode_array(self.epochs[name].support_counts),
+                    "num_reports": self.epochs[name].num_reports,
+                    "batches": self.epochs[name].batches,
+                }
+                for name in self.epoch_names()
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict[str, Any],
+        protocol: FrequencyOracle,
+        chunk_users: Optional[int] = None,
+    ) -> "AggregatorState":
+        """Rebuild an aggregator from a :meth:`snapshot` dict.
+
+        ``protocol`` must fingerprint to the key recorded in ``snapshot``
+        (resuming under a different protocol configuration would silently
+        mix incompatible counts); ``chunk_users`` is execution-only and
+        defaults to the snapshot's recorded value.  Ingesting the
+        not-yet-snapshotted remainder of a stream into the restored state
+        yields byte-equal counts to an uninterrupted run.
+        """
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise InvalidParameterError(
+                f"unsupported snapshot format {snapshot.get('format')!r}; "
+                f"expected {SNAPSHOT_FORMAT}"
+            )
+        state = cls(
+            protocol=protocol,
+            chunk_users=snapshot.get("chunk_users") if chunk_users is None else chunk_users,
+        )
+        recorded = snapshot.get("protocol")
+        if recorded != state.key:
+            raise ProtocolError(
+                "snapshot was taken under a different protocol identity: "
+                f"{str(recorded)[:12]}... != {state.key[:12]}..."
+            )
+        for name, payload in sorted(snapshot.get("epochs", {}).items()):
+            counts = decode_array(payload["support_counts"])
+            if counts.shape != (protocol.domain_size,) or counts.dtype != np.int64:
+                raise ProtocolError(
+                    f"snapshot epoch {name!r} carries counts of shape "
+                    f"{counts.shape} dtype {counts.dtype}; expected int64 "
+                    f"({protocol.domain_size},)"
+                )
+            state.epochs[name] = EpochState(
+                support_counts=counts,
+                num_reports=int(payload["num_reports"]),
+                batches=int(payload["batches"]),
+            )
+        return state
+
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "AggregatorState",
+    "EpochState",
+    "protocol_key",
+]

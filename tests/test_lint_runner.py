@@ -44,14 +44,18 @@ class TestLiveTree:
 
     def test_without_baseline_only_known_findings(self, monkeypatch):
         """Raw scan shows exactly the baselined findings: the cache.py
-        wall-clock bookkeeping (REP002) plus the shard claim hand-off
-        (REP202, released in _complete/abandon_pending)."""
+        wall-clock bookkeeping and the snapshot store's created_at stamp
+        (REP002) plus the shard claim hand-off (REP202, released in
+        _complete/abandon_pending)."""
         monkeypatch.chdir(REPO_ROOT)
         report = lint_paths([SRC_TREE], use_baseline=False)
         assert all(f.rule in ("REP002", "REP202") for f in report.findings)
         rep002 = [f for f in report.findings if f.rule == "REP002"]
         rep202 = [f for f in report.findings if f.rule == "REP202"]
-        assert all(f.path.endswith("sim/cache.py") for f in rep002)
+        assert all(
+            f.path.endswith(("sim/cache.py", "serve/snapshots.py")) for f in rep002
+        )
+        assert any(f.path.endswith("serve/snapshots.py") for f in rep002)
         assert [f.path.endswith("sim/shard.py") for f in rep202] == [True]
 
 

@@ -17,6 +17,7 @@ from repro.attacks.ipa import InputPoisoningAttack
 from repro.attacks.manip import ManipAttack
 from repro.attacks.mga import MGAAttack
 from repro.attacks.multi import MultiAttacker
+from repro.attacks.schedule import ScheduledAttack
 
 __all__ = [
     "PoisoningAttack",
@@ -29,4 +30,5 @@ __all__ = [
     "MultiAttacker",
     "RIAAttack",
     "RPAAttack",
+    "ScheduledAttack",
 ]

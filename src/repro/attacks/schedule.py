@@ -1,0 +1,98 @@
+"""Schedule-aware crafting for evolving-population (epoch) runs.
+
+The ``epochs`` scenario exhibit (:mod:`repro.sim.scenarios`) models
+attacks that change over a multi-epoch collection: running constantly,
+bursting on at a chosen epoch, or ramping their adversary fraction
+mid-stream.  :class:`ScheduledAttack` binds one
+:class:`~repro.attacks.base.PoisoningAttack` to one
+:class:`~repro.sim.history.AttackSchedule` over a fixed epoch horizon and
+exposes per-epoch crafting: each epoch's malicious count follows the
+scheduled fraction ``beta_e`` through the same ``m = beta*n/(1-beta)``
+convention as a single-shot trial, and the crafted reports come from the
+wrapped attack's ordinary :meth:`~repro.attacks.base.PoisoningAttack.craft`.
+
+The wrapper holds only the attack, the schedule, and the horizon — all
+content-fingerprintable — so it drops straight into scenario cell specs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+import numpy as np
+
+from repro._rng import RngLike
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> attacks)
+    from repro.attacks.base import PoisoningAttack
+    from repro.protocols.base import FrequencyOracle
+    from repro.sim.history import AttackSchedule
+
+
+class ScheduledAttack:
+    """A poisoning attack driven by a per-epoch malicious-fraction schedule.
+
+    Not itself a :class:`~repro.attacks.base.PoisoningAttack`: the base
+    contract crafts one batch of ``m`` reports, while a scheduled attack
+    crafts a *sequence* of batches whose sizes the schedule dictates.  The
+    wrapped attack supplies the report distribution; this class only
+    decides how many malicious users show up in each epoch.
+    """
+
+    name = "scheduled"
+
+    def __init__(
+        self, attack: "PoisoningAttack", schedule: "AttackSchedule", num_epochs: int
+    ) -> None:
+        if num_epochs < 1:
+            raise InvalidParameterError(f"num_epochs must be >= 1, got {num_epochs}")
+        self.attack = attack
+        self.schedule = schedule
+        self.num_epochs = int(num_epochs)
+
+    def beta_at(self, epoch: int) -> float:
+        """The malicious fraction scheduled for ``epoch``."""
+        return self.schedule.beta_at(epoch, self.num_epochs)
+
+    def betas(self) -> Tuple[float, ...]:
+        """The full per-epoch malicious-fraction vector."""
+        return self.schedule.betas(self.num_epochs)
+
+    def malicious_count_at(self, epoch: int, num_genuine: int) -> int:
+        """Malicious users joining ``num_genuine`` genuine ones at ``epoch``."""
+        from repro.sim.pipeline import malicious_count  # deferred: sim imports attacks
+
+        return malicious_count(num_genuine, self.beta_at(epoch))
+
+    def craft_epoch(
+        self,
+        protocol: "FrequencyOracle",
+        epoch: int,
+        num_genuine: int,
+        rng: RngLike = None,
+    ) -> Tuple[int, Optional[Any]]:
+        """Craft epoch ``epoch``'s malicious reports.
+
+        Returns ``(m, reports)`` where ``m`` is the scheduled malicious
+        count for a population of ``num_genuine`` genuine users and
+        ``reports`` the wrapped attack's crafted batch — ``None`` in
+        clean epochs (``m == 0``), so callers skip aggregation entirely
+        and the RNG stream is left untouched.
+        """
+        m = self.malicious_count_at(epoch, num_genuine)
+        if m == 0:
+            return 0, None
+        return m, self.attack.craft(protocol, m, rng)
+
+    @property
+    def target_items(self) -> Optional[np.ndarray]:
+        """The wrapped attack's target items (``None`` when untargeted)."""
+        return self.attack.target_items
+
+    def describe(self) -> str:
+        """One-line human description for exhibit rows and logs."""
+        return f"{self.attack.describe()} @ {self.schedule.describe()}"
+
+
+__all__ = ["ScheduledAttack"]

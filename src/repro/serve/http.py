@@ -47,6 +47,16 @@ _STATUS_TEXT = {
 }
 
 
+class _PayloadTooLarge(Exception):
+    """A request declared a body beyond :data:`MAX_BODY_BYTES`.
+
+    Raised by the request parser *before* reading the body, so the
+    handler can render a ``413`` and close instead of buffering an
+    arbitrarily large upload; the unread body makes the stream
+    unrecoverable, hence no keep-alive after it.
+    """
+
+
 class RecoveryHTTPServer:
     """Serve one :class:`~repro.serve.service.RecoveryService` over HTTP.
 
@@ -111,7 +121,14 @@ class RecoveryHTTPServer:
         """Serve one connection: a keep-alive loop of request/response."""
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _PayloadTooLarge as exc:
+                    # The oversized body is still unread, so the stream
+                    # cannot be resynchronized: answer and close.
+                    writer.write(_render_response(413, {"error": str(exc)}, False))
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, target, headers, body = request
@@ -153,7 +170,10 @@ class RecoveryHTTPServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > MAX_BODY_BYTES:
-            raise asyncio.LimitOverrunError("request body too large", length)
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit; split the batch"
+            )
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 

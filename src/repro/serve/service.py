@@ -133,6 +133,26 @@ class RecoveryService:
         """Decode a wire-encoded batch (see ``encode_reports``) and ingest it."""
         return self.ingest(epoch, self.protocol.decode_reports(payload))
 
+    def absorb(self, other: AggregatorState) -> int:
+        """Fan a collector's accumulated state into this service.
+
+        The multi-collector ingest seam: remote collectors fold their
+        share of the reports into local
+        :class:`~repro.sim.streaming.AggregatorState` instances and ship
+        the folded state here (fingerprint-matched protocols enforced by
+        :meth:`~repro.sim.streaming.AggregatorState.merge`).  Every epoch
+        ``other`` touched is marked dirty, so subsequent reads recompute —
+        byte-equal to having ingested the collector's batches directly.
+        Returns the number of reports absorbed.
+        """
+        absorbed_reports = sum(state.num_reports for state in other.epochs.values())
+        absorbed_batches = sum(state.batches for state in other.epochs.values())
+        self.state.merge(other)
+        self.ingested_reports += absorbed_reports
+        self.ingested_batches += absorbed_batches
+        self._dirty.update(other.epoch_names())
+        return absorbed_reports
+
     # ------------------------------------------------------------------
     # Read path (lazy, dirty-epoch invalidated)
     # ------------------------------------------------------------------

@@ -73,6 +73,7 @@ __all__ = [
     "canonical_key",
     "default_cache_dir",
     "evaluation_cell_spec",
+    "fingerprint_attack_schedule",
     "fingerprint_dataset",
     "fingerprint_kv_population",
     "fingerprint_object",
@@ -330,6 +331,24 @@ def fingerprint_kv_population(population: Any) -> dict[str, Any]:
         "frequencies": _fingerprint_array(np.asarray(population.frequencies)),
         "means": _fingerprint_array(np.asarray(population.means)),
         "num_users": int(population.num_users),
+    }
+
+
+def fingerprint_attack_schedule(schedule: Any) -> dict[str, Any]:
+    """Canonical identity of a per-epoch attack schedule.
+
+    Captures the full scalar state of an
+    :class:`repro.sim.history.AttackSchedule` (duck-typed so the cache
+    stays import-light): the shape ``kind`` plus every parameter that
+    shapes the per-epoch malicious-fraction vector.  Used by the
+    ``epochs`` scenario to put the schedule into its cell specs, so
+    cells with different burst epochs or ramp endpoints never collide.
+    """
+    return {
+        "kind": str(schedule.kind),
+        "beta": float(schedule.beta),
+        "start_epoch": int(schedule.start_epoch),
+        "end_beta": None if schedule.end_beta is None else float(schedule.end_beta),
     }
 
 

@@ -28,7 +28,7 @@ state; the engine keeps its one-shot wrappers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -236,9 +236,29 @@ class AggregatorState:
         return state
 
 
+def fan_in(states: Sequence[AggregatorState]) -> AggregatorState:
+    """Merge several collectors' states into one fresh aggregator.
+
+    The multi-collector deployment shape: ``k`` collectors each fold a
+    share of every epoch's reports, then a coordinator fans their states
+    in.  The result is bound to the first state's protocol *instance* and
+    is byte-equal to a single collector having ingested every batch —
+    :meth:`AggregatorState.merge` is a per-epoch vector sum, so the
+    collector partition and merge order cannot matter.  All states must
+    share one protocol fingerprint (enforced by ``merge``).
+    """
+    if not states:
+        raise InvalidParameterError("fan_in needs at least one aggregator state")
+    merged = AggregatorState(states[0].protocol, chunk_users=states[0].chunk_users)
+    for state in states:
+        merged.merge(state)
+    return merged
+
+
 __all__ = [
     "SNAPSHOT_FORMAT",
     "AggregatorState",
     "EpochState",
+    "fan_in",
     "protocol_key",
 ]

@@ -24,6 +24,12 @@ from repro.kv import KeyValueProtocol, KVPoisoningAttack
 from repro.sim.cache import CellCache, canonical_key, scenario_cell_spec
 from repro.sim.engine import TASK_COUNTER
 from repro.sim.scenarios import (
+    DEFENSE_ATTACKS,
+    DEFENSE_BETAS,
+    DEFENSE_EPSILONS,
+    DEFENSE_METHODS,
+    EPOCH_COUNT,
+    EPOCH_SCHEDULES,
     HH_BETAS,
     HH_KS,
     KV_BETAS,
@@ -31,6 +37,9 @@ from repro.sim.scenarios import (
     SCENARIOS,
     KVPopulation,
     ScenarioExhibit,
+    defenses_rows,
+    detection_f1,
+    epochs_rows,
     evaluate_kv_recovery,
     heavyhitter_rows,
     kv_population,
@@ -38,13 +47,18 @@ from repro.sim.scenarios import (
     register_scenario,
     scenario_names,
 )
-from repro.sim.shard import SweepConfig, enumerate_cells
+from repro.sim.shard import SweepConfig, enumerate_cells, merge_sweep, run_shard
 
 KV_CELLS = len(KV_EPSILONS) * len(KV_BETAS)
 #: Simulated/cached cells vs emitted rows: the heavy-hitter sweep runs one
 #: cell per (protocol, beta) and expands it into one row per k.
 HH_CELLS = 3 * len(HH_BETAS)
 HH_ROWS = HH_CELLS * len(HH_KS)
+#: The epochs sweep: one cell per (protocol, schedule) plus one fan-in
+#: (multi-collector) cell per protocol, each expanding to one row per epoch.
+EPOCH_CELLS = 3 * len(EPOCH_SCHEDULES) + 3
+EPOCH_ROWS = EPOCH_CELLS * EPOCH_COUNT
+DEFENSE_CELLS = len(DEFENSE_ATTACKS) * len(DEFENSE_EPSILONS) * len(DEFENSE_BETAS)
 
 
 class TestKVPopulation:
@@ -175,6 +189,182 @@ class TestHeavyHitterRows:
         assert second == first
 
 
+class TestEpochsRows:
+    USERS = 1_500
+
+    def _rows(self, **kwargs):
+        return epochs_rows(num_users=self.USERS, trials=1, rng=13, **kwargs)
+
+    def test_grid_shape_columns_and_schedule_betas(self):
+        rows = self._rows()
+        assert len(rows) == EPOCH_ROWS
+        assert {r["cell"] for r in rows} == {
+            f"{schedule.kind}-{name}-c1"
+            for name in ("grr", "oue", "olh")
+            for schedule in EPOCH_SCHEDULES
+        } | {f"burst-{name}-c3" for name in ("grr", "oue", "olh")}
+        # Uniform columns on every row (the CSV/JSON exporters refuse
+        # ragged tables): warm-up epochs carry null detection scores.
+        columns = list(rows[0].keys())
+        for row in rows:
+            assert list(row.keys()) == columns
+            assert 0 <= row["epoch"] < EPOCH_COUNT
+            for column in ("mse_before", "mse_recover", "mse_star", "fg_before"):
+                assert column in row and f"{column}±" in row
+            if row["epoch"] >= 2:
+                assert 0.0 <= row["detection_f1"] <= 1.0
+            else:
+                assert row["detection_f1"] is None
+                assert row["detection_f1±"] is None
+        # The burst rows carry the schedule's exact per-epoch fractions.
+        burst = [r for r in rows if r["cell"] == "burst-oue-c1"]
+        assert [r["beta"] for r in burst] == list(EPOCH_SCHEDULES[1].betas(EPOCH_COUNT))
+
+    def test_workers_and_chunking_are_bit_identical(self):
+        serial = self._rows()
+        assert self._rows(workers=2) == serial
+        assert self._rows(chunk_users=500) == serial
+
+    def test_fan_in_trials_match_direct_ingestion_bit_for_bit(self):
+        """collectors=3 round-robin fan-in is byte-equal to direct
+        single-collector ingestion under the same trial seed: the merge
+        arithmetic cannot change any metric.  (The sweep's c1 and c3
+        *cells* draw independent seeds, so the invariant is pinned at the
+        trial level, where the seed can be held fixed.)"""
+        from repro.attacks import MGAAttack, ScheduledAttack
+        from repro.core.heavyhitters import tail_items
+        from repro.core.recover import DEFAULT_ETA
+        from repro.sim.figures import _cell_protocol, load_dataset
+        from repro.sim.history import AttackSchedule
+        from repro.sim.scenarios import _EpochTask, _epoch_trial
+
+        dataset = load_dataset("ipums", self.USERS)
+        targets = tail_items(dataset.frequencies, 5)
+        for name in ("grr", "oue", "olh"):
+            protocol = _cell_protocol(name, 0.5, dataset.domain_size)
+            scheduled = ScheduledAttack(
+                MGAAttack(domain_size=dataset.domain_size, targets=targets),
+                AttackSchedule.burst(0.15, at=3),
+                EPOCH_COUNT,
+            )
+
+            def trial(collectors, chunk_users=None):
+                # A fresh SeedSequence per call: spawning advances the
+                # parent's spawn counter, so sharing one object would
+                # silently shift the later call's streams.
+                return _epoch_trial(_EpochTask(
+                    dataset=dataset,
+                    protocol=protocol,
+                    scheduled=scheduled,
+                    drift=0.05,
+                    eta=DEFAULT_ETA,
+                    collectors=collectors,
+                    chunk_users=chunk_users,
+                    seed=np.random.SeedSequence(42),
+                ))
+
+            direct = trial(collectors=1)
+            assert trial(collectors=3) == direct, f"{name}: fan-in != direct"
+            assert trial(collectors=1, chunk_users=300) == direct
+
+    def test_warm_cache_serves_all_cells_with_zero_tasks(self, tmp_path):
+        cold = CellCache(tmp_path)
+        first = self._rows(cache=cold)
+        assert cold.stats.misses == EPOCH_CELLS and cold.stats.stores == EPOCH_CELLS
+        warm = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        second = self._rows(cache=warm)
+        assert TASK_COUNTER.count == 0, "warm cells must execute zero trials"
+        assert warm.stats.hits == EPOCH_CELLS and warm.stats.misses == 0
+        assert second == first
+
+    def test_two_shard_merge_is_bit_identical_to_direct(self, tmp_path):
+        config = SweepConfig(figure="epochs", num_users=self.USERS, trials=1, seed=13)
+        cache = CellCache(tmp_path)
+        for index in range(2):
+            run_shard(config, cache, shard_index=index, shard_count=2)
+        assert merge_sweep(config, cache) == self._rows()
+
+    def test_trials_validated(self):
+        with pytest.raises(InvalidParameterError):
+            epochs_rows(num_users=self.USERS, trials=0)
+
+
+class TestDefensesRows:
+    USERS = 2_000
+
+    def _rows(self, **kwargs):
+        return defenses_rows(num_users=self.USERS, trials=2, rng=14, **kwargs)
+
+    def test_grid_shape_winner_and_ci_columns(self):
+        rows = self._rows()
+        assert len(rows) == DEFENSE_CELLS
+        regimes = {(r["attack"], r["epsilon"], r["beta"]) for r in rows}
+        assert len(regimes) == DEFENSE_CELLS
+        for row in rows:
+            assert row["attack"] in DEFENSE_ATTACKS
+            assert row["epsilon"] in DEFENSE_EPSILONS
+            assert row["beta"] in DEFENSE_BETAS
+            assert row["winner"] in DEFENSE_METHODS
+            for method in ("before",) + DEFENSE_METHODS:
+                assert f"mse_{method}" in row and f"mse_{method}±" in row
+                assert f"fg_{method}" in row and f"fg_{method}±" in row
+            # The winner column is derived from the same row it sits in.
+            best = min(DEFENSE_METHODS, key=lambda m: row[f"mse_{m}"])
+            assert row["winner"] == best
+
+    def test_every_defense_beats_doing_nothing_somewhere(self):
+        rows = self._rows()
+        improved = [
+            method
+            for method in DEFENSE_METHODS
+            for row in rows
+            if row[f"mse_{method}"] < row["mse_before"]
+        ]
+        assert set(improved), "at least one defense must improve some regime"
+
+    def test_workers_are_bit_identical(self):
+        assert self._rows(workers=2) == self._rows()
+
+    def test_warm_cache_serves_all_cells_with_zero_tasks(self, tmp_path):
+        cold = CellCache(tmp_path)
+        first = self._rows(cache=cold)
+        assert cold.stats.stores == DEFENSE_CELLS
+        warm = CellCache(tmp_path)
+        TASK_COUNTER.reset()
+        second = self._rows(cache=warm)
+        assert TASK_COUNTER.count == 0
+        assert warm.stats.hits == DEFENSE_CELLS
+        assert second == first
+
+    def test_two_shard_merge_is_bit_identical_to_direct(self, tmp_path):
+        config = SweepConfig(figure="defenses", num_users=self.USERS, trials=2, seed=14)
+        cache = CellCache(tmp_path)
+        for index in range(2):
+            run_shard(config, cache, shard_index=index, shard_count=2)
+        assert merge_sweep(config, cache) == self._rows()
+
+    def test_trials_validated(self):
+        with pytest.raises(InvalidParameterError):
+            defenses_rows(num_users=self.USERS, trials=0)
+
+
+class TestDetectionF1:
+    def test_clean_epoch_scoring(self):
+        assert detection_f1([], []) == 1.0
+        assert detection_f1([3], []) == 0.0
+
+    def test_poisoned_epoch_scoring(self):
+        assert detection_f1([1, 2], [1, 2]) == 1.0
+        assert detection_f1([], [1, 2]) == 0.0
+        assert detection_f1([9], [1, 2]) == 0.0
+        # precision 1/2, recall 1/2 -> F1 1/2
+        assert detection_f1([1, 9], [1, 2]) == pytest.approx(0.5)
+
+    def test_duplicates_and_types_normalized(self):
+        assert detection_f1(np.array([2, 1, 1]), (1, 2)) == 1.0
+
+
 class TestScenarioCellSpec:
     def test_kv_spec_sensitive_to_cell_identity(self):
         population = kv_population(num_keys=8, num_users=1_000)
@@ -247,7 +437,7 @@ class TestSweepConfigDispatch:
 
 class TestRegistry:
     def test_builtin_scenarios_registered(self):
-        assert scenario_names() == ("kv", "heavyhitter")
+        assert scenario_names() == ("kv", "heavyhitter", "epochs", "defenses")
         for exhibit in SCENARIOS.values():
             assert exhibit.description
 
